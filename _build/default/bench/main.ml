@@ -1,0 +1,344 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one Test.make per paper artefact
+      (Figures 5/6/7 pipelines, the Section VI-B estimators) plus the
+      core algorithms (recognition, Algorithm 1, Algorithm 2, one
+      simulation trial).
+
+   2. Regeneration of every figure's data series: for each workflow
+      family (Figure 5 GENOME, Figure 6 MONTAGE, Figure 7 LIGO), all
+      paper sizes, processor counts and failure probabilities across
+      the CCR sweep, printing the relative expected makespans of
+      CKPTALL and CKPTNONE over CKPTSOME; and the Section VI-B
+      estimator-accuracy table.
+
+   Run with: dune exec bench/main.exe
+   (pass --quick for a single representative row set per figure) *)
+
+open Bechamel
+open Toolkit
+module Dag = Ckpt_dag.Dag
+module Recognize = Ckpt_mspg.Recognize
+module Platform = Ckpt_platform.Platform
+module Spec = Ckpt_workflows.Spec
+module Allocate = Ckpt_core.Allocate
+module Schedule = Ckpt_core.Schedule
+module Placement = Ckpt_core.Placement
+module Strategy = Ckpt_core.Strategy
+module Pipeline = Ckpt_core.Pipeline
+module Evaluator = Ckpt_eval.Evaluator
+module Runner = Ckpt_sim.Runner
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_test name kind =
+  let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
+         Pipeline.compare_strategies setup))
+
+let estimator_tests () =
+  let dag = Spec.generate Spec.Ligo ~seed:1 ~tasks:300 () in
+  let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let pd = Option.get plan.Strategy.prob_dag in
+  [
+    Test.make ~name:"vi-b/pathapprox"
+      (Staged.stage (fun () -> Ckpt_eval.Pathapprox.estimate pd));
+    Test.make ~name:"vi-b/dodin" (Staged.stage (fun () -> Ckpt_eval.Dodin.estimate pd));
+    Test.make ~name:"vi-b/normal" (Staged.stage (fun () -> Ckpt_eval.Sculli.estimate pd));
+    Test.make ~name:"vi-b/montecarlo-1k"
+      (Staged.stage (fun () -> Ckpt_eval.Montecarlo.estimate ~trials:1000 pd));
+  ]
+
+let extension_tests () =
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+  let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.1 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  [
+    Test.make ~name:"ext/exact-sp-eval"
+      (Staged.stage (fun () -> Strategy.exact_expected_makespan plan));
+    Test.make ~name:"ext/contention-trial"
+      (Staged.stage (fun () -> Ckpt_sim.Contention.simulate ~trials:1 plan));
+  ]
+
+let algorithm_tests () =
+  let montage = Spec.generate Spec.Montage ~seed:1 ~tasks:300 () in
+  let genome = Spec.generate Spec.Genome ~seed:1 ~tasks:1000 () in
+  let genome_mspg =
+    match Recognize.of_dag_completed genome with Ok (m, _) -> m | Error e -> failwith e
+  in
+  let schedule = Allocate.run genome_mspg ~processors:61 in
+  let platform = Platform.make ~processors:61 ~lambda:1e-5 ~bandwidth:1e7 in
+  let big_chain =
+    Array.fold_left
+      (fun acc sc ->
+        if Ckpt_core.Superchain.n_tasks sc > Ckpt_core.Superchain.n_tasks acc then sc
+        else acc)
+      schedule.Schedule.superchains.(0) schedule.Schedule.superchains
+  in
+  let some_plan = Strategy.plan Strategy.Ckpt_some ~raw:genome ~schedule ~platform in
+  [
+    Test.make ~name:"alg/recognize-montage-300"
+      (Staged.stage (fun () -> Recognize.of_dag_completed montage));
+    Test.make ~name:"alg1/allocate-genome-1000"
+      (Staged.stage (fun () -> Allocate.run genome_mspg ~processors:61));
+    Test.make ~name:"alg2/placement-dp"
+      (Staged.stage (fun () ->
+           Placement.optimal_positions platform schedule.Schedule.dag big_chain));
+    Test.make ~name:"sim/genome-1000-trial"
+      (Staged.stage (fun () -> Runner.simulated_expected_makespan ~trials:1 some_plan));
+  ]
+
+let run_benchmarks () =
+  let tests =
+    Test.make_grouped ~name:"ckptwf"
+      ([
+         pipeline_test "fig5/genome-pipeline" Spec.Genome;
+         pipeline_test "fig6/montage-pipeline" Spec.Montage;
+         pipeline_test "fig7/ligo-pipeline" Spec.Ligo;
+       ]
+      @ estimator_tests () @ algorithm_tests () @ extension_tests ())
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "== micro-benchmarks (time per run) ==\n";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Printf.printf "  %-34s %s\n" name pretty)
+    rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: figure series                                               *)
+(* ------------------------------------------------------------------ *)
+
+let logspace lo hi n =
+  List.init n (fun i ->
+      let t = float_of_int i /. float_of_int (n - 1) in
+      10. ** (log10 lo +. (t *. (log10 hi -. log10 lo))))
+
+let paper_grid =
+  [ (50, [ 3; 5; 7; 10 ]); (300, [ 18; 35; 52; 70 ]); (1000, [ 61; 123; 184; 245 ]) ]
+
+let pfails = [ 0.01; 0.001; 0.0001 ]
+
+let ccrs_for = function
+  | Spec.Genome -> logspace 1e-4 1e-2 7
+  | Spec.Montage | Spec.Ligo | Spec.Cybershake | Spec.Sipht -> logspace 1e-3 1. 7
+
+let figure_series fig kind =
+  Printf.printf "== Figure %s: %s — relative expected makespan vs CCR ==\n" fig
+    (String.uppercase_ascii (Spec.name kind));
+  Printf.printf "%-8s %5s %4s %7s %8s | %8s %9s %6s\n" "workflow" "n" "p" "pfail" "ccr"
+    "relALL" "relNONE" "ckpts";
+  List.iter
+    (fun (tasks, procs) ->
+      let dag = Spec.generate kind ~seed:1 ~tasks () in
+      let n = Dag.n_tasks dag in
+      let mean_weight = Dag.total_weight dag /. float_of_int n in
+      let total_data = Dag.total_data dag in
+      let total_weight = Dag.total_weight dag in
+      let mspg =
+        match Recognize.of_dag dag with
+        | Ok m -> m
+        | Error _ -> (
+            match Recognize.of_dag_completed dag with
+            | Ok (m, _) -> m
+            | Error e -> failwith e)
+      in
+      List.iter
+        (fun p ->
+          (* the schedule does not depend on pfail or CCR: build once *)
+          let schedule = Allocate.run mspg ~processors:p in
+          List.iter
+            (fun pfail ->
+              let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+              List.iter
+                (fun ccr ->
+                  let bandwidth = Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight in
+                  let platform = Platform.make ~processors:p ~lambda ~bandwidth in
+                  let plan k = Strategy.plan k ~raw:dag ~schedule ~platform in
+                  let some = plan Strategy.Ckpt_some in
+                  let em_some = Strategy.expected_makespan some in
+                  let em_all = Strategy.expected_makespan (plan Strategy.Ckpt_all) in
+                  let em_none = Strategy.expected_makespan (plan Strategy.Ckpt_none) in
+                  Printf.printf "%-8s %5d %4d %7g %8.5f | %8.4f %9.4f %6d\n"
+                    (Spec.name kind) n p pfail ccr (em_all /. em_some)
+                    (em_none /. em_some) some.Strategy.checkpoint_count)
+                (ccrs_for kind))
+            pfails)
+        procs)
+    paper_grid;
+  print_newline ()
+
+let accuracy_table () =
+  Printf.printf "== Section VI-B: estimator accuracy vs Monte Carlo ground truth ==\n";
+  let trials = 50_000 in
+  Printf.printf "%-10s %-12s %12s %9s\n" "workflow" "method" "estimate" "error";
+  List.iter
+    (fun kind ->
+      let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+      let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
+      let plan = Pipeline.plan setup Strategy.Ckpt_some in
+      let truth =
+        Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 }) plan
+      in
+      Printf.printf "%-10s %-12s %12.2f %9s\n" (Spec.name kind) "montecarlo" truth "--";
+      List.iter
+        (fun m ->
+          let v = Strategy.expected_makespan ~method_:m plan in
+          Printf.printf "%-10s %-12s %12.2f %+8.3f%%\n" (Spec.name kind) (Evaluator.name m)
+            v
+            ((v -. truth) /. truth *. 100.))
+        Evaluator.all_fast;
+      match Strategy.exact_expected_makespan plan with
+      | Some v ->
+          Printf.printf "%-10s %-12s %12.2f %+8.3f%%\n" (Spec.name kind) "exact-sp" v
+            ((v -. truth) /. truth *. 100.)
+      | None -> Printf.printf "%-10s %-12s %12s %9s\n" (Spec.name kind) "exact-sp" "n/a" "--")
+    Spec.all;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablation tables (extensions beyond the paper)                       *)
+(* ------------------------------------------------------------------ *)
+
+let linearization_ablation () =
+  Printf.printf
+    "== Ablation A1: linearisation policy (EM of CKPTSOME, n=300, p=35, pfail=1e-3) ==\n";
+  Printf.printf "%-10s %8s | %-14s %12s %7s\n" "workflow" "ccr" "policy" "EM" "ckpts";
+  List.iter
+    (fun kind ->
+      let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+      List.iter
+        (fun ccr ->
+          let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr () in
+          List.iter
+            (fun (name, policy) ->
+              let schedule =
+                Ckpt_core.Allocate.run ~policy setup.Pipeline.mspg ~processors:35
+              in
+              let plan =
+                Strategy.plan Strategy.Ckpt_some ~raw:dag ~schedule
+                  ~platform:setup.Pipeline.platform
+              in
+              Printf.printf "%-10s %8.3f | %-14s %12.2f %7d\n" (Spec.name kind) ccr name
+                (Strategy.expected_makespan plan)
+                plan.Strategy.checkpoint_count)
+            [ ("deterministic", Ckpt_core.Linearize.Deterministic);
+              ("random", Ckpt_core.Linearize.Random (Ckpt_prob.Rng.create 7));
+              ("min-volume", Ckpt_core.Linearize.Min_volume) ])
+        [ 0.01; 0.3 ])
+    Spec.paper;
+  print_newline ()
+
+let policy_ablation () =
+  Printf.printf
+    "== Ablation A2: checkpoint policies (EM relative to CKPTSOME, genome n=300, p=35) ==\n";
+  Printf.printf "%8s | %10s %10s %10s %10s %10s\n" "ccr" "some" "budget-2" "every-2"
+    "every-5" "all";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+  List.iter
+    (fun ccr ->
+      let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr () in
+      let em kind = Strategy.expected_makespan (Pipeline.plan setup kind) in
+      let some = em Strategy.Ckpt_some in
+      Printf.printf "%8.3f | %10.2f %10.4f %10.4f %10.4f %10.4f\n" ccr some
+        (em (Strategy.Ckpt_budget 2) /. some)
+        (em (Strategy.Ckpt_every 2) /. some)
+        (em (Strategy.Ckpt_every 5) /. some)
+        (em Strategy.Ckpt_all /. some))
+    [ 0.001; 0.01; 0.1; 0.5; 1.0 ];
+  print_newline ()
+
+let refinement_ablation () =
+  Printf.printf
+    "== Ablation A4: global refinement of Algorithm 2 (genome n=50, p=5, pfail=1e-2) ==\n";
+  Printf.printf "%-12s | %10s %10s %7s %7s\n" "start" "EM before" "EM after" "moves"
+    "gain";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Pipeline.prepare ~dag ~processors:5 ~pfail:0.01 ~ccr:0.1 () in
+  List.iter
+    (fun kind ->
+      let r = Ckpt_core.Refine.hill_climb ~max_rounds:30 (Pipeline.plan setup kind) in
+      Printf.printf "%-12s | %10.2f %10.2f %7d %6.3f%%\n" (Strategy.kind_name kind)
+        r.Ckpt_core.Refine.initial_em r.Ckpt_core.Refine.final_em r.Ckpt_core.Refine.moves
+        ((r.Ckpt_core.Refine.initial_em -. r.Ckpt_core.Refine.final_em)
+        /. r.Ckpt_core.Refine.initial_em *. 100.))
+    [ Strategy.Ckpt_some; Strategy.Ckpt_every 5; Strategy.Ckpt_all ];
+  print_newline ()
+
+let contention_ablation () =
+  Printf.printf
+    "== Ablation A3: storage contention (simulated, genome n=300, p=35, pfail=1e-3) ==\n";
+  Printf.printf "%8s | %-12s %12s %12s %9s\n" "ccr" "strategy" "nominal" "contended"
+    "penalty";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+  let trials = 100 in
+  List.iter
+    (fun ccr ->
+      let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr () in
+      List.iter
+        (fun kind ->
+          let plan = Pipeline.plan setup kind in
+          let nominal = Ckpt_prob.Stats.mean (Runner.simulate ~trials plan) in
+          let contended =
+            Ckpt_prob.Stats.mean (Ckpt_sim.Contention.simulate ~trials plan)
+          in
+          Printf.printf "%8.3f | %-12s %12.1f %12.1f %8.3fx\n" ccr
+            (Strategy.kind_name kind) nominal contended (contended /. nominal))
+        [ Strategy.Ckpt_some; Strategy.Ckpt_all ])
+    [ 0.01; 0.1; 0.5 ];
+  print_newline ()
+
+let () =
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  run_benchmarks ();
+  accuracy_table ();
+  linearization_ablation ();
+  policy_ablation ();
+  refinement_ablation ();
+  contention_ablation ();
+  if quick then
+    List.iter
+      (fun (fig, kind) ->
+        Printf.printf "== Figure %s (quick): %s at n=300, p=35, pfail=0.001 ==\n" fig
+          (Spec.name kind);
+        let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+        List.iter
+          (fun ccr ->
+            let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr () in
+            let cmp = Pipeline.compare_strategies setup in
+            Printf.printf "  ccr=%8.5f relALL=%8.4f relNONE=%9.4f\n" ccr cmp.Pipeline.rel_all
+              cmp.Pipeline.rel_none)
+          (ccrs_for kind);
+        print_newline ())
+      [ ("5", Spec.Genome); ("6", Spec.Montage); ("7", Spec.Ligo) ]
+  else begin
+    figure_series "5" Spec.Genome;
+    figure_series "6" Spec.Montage;
+    figure_series "7" Spec.Ligo
+  end

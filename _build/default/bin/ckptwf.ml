@@ -1,0 +1,437 @@
+(* ckptwf — command-line driver for the checkpointing-workflows
+   reproduction: generate Pegasus-like workflows, schedule them with
+   Algorithm 1, place checkpoints with Algorithm 2, evaluate and
+   simulate the three strategies, and run the paper's CCR sweeps. *)
+
+open Cmdliner
+module Dag = Ckpt_dag.Dag
+module Mspg = Ckpt_mspg.Mspg
+module Recognize = Ckpt_mspg.Recognize
+module Spec = Ckpt_workflows.Spec
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Schedule = Ckpt_core.Schedule
+module Superchain = Ckpt_core.Superchain
+module Evaluator = Ckpt_eval.Evaluator
+module Runner = Ckpt_sim.Runner
+module Stats = Ckpt_prob.Stats
+
+(* --- shared arguments --- *)
+
+let workflow_conv =
+  let parse s =
+    match Spec.of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown workflow %S (genome|montage|ligo)" s))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Spec.name k))
+
+let method_conv =
+  let parse s =
+    match Evaluator.of_name s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown method %S (montecarlo|dodin|normal|pathapprox)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Evaluator.name m))
+
+let workflow_arg =
+  Arg.(
+    value
+    & opt workflow_conv Spec.Genome
+    & info [ "w"; "workflow" ] ~docv:"WORKFLOW" ~doc:"Workflow family: genome, montage or ligo.")
+
+let tasks_arg =
+  Arg.(value & opt int 300 & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Approximate task count.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let processors_arg =
+  Arg.(value & opt int 35 & info [ "p"; "processors" ] ~docv:"P" ~doc:"Processor count.")
+
+let pfail_arg =
+  Arg.(
+    value
+    & opt float 0.001
+    & info [ "pfail" ] ~docv:"PFAIL" ~doc:"Per-task failure probability (sets lambda).")
+
+let ccr_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "ccr" ] ~docv:"CCR" ~doc:"Communication-to-computation ratio (sets bandwidth).")
+
+let method_arg =
+  Arg.(
+    value
+    & opt method_conv Evaluator.Pathapprox
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Expected-makespan estimator: montecarlo, dodin, normal or pathapprox.")
+
+let trials_arg =
+  Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"T" ~doc:"Simulation trials.")
+
+let dax_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "dax" ] ~docv:"FILE"
+        ~doc:"Load the workflow from a Pegasus DAX file instead of generating one.")
+
+(* the workflow under study: a DAX file when given, else synthetic *)
+let source dax workflow tasks seed =
+  match dax with
+  | Some path -> Ckpt_dax.Dax.load path
+  | None -> Spec.generate workflow ~seed ~tasks ()
+
+(* --- generate --- *)
+
+let generate_run dax workflow tasks seed dot =
+  let dag = source dax workflow tasks seed in
+  if dot then print_string (Dag.to_dot dag)
+  else begin
+    Format.printf "%a@." Dag.pp_stats dag;
+    (match Recognize.of_dag dag with
+    | Ok _ -> Format.printf "strict M-SPG: yes@."
+    | Error _ -> (
+        match Recognize.of_dag_completed dag with
+        | Ok (_, dummies) ->
+            Format.printf "strict M-SPG: no (completable with %d dummy edges)@." dummies
+        | Error msg -> Format.printf "strict M-SPG: no (%s)@." msg));
+    Format.printf "%a@." Ckpt_dag.Analysis.pp_profile (Ckpt_dag.Analysis.profile dag);
+    Format.printf "task types:@.";
+    List.iter
+      (fun (name, count, weight) ->
+        Format.printf "  %-20s x%-5d total %10.1f s@." name count weight)
+      (Ckpt_dag.Analysis.by_task_type dag)
+  end
+
+let generate_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print the workflow in Graphviz dot format.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic Pegasus-like workflow and describe it.")
+    Term.(const generate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ dot)
+
+(* --- schedule --- *)
+
+let schedule_run dax workflow tasks seed processors pfail ccr verbose =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let schedule = setup.Pipeline.schedule in
+  Format.printf "%d superchains on %d processors (%d dummy edges added)@."
+    (Array.length schedule.Schedule.superchains)
+    processors setup.Pipeline.dummy_edges;
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let positions = Strategy.checkpoint_positions plan in
+  Array.iter
+    (fun (sc : Superchain.t) ->
+      let ckpts =
+        match List.assoc_opt sc.Superchain.id positions with Some l -> l | None -> []
+      in
+      Format.printf "superchain %d on p%d: %d tasks, %d checkpoints@." sc.Superchain.id
+        sc.Superchain.processor (Superchain.n_tasks sc) (List.length ckpts);
+      if verbose then begin
+        Format.printf "  order:";
+        Array.iteri
+          (fun k t ->
+            let name = (Dag.task schedule.Schedule.dag t).Ckpt_dag.Task.name in
+            let mark = if List.mem k ckpts then "*" else "" in
+            Format.printf " %s#%d%s" name t mark)
+          sc.Superchain.order;
+        Format.printf "@."
+      end)
+    schedule.Schedule.superchains;
+  Format.printf "total checkpoints: CKPTSOME %d vs CKPTALL %d@."
+    plan.Strategy.checkpoint_count (Dag.n_tasks dag)
+
+let schedule_cmd =
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print task orders.") in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Schedule a workflow (Algorithm 1) and place checkpoints (Algorithm 2).")
+    Term.(
+      const schedule_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ verbose)
+
+(* --- evaluate --- *)
+
+let evaluate_run dax workflow tasks seed processors pfail ccr method_ =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let cmp = Pipeline.compare_strategies ~method_ setup in
+  Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g method=%s@." (Dag.name dag)
+    (Dag.n_tasks dag) processors pfail ccr (Evaluator.name method_);
+  Format.printf "  EM(CKPTSOME) = %.2f s  (%d checkpoints)@." cmp.Pipeline.em_some
+    cmp.Pipeline.ckpts_some;
+  Format.printf "  EM(CKPTALL)  = %.2f s  (%d checkpoints, relative %.4f)@."
+    cmp.Pipeline.em_all cmp.Pipeline.ckpts_all cmp.Pipeline.rel_all;
+  Format.printf "  EM(CKPTNONE) = %.2f s  (relative %.4f)@." cmp.Pipeline.em_none
+    cmp.Pipeline.rel_none
+
+let evaluate_cmd =
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Expected makespans of CKPTSOME / CKPTALL / CKPTNONE.")
+    Term.(
+      const evaluate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ method_arg)
+
+(* --- simulate --- *)
+
+let simulate_run dax workflow tasks seed processors pfail ccr trials =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
+    (Dag.n_tasks dag) processors pfail ccr trials;
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan setup kind in
+      let est = Strategy.expected_makespan plan in
+      let stats = Runner.simulate ~trials plan in
+      Format.printf "  %-10s estimate %10.2f | simulated %10.2f +- %.2f (min %.2f max %.2f)@."
+        (Strategy.kind_name kind) est (Stats.mean stats) (Stats.ci95_halfwidth stats)
+        (Stats.min stats) (Stats.max stats))
+    [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ]
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Failure-injected simulation versus the analytical estimate.")
+    Term.(
+      const simulate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ trials_arg)
+
+(* --- sweep (the figure series) --- *)
+
+let default_ccrs workflow =
+  let logspace lo hi n =
+    List.init n (fun i ->
+        let t = float_of_int i /. float_of_int (n - 1) in
+        10. ** (log10 lo +. (t *. (log10 hi -. log10 lo))))
+  in
+  match workflow with
+  | Spec.Genome -> logspace 1e-4 1e-2 9
+  | Spec.Montage | Spec.Ligo -> logspace 1e-3 1. 10
+  | Spec.Cybershake | Spec.Sipht -> logspace 1e-3 1. 10
+
+let sweep_run dax workflow tasks seed processors pfail method_ csv =
+  let dag = source dax workflow tasks seed in
+  if csv then print_endline "workflow,tasks,processors,pfail,ccr,em_some,em_all,em_none,rel_all,rel_none,ckpts_some"
+  else
+    Format.printf "%-8s %6s %10s %10s %10s %8s %8s %6s@." "wf" "ccr" "EM(some)" "EM(all)"
+      "EM(none)" "relALL" "relNONE" "ckpts";
+  List.iter
+    (fun ccr ->
+      let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+      let cmp = Pipeline.compare_strategies ~method_ setup in
+      if csv then
+        Printf.printf "%s,%d,%d,%g,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n" (Dag.name dag)
+          (Dag.n_tasks dag) processors pfail ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
+          cmp.Pipeline.em_none cmp.Pipeline.rel_all cmp.Pipeline.rel_none
+          cmp.Pipeline.ckpts_some
+      else
+        Format.printf "%-8s %6.4f %10.2f %10.2f %10.2f %8.4f %8.4f %6d@."
+          (Dag.name dag) ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
+          cmp.Pipeline.em_none cmp.Pipeline.rel_all cmp.Pipeline.rel_none
+          cmp.Pipeline.ckpts_some)
+    (default_ccrs workflow)
+
+let sweep_cmd =
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "CCR sweep of the relative expected makespans (the series behind Figures 5, 6 and \
+          7).")
+    Term.(
+      const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ method_arg $ csv)
+
+(* --- accuracy (Section VI-B) --- *)
+
+let accuracy_run dax workflow tasks seed processors pfail ccr trials =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let ground_truth =
+    Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 }) plan
+  in
+  Format.printf "ground truth (MC, %d trials): %.2f@." trials ground_truth;
+  List.iter
+    (fun m ->
+      let t0 = Unix.gettimeofday () in
+      let v = Strategy.expected_makespan ~method_:m plan in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "  %-10s %10.2f  (error %+.3f%%, %.1f ms)@." (Evaluator.name m) v
+        ((v -. ground_truth) /. ground_truth *. 100.)
+        (dt *. 1000.))
+    Evaluator.all_fast;
+  (match Strategy.exact_expected_makespan plan with
+  | Some v ->
+      Format.printf "  %-10s %10.2f  (error %+.3f%%)@." "exact-sp" v
+        ((v -. ground_truth) /. ground_truth *. 100.)
+  | None -> ());
+  (match plan.Strategy.prob_dag with
+  | Some pd ->
+      let lo, hi = Ckpt_eval.Bounds.bracket pd in
+      Format.printf "  guaranteed bounds: [%.2f, %.2f] (Fulkerson / Kleindorfer)@." lo hi
+  | None -> ())
+
+let accuracy_cmd =
+  let trials =
+    Arg.(value & opt int 300_000 & info [ "trials" ] ~docv:"T" ~doc:"Monte Carlo trials.")
+  in
+  Cmd.v
+    (Cmd.info "accuracy"
+       ~doc:"Estimator accuracy versus a large-trial Monte Carlo ground truth (Section VI-B).")
+    Term.(
+      const accuracy_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ trials)
+
+(* --- gantt --- *)
+
+let strategy_conv =
+  let parse str =
+    match String.lowercase_ascii str with
+    | "all" | "ckpt-all" -> Ok Strategy.Ckpt_all
+    | "some" | "ckpt-some" -> Ok Strategy.Ckpt_some
+    | "none" | "ckpt-none" -> Ok Strategy.Ckpt_none
+    | s -> (
+        let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+        let suffix p = String.sub s (String.length p) (String.length s - String.length p) in
+        if prefixed "every-" then
+          match int_of_string_opt (suffix "every-") with
+          | Some k when k >= 1 -> Ok (Strategy.Ckpt_every k)
+          | _ -> Error (`Msg "bad period")
+        else if prefixed "budget-" then
+          match int_of_string_opt (suffix "budget-") with
+          | Some k when k >= 1 -> Ok (Strategy.Ckpt_budget k)
+          | _ -> Error (`Msg "bad budget")
+        else Error (`Msg (Printf.sprintf "unknown strategy %S (all|some|none|every-K|budget-K)" s)))
+  in
+  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Strategy.kind_name k))
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Strategy.Ckpt_some
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Checkpointing strategy: all, some, none, every-K or budget-K.")
+
+let gantt_run dax workflow tasks seed processors pfail ccr strategy output sim_seed =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let plan = Pipeline.plan setup strategy in
+  let svg = Ckpt_viz.Gantt.render_plan ~seed:sim_seed plan in
+  Ckpt_viz.Gantt.save output svg;
+  Format.printf "wrote %s@." output
+
+let gantt_cmd =
+  let output =
+    Arg.(value & opt string "gantt.svg" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"SVG path.")
+  in
+  let sim_seed =
+    Arg.(value & opt int 11 & info [ "sim-seed" ] ~docv:"SEED" ~doc:"Failure-trace seed.")
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Simulate one execution and render it as an SVG Gantt chart.")
+    Term.(
+      const gantt_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ strategy_arg $ output $ sim_seed)
+
+(* --- contention --- *)
+
+let contention_run dax workflow tasks seed processors pfail ccr trials =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
+    (Dag.n_tasks dag) processors pfail ccr trials;
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan setup kind in
+      let nominal = Stats.mean (Runner.simulate ~trials plan) in
+      let contended = Stats.mean (Ckpt_sim.Contention.simulate ~trials plan) in
+      Format.printf "  %-14s nominal %10.2f | contended %10.2f | penalty %.3fx@."
+        (Strategy.kind_name kind) nominal contended (contended /. nominal))
+    [ Strategy.Ckpt_some; Strategy.Ckpt_all ]
+
+let contention_cmd =
+  Cmd.v
+    (Cmd.info "contention"
+       ~doc:
+         "Simulated makespans with and without stable-storage bandwidth contention \
+          (extension).")
+    Term.(
+      const contention_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ trials_arg)
+
+(* --- quantiles --- *)
+
+let quantiles_run dax workflow tasks seed processors pfail ccr strategy trials =
+  let dag = source dax workflow tasks seed in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let plan = Pipeline.plan setup strategy in
+  let qs = [ 0.5; 0.9; 0.99 ] in
+  let sample = Runner.sample_makespans ~trials plan in
+  Format.printf "workflow=%s strategy=%s trials=%d@." (Dag.name dag)
+    (Strategy.kind_name strategy) trials;
+  Format.printf "  simulated: mean %.2f" (Ckpt_prob.Stats.mean_of_array sample);
+  List.iter
+    (fun q ->
+      Format.printf "  p%g %.2f" (q *. 100.) (Ckpt_prob.Stats.quantile_of_array sample q))
+    qs;
+  Format.printf "@.";
+  (match Strategy.makespan_distribution plan with
+  | None -> Format.printf "  analytic distribution unavailable for this plan@."
+  | Some dist ->
+      Format.printf "  analytic:  mean %.2f" (Ckpt_prob.Dist.mean dist);
+      List.iter
+        (fun q -> Format.printf "  p%g %.2f" (q *. 100.) (Ckpt_prob.Dist.quantile dist q))
+        qs;
+      Format.printf "@.";
+      let ks = Ckpt_prob.Stats.ks_distance sample ~cdf:(Ckpt_prob.Dist.cdf dist) in
+      Format.printf "  Kolmogorov-Smirnov distance (simulated vs analytic): %.4f@." ks)
+
+let quantiles_cmd =
+  Cmd.v
+    (Cmd.info "quantiles"
+       ~doc:
+         "Makespan distribution: simulated quantiles vs the exact first-order analytic \
+          distribution (extension).")
+    Term.(
+      const quantiles_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg)
+
+(* --- export --- *)
+
+let export_run workflow tasks seed output =
+  let dag = Spec.generate workflow ~seed ~tasks () in
+  (match output with
+  | Some path ->
+      Ckpt_dax.Dax.save path dag;
+      Format.printf "wrote %s (%d tasks)@." path (Dag.n_tasks dag)
+  | None -> print_string (Ckpt_dax.Dax.to_string dag))
+
+let export_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (stdout when omitted).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a generated workflow as a Pegasus DAX file.")
+    Term.(const export_run $ workflow_arg $ tasks_arg $ seed_arg $ output)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "ckptwf" ~version:"1.0.0"
+       ~doc:
+         "Checkpointing workflows for fail-stop errors (Han, Canon, Casanova, Robert, \
+          Vivien — IEEE Cluster 2017): scheduling, checkpoint placement, expected-makespan \
+          evaluation and simulation.")
+    [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
+      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/contention_study.ml: Ckpt_core Ckpt_prob Ckpt_sim Ckpt_viz Ckpt_workflows Format List Printf

@@ -1,0 +1,1 @@
+examples/estimator_accuracy.ml: Ckpt_core Ckpt_eval Ckpt_workflows Format List Sys

@@ -1,0 +1,1 @@
+examples/genome_study.ml: Ckpt_core Ckpt_workflows Format List

@@ -1,0 +1,1 @@
+examples/heterogeneous_study.ml: Array Ckpt_core Ckpt_dag Ckpt_mspg Ckpt_platform Ckpt_prob Ckpt_sim Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/ligo_sweep.ml: Ckpt_core Ckpt_prob Ckpt_sim Ckpt_workflows Format List

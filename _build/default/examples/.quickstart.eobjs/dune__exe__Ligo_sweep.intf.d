@@ -1,0 +1,1 @@
+examples/ligo_sweep.mli:

@@ -1,0 +1,1 @@
+examples/montage_pipeline.ml: Array Ckpt_core Ckpt_dag Ckpt_mspg Ckpt_platform Ckpt_prob Ckpt_workflows Format Hashtbl List Option Printf String

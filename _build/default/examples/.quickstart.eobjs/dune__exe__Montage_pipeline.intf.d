@@ -1,0 +1,1 @@
+examples/montage_pipeline.mli:

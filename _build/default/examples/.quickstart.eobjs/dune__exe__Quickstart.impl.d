@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ckpt_core Ckpt_dag Ckpt_prob Ckpt_sim Format List String

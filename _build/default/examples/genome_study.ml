@@ -1,0 +1,36 @@
+(* GENOME case study: the paper's motivating comparison on the
+   Epigenomics workflow — how do CKPTALL and CKPTNONE fare against
+   CKPTSOME across the failure-rate / CCR grid? (Figure 5's content,
+   one sub-table per pfail.)
+
+   Run with: dune exec examples/genome_study.exe *)
+
+module Spec = Ckpt_workflows.Spec
+module Pipeline = Ckpt_core.Pipeline
+
+let ccrs = [ 1e-4; 3e-4; 1e-3; 3e-3; 1e-2; 3e-2; 1e-1 ]
+let pfails = [ 0.01; 0.001; 0.0001 ]
+
+let () =
+  let tasks = 300 and processors = 35 in
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks () in
+  Format.printf "GENOME, %d tasks on %d processors (cf. Figure 5, middle row)@.@." tasks
+    processors;
+  List.iter
+    (fun pfail ->
+      Format.printf "pfail = %g@." pfail;
+      Format.printf "  %8s | %12s | %8s | %8s | %s@." "CCR" "EM(CKPTSOME)" "relALL"
+        "relNONE" "ckpts";
+      List.iter
+        (fun ccr ->
+          let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+          let cmp = Pipeline.compare_strategies setup in
+          Format.printf "  %8.4f | %12.1f | %8.4f | %8.4f | %d@." ccr cmp.Pipeline.em_some
+            cmp.Pipeline.rel_all cmp.Pipeline.rel_none cmp.Pipeline.ckpts_some)
+        ccrs;
+      Format.printf "@.")
+    pfails;
+  Format.printf
+    "reading: relALL >= 1 everywhere and -> 1 as CCR -> 0 (checkpoints become free);@.";
+  Format.printf
+    "relNONE is largest when failures are frequent and shrinks as checkpoints get dear.@."

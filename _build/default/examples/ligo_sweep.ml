@@ -1,0 +1,39 @@
+(* LIGO failure-rate sweep with simulation cross-validation: for each
+   pfail, compare the analytical expected makespans (first-order model
+   + PATHAPPROX) with the discrete-event simulator's ground truth.
+
+   Run with: dune exec examples/ligo_sweep.exe *)
+
+module Spec = Ckpt_workflows.Spec
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Runner = Ckpt_sim.Runner
+module Stats = Ckpt_prob.Stats
+
+let () =
+  let tasks = 300 and processors = 18 and ccr = 0.01 and trials = 1500 in
+  let dag = Spec.generate Spec.Ligo ~seed:1 ~tasks () in
+  Format.printf "LIGO, %d tasks on %d processors, CCR=%g, %d simulation trials@.@." tasks
+    processors ccr trials;
+  Format.printf "%8s | %-10s | %12s | %12s | %7s@." "pfail" "strategy" "analytical"
+    "simulated" "error";
+  List.iter
+    (fun pfail ->
+      let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+      List.iter
+        (fun kind ->
+          let plan = Pipeline.plan setup kind in
+          let est = Strategy.expected_makespan plan in
+          let sim = Stats.mean (Runner.simulate ~trials plan) in
+          Format.printf "%8g | %-10s | %12.1f | %12.1f | %+6.2f%%@." pfail
+            (Strategy.kind_name kind) est sim
+            ((est -. sim) /. sim *. 100.))
+        [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ];
+      Format.printf "---@.")
+    [ 0.0001; 0.001; 0.01 ];
+  Format.printf
+    "note: the CKPTNONE closed form (Theorem 1) is first-order and drifts at high pfail —@.";
+  Format.printf "exactly the inaccuracy the paper acknowledges in Section V.@.";
+  Format.printf
+    "(beyond pfail ~ 0.01 the restart process needs e^(rate x Wpar) attempts per run:@.";
+  Format.printf "simulating it is as hopeless as the formula is inaccurate.)@."

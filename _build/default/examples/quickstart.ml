@@ -1,0 +1,63 @@
+(* Quickstart: build a small workflow by hand, schedule it, place
+   checkpoints, and compare the three strategies.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Dag = Ckpt_dag.Dag
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Schedule = Ckpt_core.Schedule
+module Superchain = Ckpt_core.Superchain
+
+let () =
+  (* 1. Describe a workflow: a fork-join of two 3-task chains.
+     Weights are seconds; edge sizes are bytes. *)
+  let dag = Dag.create ~name:"quickstart" () in
+  let split = Dag.add_task dag ~name:"split" ~weight:10. in
+  Dag.add_input dag split 1e9 (* reads a 1 GB input from storage *);
+  let join = Dag.add_task dag ~name:"join" ~weight:5. in
+  for _ = 1 to 2 do
+    let prep = Dag.add_task dag ~name:"prepare" ~weight:30. in
+    let solve = Dag.add_task dag ~name:"solve" ~weight:120. in
+    let reduce = Dag.add_task dag ~name:"reduce" ~weight:15. in
+    Dag.add_edge dag split prep 2e8;
+    Dag.add_edge dag prep solve 3e8;
+    Dag.add_edge dag solve reduce 1e8;
+    Dag.add_edge dag reduce join 5e7
+  done;
+
+  (* 2. Prepare the pipeline: 2 processors, one task in a thousand
+     fails, checkpoint traffic worth 5% of the compute time. *)
+  let setup = Pipeline.prepare ~dag ~processors:2 ~pfail:0.001 ~ccr:0.05 () in
+  Format.printf "workflow: %a@." Dag.pp_stats dag;
+  Format.printf "schedule: %d superchains@."
+    (Array.length setup.Pipeline.schedule.Schedule.superchains);
+
+  (* 3. Inspect the CKPTSOME plan: which tasks checkpoint? *)
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  List.iter
+    (fun (chain, positions) ->
+      let sc = setup.Pipeline.schedule.Schedule.superchains.(chain) in
+      let names =
+        List.map
+          (fun k -> (Dag.task dag (Superchain.task_at sc k)).Ckpt_dag.Task.name)
+          positions
+      in
+      Format.printf "superchain %d (processor %d) checkpoints after: %s@." chain
+        sc.Superchain.processor (String.concat ", " names))
+    (Strategy.checkpoint_positions plan);
+
+  (* 4. Compare the three strategies. *)
+  let cmp = Pipeline.compare_strategies setup in
+  Format.printf "@[<v 2>expected makespans:@,";
+  Format.printf "CKPTSOME: %8.1f s with %d checkpoints@," cmp.Pipeline.em_some
+    cmp.Pipeline.ckpts_some;
+  Format.printf "CKPTALL:  %8.1f s with %d checkpoints (%.2fx)@," cmp.Pipeline.em_all
+    cmp.Pipeline.ckpts_all cmp.Pipeline.rel_all;
+  Format.printf "CKPTNONE: %8.1f s with no checkpoints (%.2fx)@]@." cmp.Pipeline.em_none
+    cmp.Pipeline.rel_none;
+
+  (* 5. Validate the analytical estimate against simulation. *)
+  let sim = Ckpt_sim.Runner.simulate ~trials:2000 plan in
+  Format.printf "CKPTSOME simulated: %.1f s (analytical %.1f s)@."
+    (Ckpt_prob.Stats.mean sim) cmp.Pipeline.em_some

@@ -1,0 +1,1 @@
+lib/core/allocate.ml: Ckpt_dag Ckpt_mspg Linearize List Propmap Schedule Superchain

@@ -1,0 +1,1 @@
+lib/core/allocate.mli: Ckpt_mspg Linearize Schedule

@@ -1,0 +1,1 @@
+lib/core/linearize.ml: Array Ckpt_dag Ckpt_prob Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/linearize.mli: Ckpt_dag Ckpt_prob

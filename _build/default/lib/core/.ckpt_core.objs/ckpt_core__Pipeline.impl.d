@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Allocate Ckpt_dag Ckpt_mspg Ckpt_platform Schedule Strategy

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ckpt_dag Ckpt_eval Ckpt_mspg Ckpt_platform Linearize Schedule Strategy

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Ckpt_dag Ckpt_platform Float Hashtbl List Superchain Toueg

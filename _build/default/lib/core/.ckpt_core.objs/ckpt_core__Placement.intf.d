@@ -1,0 +1,1 @@
+lib/core/placement.mli: Ckpt_dag Ckpt_platform Superchain

@@ -1,0 +1,1 @@
+lib/core/propmap.ml: Array Ckpt_mspg List

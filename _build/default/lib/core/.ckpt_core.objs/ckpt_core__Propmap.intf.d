@@ -1,0 +1,1 @@
+lib/core/propmap.mli: Ckpt_dag Ckpt_mspg

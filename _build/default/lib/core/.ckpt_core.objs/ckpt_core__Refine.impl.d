@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Int List Map Schedule Strategy Superchain

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Ckpt_dag Format Hashtbl List Printf Superchain

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Ckpt_dag Format Superchain

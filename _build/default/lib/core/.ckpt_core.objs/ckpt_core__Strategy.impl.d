@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Ckpt_dag Ckpt_eval Ckpt_mspg Ckpt_platform Ckpt_prob Float Hashtbl List Option Placement Printf Schedule Superchain

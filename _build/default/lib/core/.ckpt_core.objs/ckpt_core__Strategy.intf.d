@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Ckpt_dag Ckpt_eval Ckpt_platform Ckpt_prob Placement Schedule Superchain

@@ -1,0 +1,1 @@
+lib/core/superchain.ml: Array Ckpt_dag Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/core/superchain.mli: Ckpt_dag Format Hashtbl

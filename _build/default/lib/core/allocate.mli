@@ -1,0 +1,20 @@
+(** ALLOCATE (Algorithm 1): recursive list scheduling of an M-SPG.
+
+    The tree is decomposed as [C ⨟ (G1 ‖ ... ‖ Gn) ⨟ G(n+1)]; the chain
+    [C] is linearised on the first available processor, the parallel
+    branches are spread by {!Propmap} and recursively allocated on the
+    resulting processor groups (a branch confined to one processor
+    becomes a superchain via ONONEPROCESSOR), and [G(n+1)] is
+    allocated on the full processor set. The result is a
+    {!Schedule.t}: a set of superchains whose macro structure is
+    itself an M-SPG. *)
+
+val run :
+  ?policy:Linearize.policy ->
+  Ckpt_mspg.Mspg.t ->
+  processors:int ->
+  Schedule.t
+(** [policy] selects the ONONEPROCESSOR linearisation order (default
+    [Deterministic]; the paper uses a random topological sort).
+
+    @raise Invalid_argument if [processors < 1]. *)

@@ -1,0 +1,23 @@
+(** Linearisation of a sub-M-SPG onto one processor (ONONEPROCESSOR).
+
+    Produces a topological order of a task subset of the workflow.
+    The paper uses a random topological sort and names volume-aware
+    orders as future work (the sum-cut connection, Section VIII); all
+    three policies are provided so the ablation bench can compare
+    them:
+
+    - [Deterministic]: smallest task id first (reproducible default);
+    - [Random rng]: uniformly random ready-task choice (the paper's
+      stated policy);
+    - [Min_volume]: greedy heuristic picking the ready task that
+      minimises the volume of live output data (files produced by
+      executed tasks that still have pending consumers) — fewer live
+      bytes when a checkpoint is taken means cheaper checkpoints. *)
+
+type policy = Deterministic | Random of Ckpt_prob.Rng.t | Min_volume
+
+val order : Ckpt_dag.Dag.t -> Ckpt_dag.Task.id list -> policy -> Ckpt_dag.Task.id array
+(** [order dag tasks policy] topologically sorts [tasks] w.r.t. the
+    edges of [dag] internal to the subset.
+
+    @raise Invalid_argument if the induced subgraph is cyclic. *)

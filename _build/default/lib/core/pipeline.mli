@@ -1,0 +1,57 @@
+(** End-to-end experiment pipeline (Section VI methodology).
+
+    From a raw workflow DAG and the experiment knobs ([processors],
+    [pfail], [CCR]) to the three strategies' expected makespans:
+
+    + λ is set so that a task of mean weight fails with probability
+      [pfail] ([λ = -ln(1-pfail) / w̄]);
+    + the storage bandwidth realises the requested CCR (equivalent to
+      the paper's file-size scaling);
+    + the workflow is recognised as an M-SPG, dummy-completing
+      incomplete bipartite blocks if needed (CKPTSOME processes the
+      completed graph, the baselines the raw one);
+    + Algorithm 1 schedules it; Algorithm 2 (or the ALL/NONE policy)
+      places checkpoints; the selected estimator prices the plans. *)
+
+module Dag = Ckpt_dag.Dag
+module Platform = Ckpt_platform.Platform
+module Mspg = Ckpt_mspg.Mspg
+
+type setup = private {
+  raw : Dag.t;
+  mspg : Mspg.t;  (** completed workflow backing the schedule *)
+  dummy_edges : int;  (** 0 when the raw workflow is already an M-SPG *)
+  platform : Platform.t;
+  schedule : Schedule.t;
+  pfail : float;
+  ccr : float;
+}
+
+val prepare :
+  ?policy:Linearize.policy ->
+  dag:Dag.t ->
+  processors:int ->
+  pfail:float ->
+  ccr:float ->
+  unit ->
+  setup
+(** @raise Invalid_argument if the workflow cannot be recognised (even
+    with completion) or the knobs are out of range. *)
+
+val plan : setup -> Strategy.kind -> Strategy.plan
+
+type comparison = {
+  em_some : float;
+  em_all : float;
+  em_none : float;
+  rel_all : float;  (** EM(CKPTALL) / EM(CKPTSOME) — Figures 5-7 series *)
+  rel_none : float;  (** EM(CKPTNONE) / EM(CKPTSOME) *)
+  ckpts_some : int;  (** number of checkpoints CKPTSOME takes *)
+  ckpts_all : int;  (** = number of tasks *)
+}
+
+val compare_strategies :
+  ?method_:Ckpt_eval.Evaluator.method_ -> setup -> comparison
+(** The paper's headline measurement: both baselines' expected
+    makespans relative to CKPTSOME's, all under the same estimator
+    (default PATHAPPROX). *)

@@ -1,0 +1,144 @@
+module Dag = Ckpt_dag.Dag
+module Platform = Ckpt_platform.Platform
+
+type segment = {
+  chain : int;
+  first : int;
+  last : int;
+  read : float;
+  work : float;
+  write : float;
+}
+
+let first_order ~lambda s =
+  let pfail = Float.min 1. (lambda *. s) in
+  ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
+
+let expected_time ~lambda seg = first_order ~lambda (seg.read +. seg.work +. seg.write)
+
+(* A file consumed by a segment task is on stable storage iff its
+   producer lies outside the segment; by the topological linearisation
+   a producer inside the superchain always has a smaller position. *)
+let producer_outside sc ~first l =
+  (not (Superchain.mem sc l)) || Superchain.position sc l < first
+
+let consumer_outside sc ~last m =
+  (not (Superchain.mem sc m)) || Superchain.position sc m > last
+
+let segment_of platform dag sc ~first ~last =
+  if first < 0 || last >= Superchain.n_tasks sc || first > last then
+    invalid_arg "Placement.segment_of: bad range";
+  let read_bytes = ref 0. and write_bytes = ref 0. and work = ref 0. in
+  let read_seen = Hashtbl.create 16 and write_seen = Hashtbl.create 16 in
+  for k = first to last do
+    let t = Superchain.task_at sc k in
+    work := !work +. Dag.weight dag t;
+    List.iter (fun size -> read_bytes := !read_bytes +. size) (Dag.inputs dag t);
+    List.iter
+      (fun (l, (f : Dag.file)) ->
+        if producer_outside sc ~first l && not (Hashtbl.mem read_seen f.Dag.file_id) then begin
+          Hashtbl.replace read_seen f.Dag.file_id ();
+          read_bytes := !read_bytes +. f.Dag.size
+        end)
+      (Dag.preds dag t);
+    List.iter
+      (fun (m, (f : Dag.file)) ->
+        if consumer_outside sc ~last m && not (Hashtbl.mem write_seen f.Dag.file_id) then begin
+          Hashtbl.replace write_seen f.Dag.file_id ();
+          write_bytes := !write_bytes +. f.Dag.size
+        end)
+      (Dag.succs dag t);
+  done;
+  {
+    chain = sc.Superchain.id;
+    first;
+    last;
+    read = Platform.io_time platform !read_bytes;
+    work = !work;
+    write = Platform.io_time platform !write_bytes;
+  }
+
+let cost_matrix platform dag sc =
+  let n = Superchain.n_tasks sc in
+  (* heterogeneous platforms: the superchain's own processor's rate *)
+  let lambda = Platform.rate_of platform sc.Superchain.processor in
+  Array.init n (fun j ->
+      let row = Array.make (j + 1) 0. in
+      (* grow the segment [i..j] leftward, maintaining R/W/C *)
+      let read_bytes = ref 0. and write_bytes = ref 0. and work = ref 0. in
+      let in_read = Hashtbl.create 16 in
+      for i = j downto 0 do
+        let t = Superchain.task_at sc i in
+        work := !work +. Dag.weight dag t;
+        (* C grows by t's distinct files that escape [i..j]; consumers
+           of files produced at position i are all at positions > i,
+           so previously counted files never change status *)
+        let seen = Hashtbl.create 4 in
+        List.iter
+          (fun (m, (f : Dag.file)) ->
+            if consumer_outside sc ~last:j m && not (Hashtbl.mem seen f.Dag.file_id) then begin
+              Hashtbl.replace seen f.Dag.file_id ();
+              write_bytes := !write_bytes +. f.Dag.size
+            end)
+          (Dag.succs dag t);
+        (* R: files of t that earlier (larger-i) sweeps counted as
+           external are now produced inside the segment *)
+        List.iter
+          (fun (_, (f : Dag.file)) ->
+            if Hashtbl.mem in_read f.Dag.file_id then begin
+              Hashtbl.remove in_read f.Dag.file_id;
+              read_bytes := !read_bytes -. f.Dag.size
+            end)
+          (Dag.succs dag t);
+        (* R: files t consumes; their producers are before position i
+           hence outside the segment *)
+        List.iter
+          (fun (_, (f : Dag.file)) ->
+            if not (Hashtbl.mem in_read f.Dag.file_id) then begin
+              Hashtbl.replace in_read f.Dag.file_id ();
+              read_bytes := !read_bytes +. f.Dag.size
+            end)
+          (Dag.preds dag t);
+        List.iter (fun size -> read_bytes := !read_bytes +. size) (Dag.inputs dag t);
+        let s =
+          Platform.io_time platform !read_bytes
+          +. !work
+          +. Platform.io_time platform !write_bytes
+        in
+        row.(i) <- first_order ~lambda s
+      done;
+      row)
+
+let optimal_positions platform dag sc =
+  let n = Superchain.n_tasks sc in
+  let matrix = cost_matrix platform dag sc in
+  Toueg.solve ~n ~cost:(fun i j -> matrix.(j).(i))
+
+let optimal_positions_budget platform dag sc ~budget =
+  let n = Superchain.n_tasks sc in
+  let matrix = cost_matrix platform dag sc in
+  Toueg.solve_budget ~n ~cost:(fun i j -> matrix.(j).(i)) ~budget
+
+let periodic_positions sc ~period =
+  if period < 1 then invalid_arg "Placement.periodic_positions: period < 1";
+  let n = Superchain.n_tasks sc in
+  let rec collect k acc = if k >= n then acc else collect (k + period) (k :: acc) in
+  let regular = collect (period - 1) [] in
+  List.sort_uniq compare ((n - 1) :: regular)
+
+let segments_of_positions platform dag sc ~positions =
+  let n = Superchain.n_tasks sc in
+  (match List.rev positions with
+  | [] -> invalid_arg "Placement.segments_of_positions: no positions"
+  | last :: _ ->
+      if last <> n - 1 then
+        invalid_arg "Placement.segments_of_positions: final position must be checkpointed");
+  let rec cut start = function
+    | [] -> []
+    | p :: rest ->
+        if p < start then invalid_arg "Placement.segments_of_positions: unsorted positions"
+        else segment_of platform dag sc ~first:start ~last:p :: cut (p + 1) rest
+  in
+  cut 0 positions
+
+let every_position sc = List.init (Superchain.n_tasks sc) (fun i -> i)

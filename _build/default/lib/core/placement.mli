@@ -1,0 +1,71 @@
+(** Checkpoint placement inside a superchain (Section IV, Algorithm 2).
+
+    A checkpoint taken after position [j] saves {e all} output data of
+    executed-but-unsaved tasks that still have pending consumers (the
+    paper's extended checkpoint definition, Figure 4), so a segment
+    [i..j] between consecutive checkpoints has:
+
+    - [R(i,j)]: the data read from stable storage — every {e distinct}
+      file consumed by tasks of the segment and produced outside it
+      (earlier segments or other superchains; all such data is on
+      stable storage by construction), plus the initial input files of
+      the segment's tasks;
+    - [W(i,j)]: the summed task weights;
+    - [C(i,j)]: every distinct file produced inside the segment and
+      consumed outside it (later tasks of the superchain, or entry
+      tasks of later superchains). Shared files are counted once
+      (Section VI-A).
+
+    The expected segment time is Eq. (2):
+    [T = (1 - λS) S + λS (3/2 S)] with [S = R + W + C] (probability
+    clamped at 1 when λS exceeds it), and the optimal checkpoint
+    positions minimise total expected time through the
+    {!Toueg} recurrence. The final position is always checkpointed,
+    which removes crossover dependencies. *)
+
+module Dag = Ckpt_dag.Dag
+module Platform = Ckpt_platform.Platform
+
+type segment = {
+  chain : int;  (** superchain id *)
+  first : int;
+  last : int;  (** position range within the superchain, inclusive *)
+  read : float;  (** R, in seconds *)
+  work : float;  (** W, in seconds *)
+  write : float;  (** C, in seconds *)
+}
+
+val expected_time : lambda:float -> segment -> float
+(** Eq. (2). *)
+
+val segment_of : Platform.t -> Dag.t -> Superchain.t -> first:int -> last:int -> segment
+(** Direct (non-incremental) cost computation of one segment. *)
+
+val cost_matrix : Platform.t -> Dag.t -> Superchain.t -> float array array
+(** [m.(j).(i)], for [i <= j], is the expected time of segment [i..j]
+    — computed in O(n * sum of degrees) by a descending-[i] sweep per
+    [j]. *)
+
+val optimal_positions : Platform.t -> Dag.t -> Superchain.t -> float * int list
+(** Algorithm 2: optimal expected superchain time and the sorted
+    checkpoint positions (the last position always included). *)
+
+val optimal_positions_budget :
+  Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
+(** Budget-constrained Algorithm 2 (extension): at most [budget]
+    checkpoints in this superchain, the forced final one included. *)
+
+val periodic_positions : Superchain.t -> period:int -> int list
+(** Checkpoint after every [period]-th task plus the mandatory final
+    position — the naive fixed-interval policy used as an ablation
+    baseline against the DP.
+
+    @raise Invalid_argument if [period < 1]. *)
+
+val segments_of_positions :
+  Platform.t -> Dag.t -> Superchain.t -> positions:int list -> segment list
+(** Cut the superchain at the given sorted positions (which must end
+    at the last position) and price each segment. *)
+
+val every_position : Superchain.t -> int list
+(** All positions — the CKPTALL policy on this superchain. *)

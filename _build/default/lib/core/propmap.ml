@@ -1,0 +1,43 @@
+module Mspg = Ckpt_mspg.Mspg
+
+let run dag graphs p =
+  let n = List.length graphs in
+  if n = 0 then invalid_arg "Propmap.run: no graphs";
+  if p < 1 then invalid_arg "Propmap.run: p < 1";
+  let sorted =
+    List.stable_sort
+      (fun g1 g2 -> compare (Mspg.tree_weight dag g2) (Mspg.tree_weight dag g1))
+      graphs
+  in
+  if n >= p then begin
+    (* greedy multiway partitioning into p single-processor groups *)
+    let bins = Array.make p ([], 0.) in
+    List.iter
+      (fun g ->
+        let j = ref 0 in
+        for q = 1 to p - 1 do
+          if snd bins.(q) < snd bins.(!j) then j := q
+        done;
+        let members, w = bins.(!j) in
+        bins.(!j) <- (g :: members, w +. Mspg.tree_weight dag g))
+      sorted;
+    Array.to_list bins
+    |> List.filter_map (fun (members, _) ->
+           match members with
+           | [] -> None
+           | l -> Some (Mspg.parallel (List.rev l), 1))
+  end
+  else begin
+    let weights = Array.of_list (List.map (Mspg.tree_weight dag) sorted) in
+    let proc_nums = Array.make n 1 in
+    let w = Array.copy weights in
+    for _ = 1 to p - n do
+      let j = ref 0 in
+      for q = 1 to n - 1 do
+        if w.(q) > w.(!j) then j := q
+      done;
+      proc_nums.(!j) <- proc_nums.(!j) + 1;
+      w.(!j) <- w.(!j) *. (1. -. (1. /. float_of_int proc_nums.(!j)))
+    done;
+    List.mapi (fun i g -> (g, proc_nums.(i))) sorted
+  end

@@ -1,0 +1,25 @@
+(** PROPMAP (Algorithm 1, lines 15-36): proportional-mapping processor
+    allocation, after Pothen & Sun's heuristic.
+
+    Given [n] parallel sub-M-SPGs and [p] processors it returns
+    [k = min(n, p)] output graphs with processor counts:
+    - if [n >= p], the inputs are greedily packed (heaviest first,
+      always into the currently lightest bin) into [p] groups of one
+      processor each — packed branches merge into one parallel
+      composition that will share a processor;
+    - if [n < p], every input keeps its own group and the [p - n]
+      surplus processors go one by one to the currently heaviest
+      group, whose weight is discounted by [1 - 1/procs] at each grant
+      (a perfect-speedup estimate of the remaining per-processor
+      load). *)
+
+val run :
+  Ckpt_dag.Dag.t ->
+  Ckpt_mspg.Mspg.tree list ->
+  int ->
+  (Ckpt_mspg.Mspg.tree * int) list
+(** [run dag graphs p] pairs each output graph with its processor
+    count. Counts sum to at most [p] (exactly [p] when [n >= p] would
+    give [p] groups of one; when [n < p] they sum to exactly [p]).
+
+    @raise Invalid_argument if [graphs] is empty or [p < 1]. *)

@@ -1,0 +1,34 @@
+(** A complete mapping of an M-SPG workflow onto a platform: the list
+    of superchains produced by ALLOCATE, plus derived indices. *)
+
+module Dag = Ckpt_dag.Dag
+module Task = Ckpt_dag.Task
+
+type t = private {
+  dag : Dag.t;  (** the (possibly dummy-completed) workflow *)
+  processors : int;
+  superchains : Superchain.t array;  (** indexed by superchain id, in creation (temporal) order *)
+  chain_of_task : int array;  (** task id -> superchain id *)
+}
+
+val make : dag:Dag.t -> processors:int -> superchains:Superchain.t list -> t
+(** @raise Invalid_argument unless the superchains partition the DAG's
+    tasks and their ids equal their positions. *)
+
+val superchain_of_task : t -> Task.id -> Superchain.t
+
+val macro_edges : t -> (int * int) list
+(** Distinct superchain dependencies [(i, j)], [i <> j], induced by the
+    DAG's edges. Always acyclic for schedules built by ALLOCATE. *)
+
+val chains_of_processor : t -> int -> Superchain.t list
+(** Superchains of one processor, in temporal order. *)
+
+val used_processors : t -> int
+(** Number of processors that received at least one task. *)
+
+val check : t -> (unit, string) result
+(** Structural sanity: every intra-superchain dependency goes forward
+    in the linearised order, and the macro graph is acyclic. *)
+
+val pp : Format.formatter -> t -> unit

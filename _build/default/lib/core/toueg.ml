@@ -1,0 +1,86 @@
+let solve ~n ~cost =
+  if n < 1 then invalid_arg "Toueg.solve: n < 1";
+  let etime = Array.make n infinity in
+  let last_ckpt = Array.make n (-1) in
+  for j = 0 to n - 1 do
+    etime.(j) <- cost 0 j;
+    last_ckpt.(j) <- -1;
+    for i = 0 to j - 1 do
+      let candidate = etime.(i) +. cost (i + 1) j in
+      if candidate < etime.(j) then begin
+        etime.(j) <- candidate;
+        last_ckpt.(j) <- i
+      end
+    done
+  done;
+  let rec backtrack j acc = if j < 0 then acc else backtrack last_ckpt.(j) (j :: acc) in
+  (etime.(n - 1), backtrack (n - 1) [])
+
+let first_order ~lambda s =
+  let pfail = Float.min 1. (lambda *. s) in
+  ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
+
+let chain_cost ~lambda ~read ~weight ~write i j =
+  let w = ref 0. in
+  for k = i to j do
+    w := !w +. weight k
+  done;
+  first_order ~lambda (read i +. !w +. write j)
+
+let solve_budget ~n ~cost ~budget =
+  if n < 1 then invalid_arg "Toueg.solve_budget: n < 1";
+  if budget < 1 then invalid_arg "Toueg.solve_budget: budget < 1";
+  let budget = min budget n in
+  (* etime.(b).(j): optimal time for tasks 0..j ending in a checkpoint
+     after j, using at most b+1 checkpoints in total *)
+  let etime = Array.make_matrix budget n infinity in
+  let last_ckpt = Array.make_matrix budget n (-1) in
+  for b = 0 to budget - 1 do
+    for j = 0 to n - 1 do
+      etime.(b).(j) <- cost 0 j;
+      last_ckpt.(b).(j) <- -1;
+      if b > 0 then
+        for i = 0 to j - 1 do
+          let candidate = etime.(b - 1).(i) +. cost (i + 1) j in
+          if candidate < etime.(b).(j) then begin
+            etime.(b).(j) <- candidate;
+            last_ckpt.(b).(j) <- i
+          end
+        done
+    done
+  done;
+  let rec backtrack b j acc =
+    if j < 0 then acc
+    else begin
+      let i = last_ckpt.(b).(j) in
+      backtrack (max 0 (b - 1)) i (j :: acc)
+    end
+  in
+  (etime.(budget - 1).(n - 1), backtrack (budget - 1) (n - 1) [])
+
+let brute_force ~n ~cost =
+  if n < 1 then invalid_arg "Toueg.brute_force: n < 1";
+  if n > 20 then invalid_arg "Toueg.brute_force: too large";
+  (* bit k of the mask (k < n-1) = checkpoint after task k; the final
+     checkpoint after task n-1 is implicit *)
+  let best = ref infinity and best_set = ref [] in
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let total = ref 0. in
+    let start = ref 0 in
+    for k = 0 to n - 1 do
+      let is_ckpt = k = n - 1 || mask land (1 lsl k) <> 0 in
+      if is_ckpt then begin
+        total := !total +. cost !start k;
+        start := k + 1
+      end
+    done;
+    if !total < !best then begin
+      best := !total;
+      let set = ref [] in
+      for k = n - 2 downto 0 do
+        if mask land (1 lsl k) <> 0 then set := k :: !set
+      done;
+      best_set := !set @ [ n - 1 ]
+    end
+  done;
+  (!best, !best_set)

@@ -1,0 +1,49 @@
+(** The Toueg–Babaoğlu optimal-checkpoint dynamic program (1984), in
+    the generic form shared by the classical linear-chain algorithm
+    and the paper's superchain extension (Algorithm 2).
+
+    Tasks [0 .. n-1] execute in sequence; a checkpoint may be taken
+    after any task and is mandatory after the last one. [cost i j] is
+    the expected time to successfully execute the segment
+    [i..j] (inclusive) given a checkpoint right before [i] and one
+    right after [j]. The DP
+
+    [ETime j = min (cost 0 j, min over i < j (ETime i + cost (i+1) j))]
+
+    is optimal because expected segment times are independent across
+    checkpoints (a checkpoint regenerates the state), and runs in
+    O(n^2) calls to [cost]. *)
+
+val solve : n:int -> cost:(int -> int -> float) -> float * int list
+(** [solve ~n ~cost] returns the optimal expected completion time and
+    the sorted positions after which to checkpoint (always including
+    [n-1]).
+
+    @raise Invalid_argument if [n < 1]. *)
+
+val chain_cost :
+  lambda:float ->
+  read:(int -> float) ->
+  weight:(int -> float) ->
+  write:(int -> float) ->
+  int ->
+  int ->
+  float
+(** Expected segment time for a plain linear chain under the
+    first-order model (Eq. 2 with chain-shaped R/W/C): the segment
+    [i..j] reads the input of task [i], executes [w_i..w_j] and writes
+    the output of task [j]; with probability [λS] one failure adds
+    [S/2]. Supply per-task read/write-to-stable-storage times. *)
+
+val solve_budget :
+  n:int -> cost:(int -> int -> float) -> budget:int -> float * int list
+(** Budget-constrained variant (an extension beyond the paper): at
+    most [budget] checkpoints in total, the mandatory final one
+    included. [ETime(j, b) = min(cost 0 j, min over i < j
+    (ETime(i, b-1) + cost (i+1) j))], O(n² · budget).
+
+    @raise Invalid_argument if [n < 1] or [budget < 1]. *)
+
+val brute_force : n:int -> cost:(int -> int -> float) -> float * int list
+(** Exhaustive search over the [2^(n-1)] checkpoint subsets — for
+    testing the DP on small instances only. *)

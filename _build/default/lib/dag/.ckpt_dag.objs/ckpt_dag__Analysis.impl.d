@@ -1,0 +1,1 @@
+lib/dag/analysis.ml: Array Dag Format Hashtbl List Option Task

@@ -1,0 +1,1 @@
+lib/dag/analysis.mli: Dag Format Task

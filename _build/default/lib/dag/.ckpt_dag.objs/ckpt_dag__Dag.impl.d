@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Buffer Ckpt_prob Format Hashtbl List Printf Task

@@ -1,0 +1,91 @@
+type profile = {
+  tasks : int;
+  edges : int;
+  depth : int;
+  max_width : int;
+  total_weight : float;
+  total_data : float;
+  critical_path_length : float;
+  critical_path_tasks : int;
+  avg_parallelism : float;
+  sources : int;
+  sinks : int;
+  max_in_degree : int;
+  max_out_degree : int;
+  initial_input_files : int;
+  shared_files : int;
+}
+
+let level_widths dag =
+  let levels = Dag.levels dag in
+  let depth = Array.fold_left max 0 levels + 1 in
+  let widths = Array.make depth 0 in
+  Array.iter (fun l -> widths.(l) <- widths.(l) + 1) levels;
+  widths
+
+let profile dag =
+  let n = Dag.n_tasks dag in
+  if n = 0 then invalid_arg "Analysis.profile: empty workflow";
+  let widths = level_widths dag in
+  let critical = Dag.critical_path dag in
+  let cp_length = List.fold_left (fun acc t -> acc +. Dag.weight dag t) 0. critical in
+  let max_in = ref 0 and max_out = ref 0 and inputs = ref 0 in
+  for t = 0 to n - 1 do
+    max_in := max !max_in (List.length (Dag.pred_ids dag t));
+    max_out := max !max_out (List.length (Dag.succ_ids dag t));
+    inputs := !inputs + List.length (Dag.inputs dag t)
+  done;
+  (* consumers per file *)
+  let consumers = Hashtbl.create 64 in
+  for t = 0 to n - 1 do
+    List.iter
+      (fun ((_ : Task.id), (f : Dag.file)) ->
+        Hashtbl.replace consumers f.Dag.file_id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt consumers f.Dag.file_id)))
+      (Dag.preds dag t)
+  done;
+  let shared = Hashtbl.fold (fun _ c acc -> if c > 1 then acc + 1 else acc) consumers 0 in
+  let total_weight = Dag.total_weight dag in
+  {
+    tasks = n;
+    edges = Dag.n_edges dag;
+    depth = Array.length widths;
+    max_width = Array.fold_left max 0 widths;
+    total_weight;
+    total_data = Dag.total_data dag;
+    critical_path_length = cp_length;
+    critical_path_tasks = List.length critical;
+    avg_parallelism = (if cp_length > 0. then total_weight /. cp_length else 1.);
+    sources = List.length (Dag.sources dag);
+    sinks = List.length (Dag.sinks dag);
+    max_in_degree = !max_in;
+    max_out_degree = !max_out;
+    initial_input_files = !inputs;
+    shared_files = shared;
+  }
+
+let by_task_type dag =
+  let acc = Hashtbl.create 16 in
+  Array.iter
+    (fun (t : Task.t) ->
+      let count, weight =
+        Option.value ~default:(0, 0.) (Hashtbl.find_opt acc t.Task.name)
+      in
+      Hashtbl.replace acc t.Task.name (count + 1, weight +. t.Task.weight))
+    (Dag.tasks dag);
+  Hashtbl.fold (fun name (count, weight) l -> (name, count, weight) :: l) acc []
+  |> List.sort (fun (_, _, w1) (_, _, w2) -> compare w2 w1)
+
+let bottleneck_tasks ?(top = 5) dag =
+  Dag.tasks dag |> Array.to_list
+  |> List.sort (fun (a : Task.t) b -> compare b.Task.weight a.Task.weight)
+  |> List.filteri (fun i _ -> i < top)
+
+let pp_profile fmt p =
+  Format.fprintf fmt
+    "@[<v>tasks: %d, edges: %d@,levels: %d (max width %d)@,weight: %.1f s (critical path \
+     %.1f s over %d tasks, avg parallelism %.2f)@,data: %.3g bytes (%d initial inputs, %d \
+     shared files)@,degrees: in <= %d, out <= %d; %d sources, %d sinks@]"
+    p.tasks p.edges p.depth p.max_width p.total_weight p.critical_path_length
+    p.critical_path_tasks p.avg_parallelism p.total_data p.initial_input_files
+    p.shared_files p.max_in_degree p.max_out_degree p.sources p.sinks

@@ -1,0 +1,39 @@
+(** Structural and quantitative workflow analysis.
+
+    Summary metrics used to characterise workloads (as Bharathi et
+    al. do for the Pegasus suite) and to sanity-check generated
+    instances: depth/width, parallelism profile, critical-path shares,
+    data-flow statistics, task-type breakdowns. *)
+
+type profile = {
+  tasks : int;
+  edges : int;
+  depth : int;  (** number of levels (longest hop path + 1) *)
+  max_width : int;  (** largest level population *)
+  total_weight : float;
+  total_data : float;  (** all files incl. initial inputs, each once *)
+  critical_path_length : float;  (** seconds, node weights only *)
+  critical_path_tasks : int;
+  avg_parallelism : float;  (** total_weight / critical_path_length *)
+  sources : int;
+  sinks : int;
+  max_in_degree : int;
+  max_out_degree : int;
+  initial_input_files : int;
+  shared_files : int;  (** files with more than one consumer *)
+}
+
+val profile : Dag.t -> profile
+(** @raise Invalid_argument on an empty or cyclic graph. *)
+
+val level_widths : Dag.t -> int array
+(** Population of each level (index = level). *)
+
+val by_task_type : Dag.t -> (string * int * float) list
+(** Per task name: (name, count, summed weight), heaviest type first. *)
+
+val bottleneck_tasks : ?top:int -> Dag.t -> Task.t list
+(** The [top] (default 5) heaviest tasks. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+(** Multi-line human-readable rendering. *)

@@ -1,0 +1,1 @@
+lib/dax/dax.ml: Array Ckpt_dag Fun Hashtbl List Option Printf Xml

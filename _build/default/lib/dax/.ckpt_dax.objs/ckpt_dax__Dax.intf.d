@@ -1,0 +1,1 @@
+lib/dax/dax.mli: Ckpt_dag

@@ -1,0 +1,1 @@
+lib/dax/xml.ml: Buffer List Printf String

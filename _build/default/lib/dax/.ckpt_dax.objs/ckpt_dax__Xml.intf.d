@@ -1,0 +1,1 @@
+lib/dax/xml.mli:

@@ -1,0 +1,43 @@
+(** Pegasus DAX v3 import/export.
+
+    The Pegasus Workflow Generator — the paper's workload source —
+    emits abstract workflows as DAX files:
+
+    {v
+    <adag name="montage" jobCount="50" ...>
+      <job id="ID00000" name="mProjectPP" runtime="13.59">
+        <uses file="raw_0.fits" link="input" size="4222"/>
+        <uses file="proj_0.fits" link="output" size="8002"/>
+      </job>
+      ...
+      <child ref="ID00002"><parent ref="ID00000"/></child>
+    </adag>
+    v}
+
+    Import maps each [job] to a task (weight = [runtime] seconds),
+    each output [uses] to a file of the given size (in bytes), each
+    input [uses] to either a dependency edge from the producing job
+    (shared files keep their identity, so a file consumed by several
+    jobs is checkpointed once) or, when no job produces it, an initial
+    input read from stable storage. [child]/[parent] declarations are
+    checked against the file-induced edges; a declared dependency with
+    no connecting file becomes a zero-size control edge.
+
+    Export writes the reverse mapping; [of_string (to_string dag)]
+    rebuilds an identical workflow (task order, weights, file sizes
+    and sharing, initial inputs). *)
+
+exception Error of string
+
+val of_string : string -> Ckpt_dag.Dag.t
+(** @raise Error on malformed DAX (unknown refs, duplicate job ids,
+    missing attributes, negative sizes, cyclic dependencies). *)
+
+val to_string : Ckpt_dag.Dag.t -> string
+
+val load : string -> Ckpt_dag.Dag.t
+(** [load path] reads and parses a DAX file.
+
+    @raise Error as {!of_string}, or [Sys_error] on I/O failure. *)
+
+val save : string -> Ckpt_dag.Dag.t -> unit

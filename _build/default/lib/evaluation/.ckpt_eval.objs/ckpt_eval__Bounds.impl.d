@@ -1,0 +1,1 @@
+lib/evaluation/bounds.ml: Dodin Prob_dag

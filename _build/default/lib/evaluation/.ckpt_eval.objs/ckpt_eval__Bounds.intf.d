@@ -1,0 +1,1 @@
+lib/evaluation/bounds.mli: Prob_dag

@@ -1,0 +1,1 @@
+lib/evaluation/dodin.ml: Array Ckpt_prob List Prob_dag

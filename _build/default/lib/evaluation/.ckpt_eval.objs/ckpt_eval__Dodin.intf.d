@@ -1,0 +1,1 @@
+lib/evaluation/dodin.mli: Ckpt_prob Prob_dag

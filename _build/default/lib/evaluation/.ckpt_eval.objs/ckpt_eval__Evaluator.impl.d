@@ -1,0 +1,1 @@
+lib/evaluation/evaluator.ml: Dodin Montecarlo Pathapprox Sculli String

@@ -1,0 +1,1 @@
+lib/evaluation/evaluator.mli: Prob_dag

@@ -1,0 +1,1 @@
+lib/evaluation/exact_sp.ml: Ckpt_mspg Ckpt_prob List Option

@@ -1,0 +1,1 @@
+lib/evaluation/exact_sp.mli: Ckpt_dag Ckpt_mspg Ckpt_prob

@@ -1,0 +1,1 @@
+lib/evaluation/montecarlo.ml: Ckpt_prob Prob_dag

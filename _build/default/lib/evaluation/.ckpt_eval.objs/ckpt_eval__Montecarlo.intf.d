@@ -1,0 +1,1 @@
+lib/evaluation/montecarlo.mli: Ckpt_prob Prob_dag

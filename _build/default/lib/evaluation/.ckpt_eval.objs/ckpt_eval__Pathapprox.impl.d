@@ -1,0 +1,1 @@
+lib/evaluation/pathapprox.ml: Array Float List Prob_dag

@@ -1,0 +1,1 @@
+lib/evaluation/pathapprox.mli: Prob_dag

@@ -1,0 +1,1 @@
+lib/evaluation/prob_dag.ml: Array Ckpt_prob List Printf

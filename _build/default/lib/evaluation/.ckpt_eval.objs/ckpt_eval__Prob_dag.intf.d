@@ -1,0 +1,1 @@
+lib/evaluation/prob_dag.mli: Ckpt_prob

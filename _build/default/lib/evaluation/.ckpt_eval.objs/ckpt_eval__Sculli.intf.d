@@ -1,0 +1,1 @@
+lib/evaluation/sculli.mli: Prob_dag

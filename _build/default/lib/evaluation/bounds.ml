@@ -1,0 +1,9 @@
+let lower dag =
+  Prob_dag.longest_path_with dag (fun i ->
+      let nd = Prob_dag.node dag i in
+      ((1. -. nd.Prob_dag.pfail) *. nd.Prob_dag.base)
+      +. (nd.Prob_dag.pfail *. nd.Prob_dag.degraded))
+
+let upper ?(max_support = 2048) dag = Dodin.estimate ~max_support dag
+
+let bracket ?max_support dag = (lower dag, upper ?max_support dag)

@@ -1,0 +1,40 @@
+module Dist = Ckpt_prob.Dist
+
+let distribution ?(max_support = 256) dag =
+  let n = Prob_dag.n_nodes dag in
+  if n = 0 then Dist.constant 0.
+  else begin
+    let completion = Array.make n (Dist.constant 0.) in
+    let order = Prob_dag.topological_order dag in
+    let compact d = Dist.compact ~max_size:max_support d in
+    Array.iter
+      (fun u ->
+        let ready =
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | None -> Some completion.(p)
+              | Some d -> Some (compact (Dist.max2 d completion.(p))))
+            None (Prob_dag.preds dag u)
+        in
+        let duration = Prob_dag.dist_of_node dag u in
+        let total =
+          match ready with
+          | None -> duration
+          | Some d -> compact (Dist.add d duration)
+        in
+        completion.(u) <- total)
+      order;
+    let final = ref None in
+    for u = 0 to n - 1 do
+      if Prob_dag.succs dag u = [] then
+        final :=
+          Some
+            (match !final with
+            | None -> completion.(u)
+            | Some d -> compact (Dist.max2 d completion.(u)))
+    done;
+    match !final with None -> Dist.constant 0. | Some d -> d
+  end
+
+let estimate ?max_support dag = Dist.mean (distribution ?max_support dag)

@@ -1,0 +1,20 @@
+(** DODIN estimator (Dodin 1985): approximation by series-parallel
+    reduction over discrete distributions.
+
+    The completion-time distribution of each node is computed bottom-up
+    over a topological order: [completion(v) = duration(v) +
+    max over preds completion(p)], with sums computed by convolution
+    and maxima by CDF products, {e treating predecessor completions as
+    independent}. This is exact on chains and on in-trees (where
+    predecessor subtrees are disjoint) and Dodin's classical
+    approximation elsewhere — shared ancestors, e.g. after a fork,
+    correlate the operands of the max and bias it upward. Support
+    sizes are bounded by adaptive compaction, giving a
+    pseudo-polynomial running time. *)
+
+val estimate : ?max_support:int -> Prob_dag.t -> float
+(** Expected value of the final distribution. [max_support] bounds
+    every intermediate support (default 256). *)
+
+val distribution : ?max_support:int -> Prob_dag.t -> Ckpt_prob.Dist.t
+(** The full approximate makespan distribution. *)

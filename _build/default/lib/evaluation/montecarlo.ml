@@ -1,0 +1,13 @@
+module Rng = Ckpt_prob.Rng
+module Stats = Ckpt_prob.Stats
+
+let estimate_with_stats ?(trials = 10_000) ?(seed = 1) dag =
+  if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
+  let rng = Rng.create seed in
+  let stats = Stats.create () in
+  for _ = 1 to trials do
+    Stats.add stats (Prob_dag.sample dag rng)
+  done;
+  stats
+
+let estimate ?trials ?seed dag = Stats.mean (estimate_with_stats ?trials ?seed dag)

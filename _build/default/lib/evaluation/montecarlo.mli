@@ -1,0 +1,12 @@
+(** MONTECARLO estimator: sample makespan realisations and average.
+
+    The classical ground-truth method (van Slyke 1963): unbiased, with
+    a [1/sqrt(trials)] error, but expensive — the paper uses 300,000
+    trials to calibrate the other estimators and notes this is
+    prohibitive in practice. *)
+
+val estimate : ?trials:int -> ?seed:int -> Prob_dag.t -> float
+(** Mean over [trials] (default 10_000) independent realisations. *)
+
+val estimate_with_stats : ?trials:int -> ?seed:int -> Prob_dag.t -> Ckpt_prob.Stats.t
+(** Full sample statistics (mean, variance, extremes, CI). *)

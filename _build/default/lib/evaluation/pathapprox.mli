@@ -1,0 +1,18 @@
+(** PATHAPPROX estimator: approximation via longest paths (Casanova,
+    Herrmann, Robert 2016 — first-order variant).
+
+    Under the paper's first-order failure model at most one degradation
+    event matters per realisation, so the makespan expectation expands
+    as
+
+    [E(M) ~ L0 + sum_i pfail_i * (L(i) - L0)]
+
+    where [L0] is the longest path with every node at its base value
+    and [L(i)] the longest path when only node [i] is degraded. Each
+    [L(i)] equals [max(L0, top(i) + degraded_i + bottom(i))] with
+    [top]/[bottom] the longest in/out path lengths around [i], so the
+    whole estimate costs three longest-path sweeps — O(m). This is the
+    method the paper selects for its experiments (fast and closest to
+    Monte Carlo). *)
+
+val estimate : Prob_dag.t -> float

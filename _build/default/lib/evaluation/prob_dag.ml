@@ -1,0 +1,110 @@
+module Rng = Ckpt_prob.Rng
+module Dist = Ckpt_prob.Dist
+
+type node = { base : float; degraded : float; pfail : float }
+
+type entry = { nd : node; mutable out_ : int list; mutable in_ : int list }
+
+type t = { mutable entries : entry array; mutable n : int }
+
+let create () = { entries = [||]; n = 0 }
+
+let add_node t ~base ~degraded ~pfail =
+  if base < 0. || degraded < base then invalid_arg "Prob_dag.add_node: need 0 <= base <= degraded";
+  if pfail < 0. || pfail > 1. then invalid_arg "Prob_dag.add_node: pfail not in [0,1]";
+  let cap = Array.length t.entries in
+  if t.n = cap then begin
+    let fresh =
+      Array.make (max 8 (2 * cap))
+        { nd = { base = 0.; degraded = 0.; pfail = 0. }; out_ = []; in_ = [] }
+    in
+    Array.blit t.entries 0 fresh 0 t.n;
+    t.entries <- fresh
+  end;
+  let id = t.n in
+  t.entries.(id) <- { nd = { base; degraded; pfail }; out_ = []; in_ = [] };
+  t.n <- t.n + 1;
+  id
+
+let check t i fn =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Prob_dag.%s: unknown node %d" fn i)
+
+let add_edge t u v =
+  check t u "add_edge";
+  check t v "add_edge";
+  if u = v then invalid_arg "Prob_dag.add_edge: self-loop";
+  if not (List.mem v t.entries.(u).out_) then begin
+    t.entries.(u).out_ <- v :: t.entries.(u).out_;
+    t.entries.(v).in_ <- u :: t.entries.(v).in_
+  end
+
+let n_nodes t = t.n
+
+let node t i =
+  check t i "node";
+  t.entries.(i).nd
+
+let succs t i =
+  check t i "succs";
+  t.entries.(i).out_
+
+let preds t i =
+  check t i "preds";
+  t.entries.(i).in_
+
+let topological_order t =
+  let indeg = Array.init t.n (fun i -> List.length t.entries.(i).in_) in
+  let order = Array.make t.n (-1) in
+  let stack = ref [] in
+  for i = t.n - 1 downto 0 do
+    if indeg.(i) = 0 then stack := i :: !stack
+  done;
+  let k = ref 0 in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        order.(!k) <- u;
+        incr k;
+        List.iter
+          (fun v ->
+            indeg.(v) <- indeg.(v) - 1;
+            if indeg.(v) = 0 then stack := v :: !stack)
+          t.entries.(u).out_;
+        drain ()
+  in
+  drain ();
+  if !k <> t.n then invalid_arg "Prob_dag.topological_order: cycle";
+  order
+
+let expected_work t =
+  let acc = ref 0. in
+  for i = 0 to t.n - 1 do
+    let nd = t.entries.(i).nd in
+    acc := !acc +. ((1. -. nd.pfail) *. nd.base) +. (nd.pfail *. nd.degraded)
+  done;
+  !acc
+
+let longest_path_with t f =
+  let order = topological_order t in
+  let dist = Array.make t.n 0. in
+  let best = ref 0. in
+  Array.iter
+    (fun u ->
+      let d = dist.(u) +. f u in
+      if d > !best then best := d;
+      List.iter (fun v -> if d > dist.(v) then dist.(v) <- d) t.entries.(u).out_)
+    order;
+  !best
+
+let deterministic_makespan t = longest_path_with t (fun i -> t.entries.(i).nd.base)
+
+let sample t rng =
+  longest_path_with t (fun i ->
+      let nd = t.entries.(i).nd in
+      if nd.pfail > 0. && Rng.uniform rng < nd.pfail then nd.degraded else nd.base)
+
+let dist_of_node t i =
+  let nd = (node t i) in
+  Dist.two_state ~p:nd.pfail nd.base nd.degraded

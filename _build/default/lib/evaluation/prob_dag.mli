@@ -1,0 +1,48 @@
+(** 2-state probabilistic DAGs (Section II-B).
+
+    Every node's duration is an independent random variable taking a
+    [base] value with probability [1 - pfail] and a [degraded] value
+    with probability [pfail]. Under the paper's first-order model a
+    checkpointed task segment of total cost [S = R + W + C] on a
+    processor of failure rate λ has [base = S], [degraded = 3/2 S] and
+    [pfail = λ S] (Eq. 2). The makespan is the longest path (sum of
+    node durations along a path, maximised over paths); computing its
+    expectation exactly is #P-complete, hence the estimators in
+    {!Montecarlo}, {!Dodin}, {!Sculli}, {!Pathapprox}. *)
+
+type node = { base : float; degraded : float; pfail : float }
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> base:float -> degraded:float -> pfail:float -> int
+(** @raise Invalid_argument unless [0 <= base <= degraded] and
+    [0 <= pfail <= 1]. *)
+
+val add_edge : t -> int -> int -> unit
+(** Duplicate edges are silently ignored (they are semantically
+    idempotent for longest paths). @raise Invalid_argument on unknown
+    endpoints or self-loops. *)
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val topological_order : t -> int array
+(** @raise Invalid_argument on cycles. *)
+
+val expected_work : t -> float
+(** Sum over nodes of the expected duration — a cheap sanity metric. *)
+
+val longest_path_with : t -> (int -> float) -> float
+(** Longest path when node [i] lasts [f i]. *)
+
+val deterministic_makespan : t -> float
+(** Longest path with every node at its [base] value. *)
+
+val sample : t -> Ckpt_prob.Rng.t -> float
+(** Draw one makespan realisation (independent node states). *)
+
+val dist_of_node : t -> int -> Ckpt_prob.Dist.t
+(** The node's two-point duration distribution. *)

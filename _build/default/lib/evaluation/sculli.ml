@@ -1,0 +1,35 @@
+module Normal = Ckpt_prob.Normal
+
+let node_moments (nd : Prob_dag.node) =
+  let mean = ((1. -. nd.pfail) *. nd.base) +. (nd.pfail *. nd.degraded) in
+  let dev = nd.degraded -. nd.base in
+  let var = nd.pfail *. (1. -. nd.pfail) *. dev *. dev in
+  (mean, var)
+
+let estimate_with_variance dag =
+  let n = Prob_dag.n_nodes dag in
+  let completion = Array.make n (0., 0.) in
+  let order = Prob_dag.topological_order dag in
+  let clark_fold acc (m, v) =
+    match acc with
+    | None -> Some (m, v)
+    | Some (m0, v0) -> Some (Normal.clark_max ~mean1:m0 ~var1:v0 ~mean2:m ~var2:v ~rho:0.)
+  in
+  Array.iter
+    (fun u ->
+      let ready =
+        List.fold_left
+          (fun acc p -> clark_fold acc completion.(p))
+          None (Prob_dag.preds dag u)
+      in
+      let rm, rv = match ready with None -> (0., 0.) | Some mv -> mv in
+      let dm, dv = node_moments (Prob_dag.node dag u) in
+      completion.(u) <- (rm +. dm, rv +. dv))
+    order;
+  let final = ref None in
+  for u = 0 to n - 1 do
+    if Prob_dag.succs dag u = [] then final := clark_fold !final completion.(u)
+  done;
+  match !final with None -> (0., 0.) | Some mv -> mv
+
+let estimate dag = fst (estimate_with_variance dag)

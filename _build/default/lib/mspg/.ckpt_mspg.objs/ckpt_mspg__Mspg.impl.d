@@ -1,0 +1,1 @@
+lib/mspg/mspg.ml: Array Ckpt_dag Format List Printf String

@@ -1,0 +1,1 @@
+lib/mspg/mspg.mli: Ckpt_dag Format

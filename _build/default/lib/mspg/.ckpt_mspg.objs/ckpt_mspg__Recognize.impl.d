@@ -1,0 +1,1 @@
+lib/mspg/recognize.ml: Array Ckpt_dag Hashtbl List Mspg Printf

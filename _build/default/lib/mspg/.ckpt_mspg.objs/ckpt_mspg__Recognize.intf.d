@@ -1,0 +1,1 @@
+lib/mspg/recognize.mli: Ckpt_dag Mspg

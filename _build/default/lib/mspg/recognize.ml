@@ -1,0 +1,283 @@
+module Dag = Ckpt_dag.Dag
+
+exception Reject of string
+
+(* All set manipulations below work on sorted int lists of task ids,
+   with membership tested through a scratch bool array indexed by task
+   id (reset between uses). Workflows have at most a few thousand
+   tasks, so this is simple and fast enough. *)
+
+let restrict_succs dag member u = List.filter (fun v -> member.(v)) (Dag.succ_ids dag u)
+let restrict_preds dag member u = List.filter (fun v -> member.(v)) (Dag.pred_ids dag u)
+
+let with_membership n verts f =
+  let member = Array.make n false in
+  List.iter (fun v -> member.(v) <- true) verts;
+  f member
+
+(* Weakly connected components of the sub-DAG induced by [verts]. *)
+let components dag n verts =
+  with_membership n verts (fun member ->
+      let comp = Array.make n (-1) in
+      let next = ref 0 in
+      let rec bfs queue id =
+        match queue with
+        | [] -> ()
+        | u :: rest ->
+            let fresh =
+              List.filter
+                (fun v -> member.(v) && comp.(v) < 0 && (comp.(v) <- id; true))
+                (Dag.succ_ids dag u @ Dag.pred_ids dag u)
+            in
+            bfs (rest @ fresh) id
+      in
+      List.iter
+        (fun v ->
+          if comp.(v) < 0 then begin
+            comp.(v) <- !next;
+            bfs [ v ] !next;
+            incr next
+          end)
+        verts;
+      let buckets = Array.make !next [] in
+      List.iter (fun v -> buckets.(comp.(v)) <- v :: buckets.(comp.(v))) (List.rev verts);
+      Array.to_list buckets)
+
+(* Descendants of the tasks in [seeds], within [member], seeds included. *)
+let down_closure dag member seeds =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> ()
+    | u :: rest ->
+        if Hashtbl.mem seen u then go rest
+        else begin
+          Hashtbl.replace seen u ();
+          go (List.rev_append (restrict_succs dag member u) rest)
+        end
+  in
+  go seeds;
+  seen
+
+type cut = { v1 : int list; v2 : int list; missing : (int * int) list }
+(* [missing] are the sink(V1)-source(V2) pairs lacking an edge: empty
+   for a strict (complete-bipartite) cut. *)
+
+(* Examine the cut whose V2 is the down-closure of [seed_sources].
+   Returns [None] when crossing edges violate the sinks(V1) ->
+   sources(V2) discipline; otherwise the cut with its missing pairs. *)
+let examine_cut dag member verts seed_sources =
+  let v2_set = down_closure dag member seed_sources in
+  let v1 = List.filter (fun v -> not (Hashtbl.mem v2_set v)) verts in
+  if v1 = [] then None
+  else begin
+    let v2 = List.filter (Hashtbl.mem v2_set) verts in
+    let in_v2 v = Hashtbl.mem v2_set v in
+    let sinks1 =
+      List.filter (fun u -> List.for_all in_v2 (restrict_succs dag member u)) v1
+    in
+    let sources2 =
+      List.filter (fun v -> not (List.exists in_v2 (restrict_preds dag member v))) v2
+    in
+    let sinks1_set = Hashtbl.create 16 and sources2_set = Hashtbl.create 16 in
+    List.iter (fun u -> Hashtbl.replace sinks1_set u ()) sinks1;
+    List.iter (fun v -> Hashtbl.replace sources2_set v ()) sources2;
+    let ok = ref true in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            if in_v2 v && not (Hashtbl.mem sinks1_set u && Hashtbl.mem sources2_set v)
+            then ok := false)
+          (restrict_succs dag member u))
+      v1;
+    if not !ok then None
+    else begin
+      let missing = ref [] in
+      List.iter
+        (fun u ->
+          let out = restrict_succs dag member u in
+          List.iter (fun v -> if not (List.mem v out) then missing := (u, v) :: !missing) sources2)
+        sinks1;
+      Some { v1; v2; missing = !missing }
+    end
+  end
+
+(* Level of each member task: longest hop-path from a source of the
+   sub-DAG. Processes tasks in global topological id-independent order
+   via repeated relaxation over a local topological sort. *)
+let local_levels dag n verts =
+  with_membership n verts (fun member ->
+      let level = Hashtbl.create (List.length verts) in
+      let indeg = Hashtbl.create (List.length verts) in
+      List.iter
+        (fun v -> Hashtbl.replace indeg v (List.length (restrict_preds dag member v)))
+        verts;
+      let ready = List.filter (fun v -> Hashtbl.find indeg v = 0) verts in
+      List.iter (fun v -> Hashtbl.replace level v 0) ready;
+      let rec process = function
+        | [] -> ()
+        | u :: rest ->
+            let lu = Hashtbl.find level u in
+            let newly =
+              List.filter
+                (fun v ->
+                  let cur = try Hashtbl.find level v with Not_found -> -1 in
+                  if lu + 1 > cur then Hashtbl.replace level v (lu + 1);
+                  let d = Hashtbl.find indeg v - 1 in
+                  Hashtbl.replace indeg v d;
+                  d = 0)
+                (restrict_succs dag member u)
+            in
+            process (rest @ newly)
+      in
+      process ready;
+      level)
+
+let rec decompose dag n ~complete ~dummies verts =
+  match verts with
+  | [] -> invalid_arg "Recognize: empty vertex set"
+  | [ v ] -> Mspg.leaf v
+  | _ -> (
+      match components dag n verts with
+      | [] -> assert false
+      | _ :: _ :: _ as comps ->
+          Mspg.parallel (List.map (decompose dag n ~complete ~dummies) comps)
+      | [ _single ] ->
+          (* connected: look for a serial cut *)
+          with_membership n verts (fun member ->
+              (* candidate source sets for V2: the distinct in-subgraph
+                 successor sets (every strict cut arises this way) *)
+              let candidates =
+                List.filter_map
+                  (fun u ->
+                    match restrict_succs dag member u with [] -> None | s -> Some (List.sort compare s))
+                  verts
+                |> List.sort_uniq compare
+              in
+              let strict_cuts =
+                List.filter_map
+                  (fun seed ->
+                    match examine_cut dag member verts seed with
+                    | Some c when c.missing = [] -> Some c
+                    | _ -> None)
+                  candidates
+              in
+              let best =
+                match strict_cuts with
+                | [] -> None
+                | l ->
+                    Some
+                      (List.fold_left
+                         (fun acc c -> if List.length c.v1 < List.length acc.v1 then c else acc)
+                         (List.hd l) (List.tl l))
+              in
+              match best with
+              | Some cut ->
+                  Mspg.serial
+                    [ decompose dag n ~complete ~dummies cut.v1;
+                      decompose dag n ~complete ~dummies cut.v2 ]
+              | None when not complete ->
+                  raise
+                    (Reject
+                       (Printf.sprintf
+                          "connected subgraph of %d tasks admits no valid serial cut"
+                          (List.length verts)))
+              | None ->
+                  (* bipartite completion: among the completable level
+                     cuts pick the one needing the fewest dummy edges,
+                     so genuinely parallel structure away from the
+                     incomplete block is not serialised needlessly *)
+                  let level = local_levels dag n verts in
+                  let max_level =
+                    List.fold_left (fun acc v -> max acc (Hashtbl.find level v)) 0 verts
+                  in
+                  let cut_at l =
+                    let seed =
+                      List.filter (fun v -> Hashtbl.find level v > l) verts
+                      |> List.filter (fun v ->
+                             List.for_all
+                               (fun p -> Hashtbl.find level p <= l)
+                               (restrict_preds dag member v))
+                    in
+                    examine_cut dag member verts seed
+                  in
+                  let best = ref None in
+                  for l = 0 to max_level - 1 do
+                    match cut_at l with
+                    | None -> ()
+                    | Some cut -> (
+                        let cost = List.length cut.missing in
+                        match !best with
+                        | Some (c0, _) when c0 <= cost -> ()
+                        | _ -> best := Some (cost, cut))
+                  done;
+                  (match !best with
+                  | None ->
+                      raise
+                        (Reject
+                           (Printf.sprintf
+                              "connected subgraph of %d tasks is not an M-SPG and not \
+                               completable by dummy dependencies"
+                              (List.length verts)))
+                  | Some (_, cut) ->
+                      List.iter
+                        (fun (u, v) ->
+                          Dag.add_edge dag u v 0.;
+                          incr dummies)
+                        cut.missing;
+                      Mspg.serial
+                        [ decompose dag n ~complete ~dummies cut.v1;
+                          decompose dag n ~complete ~dummies cut.v2 ])))
+
+let recognize ~complete dag =
+  Dag.check_acyclic dag;
+  let n = Dag.n_tasks dag in
+  if n = 0 then invalid_arg "Recognize: empty DAG";
+  let verts = List.init n (fun i -> i) in
+  let dummies = ref 0 in
+  match decompose dag n ~complete ~dummies verts with
+  | tree -> Ok (tree, !dummies)
+  | exception Reject msg -> Error msg
+
+let of_dag dag =
+  match recognize ~complete:false dag with
+  | Ok (tree, _) -> Ok { Mspg.dag; tree }
+  | Error m -> Error m
+
+let of_dag_completed dag =
+  let copy = Dag.copy dag in
+  match recognize ~complete:true copy with
+  | Ok (tree, dummies) -> Ok ({ Mspg.dag = copy; tree }, dummies)
+  | Error m -> Error m
+
+let is_mspg dag = match of_dag dag with Ok _ -> true | Error _ -> false
+
+let of_dag_gspg dag =
+  Dag.check_acyclic dag;
+  let reduced_edges = Dag.transitive_reduction_edges dag in
+  let n = Dag.n_tasks dag in
+  (* count distinct dependencies, not parallel file edges *)
+  let all_edges = ref [] in
+  for u = 0 to n - 1 do
+    List.iter (fun v -> all_edges := (u, v) :: !all_edges) (Dag.succ_ids dag u)
+  done;
+  let distinct = List.length (List.sort_uniq compare !all_edges) in
+  let transitive = distinct - List.length reduced_edges in
+  if transitive = 0 then
+    match of_dag dag with Ok m -> Ok (m, 0) | Error e -> Error e
+  else begin
+    (* recognise on a skeleton carrying only the reduced dependencies *)
+    let skeleton = Dag.create ~name:(Dag.name dag ^ "/reduced") () in
+    for t = 0 to n - 1 do
+      let info = Dag.task dag t in
+      ignore
+        (Dag.add_task skeleton ~name:info.Ckpt_dag.Task.name
+           ~weight:info.Ckpt_dag.Task.weight)
+    done;
+    List.iter (fun (u, v) -> Dag.add_edge skeleton u v 0.) reduced_edges;
+    match recognize ~complete:false skeleton with
+    | Ok (tree, _) -> Ok ({ Mspg.dag; tree }, transitive)
+    | Error m -> Error m
+  end
+
+let is_gspg dag = match of_dag_gspg dag with Ok _ -> true | Error _ -> false

@@ -1,0 +1,1 @@
+lib/platform/failure.mli: Ckpt_prob

@@ -1,0 +1,54 @@
+module Rng = Ckpt_prob.Rng
+
+type t = {
+  rng : Rng.t;
+  lambda : float;
+  mutable instants : float array; (* materialised prefix, increasing *)
+  mutable count : int;
+  mutable horizon : float; (* last instant generated *)
+}
+
+let create rng ~lambda =
+  { rng = Rng.split rng; lambda; instants = Array.make 8 0.; count = 0; horizon = 0. }
+
+let push t x =
+  if t.count = Array.length t.instants then begin
+    let fresh = Array.make (2 * t.count) 0. in
+    Array.blit t.instants 0 fresh 0 t.count;
+    t.instants <- fresh
+  end;
+  t.instants.(t.count) <- x;
+  t.count <- t.count + 1
+
+let extend_past t time =
+  while t.horizon <= time do
+    let gap = Rng.exponential t.rng ~rate:t.lambda in
+    t.horizon <- t.horizon +. gap;
+    push t t.horizon
+  done
+
+let next_after t time =
+  if t.lambda <= 0. then infinity
+  else begin
+    extend_past t time;
+    (* binary search for the first instant > time *)
+    let lo = ref 0 and hi = ref t.count in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.instants.(mid) > time then hi := mid else lo := mid + 1
+    done;
+    t.instants.(!lo)
+  end
+
+let count_until t time =
+  if t.lambda <= 0. then 0
+  else begin
+    extend_past t time;
+    let c = ref 0 in
+    (try
+       for i = 0 to t.count - 1 do
+         if t.instants.(i) <= time then incr c else raise Exit
+       done
+     with Exit -> ());
+    !c
+  end

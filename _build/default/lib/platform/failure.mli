@@ -1,0 +1,24 @@
+(** Failure traces for discrete-event simulation.
+
+    Each processor experiences fail-stop failures whose inter-arrival
+    times are i.i.d. Exp(λ). A failed processor loses its memory
+    contents, reboots instantaneously (the paper folds reboot/downtime
+    into the recovery read), and resumes from the last checkpoint. A
+    trace is the increasing sequence of failure instants of one
+    processor; it is generated lazily so simulations of arbitrary
+    length never materialise unused failures. *)
+
+type t
+(** Per-processor lazy failure trace. *)
+
+val create : Ckpt_prob.Rng.t -> lambda:float -> t
+(** Fresh trace; the generator is split so sibling traces are
+    independent. [lambda = 0.] yields a failure-free trace. *)
+
+val next_after : t -> float -> float
+(** [next_after trace t] is the first failure instant strictly greater
+    than [t]. Returns [infinity] for failure-free traces. Successive
+    calls may go backward in time: the materialised prefix is kept. *)
+
+val count_until : t -> float -> int
+(** Number of failures in [\[0, t\]] — used by tests to check the rate. *)

@@ -1,0 +1,54 @@
+type t = {
+  processors : int;
+  lambda : float;
+  bandwidth : float;
+  rates : float array option;
+}
+
+let make ~processors ~lambda ~bandwidth =
+  if processors < 1 then invalid_arg "Platform.make: need at least one processor";
+  if lambda < 0. then invalid_arg "Platform.make: negative failure rate";
+  if bandwidth <= 0. then invalid_arg "Platform.make: non-positive bandwidth";
+  { processors; lambda; bandwidth; rates = None }
+
+let make_heterogeneous ~rates ~bandwidth =
+  let processors = Array.length rates in
+  if processors < 1 then invalid_arg "Platform.make_heterogeneous: no processors";
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Platform.make_heterogeneous: negative rate")
+    rates;
+  if bandwidth <= 0. then invalid_arg "Platform.make_heterogeneous: non-positive bandwidth";
+  let mean = Array.fold_left ( +. ) 0. rates /. float_of_int processors in
+  { processors; lambda = mean; bandwidth; rates = Some (Array.copy rates) }
+
+let rate_of t proc =
+  if proc < 0 || proc >= t.processors then invalid_arg "Platform.rate_of: bad processor";
+  match t.rates with None -> t.lambda | Some rates -> rates.(proc)
+
+let total_rate t =
+  match t.rates with
+  | None -> float_of_int t.processors *. t.lambda
+  | Some rates -> Array.fold_left ( +. ) 0. rates
+
+let io_time t size = size /. t.bandwidth
+
+let lambda_of_pfail ~pfail ~mean_weight =
+  if pfail < 0. || pfail >= 1. then invalid_arg "Platform.lambda_of_pfail: pfail not in [0,1)";
+  if mean_weight <= 0. then invalid_arg "Platform.lambda_of_pfail: non-positive mean weight";
+  -.log (1. -. pfail) /. mean_weight
+
+let pfail_of_lambda ~lambda ~mean_weight = 1. -. exp (-.lambda *. mean_weight)
+
+let bandwidth_for_ccr ~ccr ~total_data ~total_weight =
+  if ccr <= 0. || total_data <= 0. || total_weight <= 0. then
+    invalid_arg "Platform.bandwidth_for_ccr: non-positive argument";
+  (* ccr = (total_data / bw) / total_weight  =>  bw = total_data / (ccr * total_weight) *)
+  total_data /. (ccr *. total_weight)
+
+let pp fmt t =
+  match t.rates with
+  | None ->
+      Format.fprintf fmt "platform(p=%d, lambda=%g, bw=%g)" t.processors t.lambda t.bandwidth
+  | Some _ ->
+      Format.fprintf fmt "platform(p=%d, heterogeneous, mean lambda=%g, bw=%g)" t.processors
+        t.lambda t.bandwidth

@@ -1,0 +1,65 @@
+(** Execution platform model (Section VI-A).
+
+    A platform is [p] processors, each subject to fail-stop failures
+    with exponentially distributed inter-arrival times, plus a stable
+    storage (shared file system) of bandwidth [bandwidth] bytes/second
+    through which all checkpoint, recovery and initial-input traffic
+    flows. Reading or writing a file of size [s] takes
+    [s / bandwidth] seconds.
+
+    The paper's platforms are homogeneous (one rate λ for everyone);
+    {!make_heterogeneous} extends the model with per-processor rates —
+    Algorithm 2 then naturally checkpoints more densely on flakier
+    processors. [lambda] always exposes the mean rate. *)
+
+type t = private {
+  processors : int;
+  lambda : float;  (** mean failure rate across processors *)
+  bandwidth : float;
+  rates : float array option;  (** per-processor rates, when heterogeneous *)
+}
+
+val make : processors:int -> lambda:float -> bandwidth:float -> t
+(** Homogeneous platform.
+    @raise Invalid_argument unless [processors >= 1], [lambda >= 0.]
+    and [bandwidth > 0.]. *)
+
+val make_heterogeneous : rates:float array -> bandwidth:float -> t
+(** One processor per entry of [rates].
+    @raise Invalid_argument on an empty array, a negative rate or a
+    non-positive bandwidth. *)
+
+val rate_of : t -> int -> float
+(** Failure rate of one processor.
+    @raise Invalid_argument on an out-of-range processor index. *)
+
+val total_rate : t -> float
+(** Sum of all processors' failure rates (the aggregate failure
+    process seen by restart-from-scratch strategies). *)
+
+val io_time : t -> float -> float
+(** [io_time p size] is the time to move [size] data units to or from
+    stable storage. *)
+
+val lambda_of_pfail : pfail:float -> mean_weight:float -> float
+(** The paper's failure-rate normalisation: picks λ such that a task
+    of average weight w̄ fails with probability [pfail], i.e.
+    [pfail = 1 - exp (-λ w̄)].
+
+    @raise Invalid_argument unless [0 <= pfail < 1] and
+    [mean_weight > 0]. *)
+
+val pfail_of_lambda : lambda:float -> mean_weight:float -> float
+(** Inverse of {!lambda_of_pfail}. *)
+
+val bandwidth_for_ccr :
+  ccr:float -> total_data:float -> total_weight:float -> float
+(** Bandwidth giving the requested Communication-to-Computation Ratio,
+    where CCR = (total file store time) / (total computation time) =
+    (total_data / bandwidth) / total_weight. Equivalently, the paper
+    scales file sizes; scaling bandwidth by the inverse factor is the
+    same operation and keeps data volumes intact.
+
+    @raise Invalid_argument unless all arguments are positive. *)
+
+val pp : Format.formatter -> t -> unit

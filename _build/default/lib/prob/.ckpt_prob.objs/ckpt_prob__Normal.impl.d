@@ -1,0 +1,1 @@
+lib/prob/normal.ml: Array Float

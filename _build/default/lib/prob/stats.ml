@@ -1,0 +1,73 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let ci95_halfwidth t =
+  if t.n = 0 then infinity else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let mean_of_array xs = mean (of_array xs)
+
+let ks_distance xs ~cdf =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.ks_distance: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  (* Both distributions may carry atoms (e.g. the failure-free
+     makespan), so compare the two right-continuous CDFs at the
+     distinct sample values: tied blocks must be treated as one jump,
+     not per-index steps. *)
+  let worst = ref 0. in
+  let i = ref 0 in
+  while !i < n do
+    let v = sorted.(!i) in
+    let j = ref !i in
+    while !j < n - 1 && sorted.(!j + 1) = v do
+      incr j
+    done;
+    (* evaluate F with a relative tolerance so that an atom of F
+       sitting within float noise of a sample value counts on the
+       correct side (simulation and analysis compute the same atom
+       through different float paths) *)
+    let tol = 1e-9 *. (1. +. abs_float v) in
+    let f_n = float_of_int (!j + 1) /. float_of_int n in
+    worst := Stdlib.max !worst (abs_float (cdf (v +. tol) -. f_n));
+    let f_below = float_of_int !i /. float_of_int n in
+    worst := Stdlib.max !worst (abs_float (cdf (v -. tol) -. f_below));
+    i := !j + 1
+  done;
+  !worst
+
+let quantile_of_array xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile_of_array: empty";
+  if q < 0. || q > 1. then invalid_arg "Stats.quantile_of_array: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) idx))

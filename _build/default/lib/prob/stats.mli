@@ -1,0 +1,39 @@
+(** Online and batch summary statistics for simulation outputs. *)
+
+type t
+(** Mutable accumulator (Welford's algorithm: numerically stable
+    streaming mean and variance, plus min/max). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val ci95_halfwidth : t -> float
+(** Half-width of the 95% normal-approximation confidence interval on
+    the mean: [1.96 * stddev / sqrt count]. *)
+
+val of_array : float array -> t
+
+val mean_of_array : float array -> float
+
+val quantile_of_array : float array -> float -> float
+(** [quantile_of_array xs q] with [0 <= q <= 1]; sorts a copy. *)
+
+val ks_distance : float array -> cdf:(float -> float) -> float
+(** Kolmogorov–Smirnov statistic between the empirical distribution of
+    the sample and the given CDF: [sup |F_n(x) - F(x)|] evaluated just
+    below and just above every distinct sample value. Tied sample
+    points are treated as one jump, and the evaluations carry a
+    relative 1e-9 tolerance so atoms computed through different float
+    paths (e.g. the failure-free makespan in simulation vs analysis)
+    land on the correct side. Used to compare simulated makespan
+    distributions against analytic ones.
+
+    @raise Invalid_argument on an empty sample. *)

@@ -1,0 +1,1 @@
+lib/simulation/contention.ml: Array Ckpt_core Ckpt_eval Ckpt_platform Ckpt_prob Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/simulation/contention.mli: Ckpt_core Ckpt_platform Ckpt_prob

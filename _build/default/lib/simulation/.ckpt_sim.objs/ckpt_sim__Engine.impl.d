@@ -1,0 +1,1 @@
+lib/simulation/engine.ml: Array Ckpt_platform Ckpt_prob Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/simulation/engine.mli: Ckpt_platform Ckpt_prob

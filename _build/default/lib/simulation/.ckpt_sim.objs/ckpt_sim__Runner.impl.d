@@ -1,0 +1,1 @@
+lib/simulation/runner.ml: Array Ckpt_core Ckpt_eval Ckpt_platform Ckpt_prob Engine Hashtbl

@@ -1,0 +1,1 @@
+lib/simulation/runner.mli: Ckpt_core Ckpt_prob Engine

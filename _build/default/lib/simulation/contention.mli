@@ -1,0 +1,42 @@
+(** Failure-injected execution under stable-storage contention — an
+    extension beyond the paper, whose model prices I/O at full
+    bandwidth regardless of how many processors checkpoint at once.
+
+    Here the shared storage has an aggregate bandwidth fairly divided
+    among the processors currently reading or writing (a fluid model):
+    with [k] concurrent streams each progresses at [bandwidth / k].
+    Every segment runs three phases — read its R bytes, compute its W
+    seconds, write its C bytes — and a fail-stop failure during any
+    phase restarts the segment from its read phase, exactly like the
+    contention-free engine. Synchronous checkpointing strategies
+    (CKPTALL after every task; the bipartite-completed CKPTSOME after
+    every level) produce I/O bursts, so contention widens the gap the
+    paper measures at nominal bandwidth. *)
+
+type seg = {
+  processor : int;
+  read_bytes : float;
+  work : float;  (** seconds *)
+  write_bytes : float;
+  preds : int list;
+}
+
+val makespan :
+  bandwidth:float -> seg array -> (int -> Ckpt_platform.Failure.t) -> float
+(** Execute under fair-shared bandwidth. Preconditions as
+    {!Engine.makespan}: topologically ordered, per-processor order
+    respected.
+
+    @raise Invalid_argument on a bad ordering or non-positive
+    bandwidth. *)
+
+val segs_of_plan : Ckpt_core.Strategy.plan -> seg array
+(** Rebuild byte quantities from the plan's segments and its
+    platform's nominal bandwidth.
+
+    @raise Invalid_argument on a CKPTNONE plan. *)
+
+val simulate :
+  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> Ckpt_prob.Stats.t
+(** Monte-Carlo driver under contention, mirroring
+    {!Runner.simulate}. *)

@@ -1,0 +1,91 @@
+module Failure = Ckpt_platform.Failure
+module Rng = Ckpt_prob.Rng
+
+type seg = { processor : int; duration : float; preds : int list }
+
+type attempt = { attempt_start : float; attempt_end : float; failed : bool }
+type record = { seg_index : int; seg_processor : int; attempts : attempt list }
+
+let execute segs trace_of_processor =
+  let n = Array.length segs in
+  let completion = Array.make n 0. in
+  let records = Array.make n { seg_index = 0; seg_processor = 0; attempts = [] } in
+  let proc_free = Hashtbl.create 16 in
+  let traces = Hashtbl.create 16 in
+  let trace p =
+    match Hashtbl.find_opt traces p with
+    | Some t -> t
+    | None ->
+        let t = trace_of_processor p in
+        Hashtbl.replace traces p t;
+        t
+  in
+  let finish = ref 0. in
+  for i = 0 to n - 1 do
+    let seg = segs.(i) in
+    let ready =
+      List.fold_left
+        (fun acc p ->
+          if p >= i then invalid_arg "Engine.makespan: segments not topologically ordered";
+          Float.max acc completion.(p))
+        0. seg.preds
+    in
+    let free = Option.value ~default:0. (Hashtbl.find_opt proc_free seg.processor) in
+    let start = Float.max ready free in
+    (* retry the segment until an attempt fits before the next failure *)
+    let tr = trace seg.processor in
+    let rec attempt start acc =
+      if seg.duration = 0. then
+        (start, List.rev ({ attempt_start = start; attempt_end = start; failed = false } :: acc))
+      else begin
+        let failure = Failure.next_after tr start in
+        if failure < start +. seg.duration then
+          attempt failure ({ attempt_start = start; attempt_end = failure; failed = true } :: acc)
+        else
+          let finish = start +. seg.duration in
+          (finish, List.rev ({ attempt_start = start; attempt_end = finish; failed = false } :: acc))
+      end
+    in
+    let done_at, attempts = attempt start [] in
+    completion.(i) <- done_at;
+    records.(i) <- { seg_index = i; seg_processor = seg.processor; attempts };
+    Hashtbl.replace proc_free seg.processor done_at;
+    if done_at > !finish then finish := done_at
+  done;
+  (records, !finish)
+
+let makespan segs trace_of_processor = snd (execute segs trace_of_processor)
+
+type summary = { failures : int; wasted_time : float; useful_time : float }
+
+let summarize records =
+  let failures = ref 0 and wasted = ref 0. and useful = ref 0. in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun a ->
+          let span = a.attempt_end -. a.attempt_start in
+          if a.failed then begin
+            incr failures;
+            wasted := !wasted +. span
+          end
+          else useful := !useful +. span)
+        r.attempts)
+    records;
+  { failures = !failures; wasted_time = !wasted; useful_time = !useful }
+
+let restart_rate_makespan ~wpar ~rate rng =
+  if wpar < 0. then invalid_arg "Engine.restart_makespan: negative Wpar";
+  if rate < 0. then invalid_arg "Engine.restart_makespan: negative rate";
+  if rate <= 0. || wpar = 0. then wpar
+  else begin
+    let rec go elapsed =
+      let gap = Rng.exponential rng ~rate in
+      if gap >= wpar then elapsed +. wpar else go (elapsed +. gap)
+    in
+    go 0.
+  end
+
+let restart_makespan ~wpar ~processors ~lambda rng =
+  if processors < 1 then invalid_arg "Engine.restart_makespan: processors < 1";
+  restart_rate_makespan ~wpar ~rate:(float_of_int processors *. lambda) rng

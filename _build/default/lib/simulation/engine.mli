@@ -1,0 +1,65 @@
+(** Failure-injected execution of a checkpointed schedule.
+
+    Ground truth for the analytical estimators: unlike the first-order
+    model (Eq. 2), the simulator handles {e any} number of failures
+    per segment and exact exponential failure instants.
+
+    Execution semantics: each processor runs its checkpointed segments
+    in schedule order; a segment starts once its processor is free and
+    every predecessor segment has completed (its data then sits on
+    stable storage), spends [read + work + write] seconds, and
+    completes — unless a failure strikes the processor first, in which
+    case the memory content is lost and the attempt restarts from the
+    last checkpoint (i.e. the segment's beginning: re-read, re-execute,
+    re-write). Reboot time is folded into the recovery read, as in the
+    paper's model. The makespan is the last completion time.
+
+    For CKPTNONE the paper's operational interpretation applies: any
+    failure on a used processor before the workflow completes restarts
+    everything from scratch. *)
+
+type seg = {
+  processor : int;
+  duration : float;  (** read + work + write, seconds *)
+  preds : int list;  (** indices of prerequisite segments *)
+}
+
+type attempt = { attempt_start : float; attempt_end : float; failed : bool }
+(** One try at a segment: it either reached [attempt_start + duration]
+    ([failed = false]) or was cut short by a failure at [attempt_end]. *)
+
+type record = { seg_index : int; seg_processor : int; attempts : attempt list }
+(** Execution history of one segment, attempts in chronological order;
+    the last one succeeded. *)
+
+type summary = {
+  failures : int;  (** attempts cut short by a fail-stop error *)
+  wasted_time : float;  (** total time spent in failed attempts *)
+  useful_time : float;  (** total time of successful attempts *)
+}
+
+val summarize : record array -> summary
+(** Aggregate waste accounting over an execution's records. *)
+
+val execute : seg array -> (int -> Ckpt_platform.Failure.t) -> record array * float
+(** Full execution: per-segment attempt histories and the makespan.
+    Same semantics and preconditions as {!makespan}. *)
+
+val makespan : seg array -> (int -> Ckpt_platform.Failure.t) -> float
+(** [makespan segs trace_of_processor] executes the segment DAG
+    against the given per-processor failure traces. Segments must be
+    topologically ordered (every pred index smaller) and each
+    processor's segments must appear in its execution order.
+
+    @raise Invalid_argument if a pred index is not smaller than the
+    segment's own index. *)
+
+val restart_makespan :
+  wpar:float -> processors:int -> lambda:float -> Ckpt_prob.Rng.t -> float
+(** CKPTNONE realisation: repeat attempts of length [wpar]; an
+    exponential failure at rate [processors * λ] during an attempt
+    aborts it at the failure instant and restarts from scratch. *)
+
+val restart_rate_makespan : wpar:float -> rate:float -> Ckpt_prob.Rng.t -> float
+(** Same, parameterised by the aggregate failure rate directly
+    (heterogeneous platforms). *)

@@ -1,0 +1,60 @@
+module Strategy = Ckpt_core.Strategy
+module Schedule = Ckpt_core.Schedule
+module Superchain = Ckpt_core.Superchain
+module Placement = Ckpt_core.Placement
+module Prob_dag = Ckpt_eval.Prob_dag
+module Platform = Ckpt_platform.Platform
+module Failure = Ckpt_platform.Failure
+module Rng = Ckpt_prob.Rng
+module Stats = Ckpt_prob.Stats
+
+let segs_of_plan (plan : Strategy.plan) =
+  match plan.Strategy.prob_dag with
+  | None -> invalid_arg "Runner.segs_of_plan: CKPTNONE has no segments"
+  | Some pd ->
+      Array.mapi
+        (fun idx (seg : Placement.segment) ->
+          let sc = plan.Strategy.schedule.Schedule.superchains.(seg.Placement.chain) in
+          {
+            Engine.processor = sc.Superchain.processor;
+            duration = seg.Placement.read +. seg.Placement.work +. seg.Placement.write;
+            preds = Prob_dag.preds pd idx;
+          })
+        plan.Strategy.segments
+
+let sample_makespans ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
+  if trials < 1 then invalid_arg "Runner.simulate: trials < 1";
+  let platform = plan.Strategy.platform in
+  let master = Rng.create seed in
+  match plan.Strategy.prob_dag with
+  | Some _ ->
+      let segs = segs_of_plan plan in
+      Array.init trials (fun _ ->
+          let trial_rng = Rng.split master in
+          let traces = Hashtbl.create 16 in
+          let trace_of p =
+            match Hashtbl.find_opt traces p with
+            | Some t -> t
+            | None ->
+                let t = Failure.create trial_rng ~lambda:(Platform.rate_of platform p) in
+                Hashtbl.replace traces p t;
+                t
+          in
+          Engine.makespan segs trace_of)
+  | None ->
+      let wpar = plan.Strategy.wpar in
+      (* restart semantics: the aggregate failure process over the
+         used processors (sum of exponential rates) *)
+      let used = Hashtbl.create 16 in
+      Array.iter
+        (fun (sc : Superchain.t) -> Hashtbl.replace used sc.Superchain.processor ())
+        plan.Strategy.schedule.Schedule.superchains;
+      let rate = Hashtbl.fold (fun p () acc -> acc +. Platform.rate_of platform p) used 0. in
+      Array.init trials (fun _ ->
+          let trial_rng = Rng.split master in
+          Engine.restart_rate_makespan ~wpar ~rate trial_rng)
+
+let simulate ?trials ?seed plan = Stats.of_array (sample_makespans ?trials ?seed plan)
+
+let simulated_expected_makespan ?trials ?seed plan =
+  Stats.mean (simulate ?trials ?seed plan)

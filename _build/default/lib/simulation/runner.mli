@@ -1,0 +1,27 @@
+(** Monte-Carlo simulation driver for strategy plans.
+
+    Repeatedly executes a {!Ckpt_core.Strategy.plan} against fresh
+    exponential failure traces and collects makespan statistics —
+    ground truth against which the analytical estimators (and the
+    first-order model itself) are validated. *)
+
+val segs_of_plan : Ckpt_core.Strategy.plan -> Engine.seg array
+(** The executable segment DAG of a CKPTALL/CKPTSOME plan: one entry
+    per coalesced segment, dependencies taken from the plan's 2-state
+    DAG, durations equal to [read + work + write].
+
+    @raise Invalid_argument on a CKPTNONE plan (nothing to segment). *)
+
+val simulate :
+  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> Ckpt_prob.Stats.t
+(** [trials] defaults to 1000. CKPTALL/CKPTSOME run through
+    {!Engine.makespan}; CKPTNONE uses the restart-from-scratch
+    semantics on its failure-free parallel time. *)
+
+val simulated_expected_makespan :
+  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> float
+
+val sample_makespans :
+  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> float array
+(** The raw makespan sample (same semantics as {!simulate}) — for
+    quantiles and distribution comparisons. *)

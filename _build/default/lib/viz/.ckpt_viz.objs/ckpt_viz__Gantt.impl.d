@@ -1,0 +1,1 @@
+lib/viz/gantt.ml: Array Buffer Ckpt_core Ckpt_platform Ckpt_prob Ckpt_sim Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/viz/gantt.mli: Ckpt_core Ckpt_sim

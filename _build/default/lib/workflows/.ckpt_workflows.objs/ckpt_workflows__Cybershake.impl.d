@@ -1,0 +1,1 @@
+lib/workflows/cybershake.ml: Ckpt_dag Generator Printf

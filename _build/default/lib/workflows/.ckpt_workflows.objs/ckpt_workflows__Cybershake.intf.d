@@ -1,0 +1,1 @@
+lib/workflows/cybershake.mli: Ckpt_dag

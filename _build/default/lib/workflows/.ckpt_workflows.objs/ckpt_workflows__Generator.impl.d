@@ -1,0 +1,1 @@
+lib/workflows/generator.ml: Ckpt_prob

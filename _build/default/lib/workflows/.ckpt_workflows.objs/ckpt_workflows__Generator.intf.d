@@ -1,0 +1,1 @@
+lib/workflows/generator.mli: Ckpt_prob

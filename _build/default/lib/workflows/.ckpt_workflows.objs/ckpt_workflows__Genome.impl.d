@@ -1,0 +1,1 @@
+lib/workflows/genome.ml: Ckpt_dag Generator List Printf

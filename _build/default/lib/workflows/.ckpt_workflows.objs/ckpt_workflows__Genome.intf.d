@@ -1,0 +1,1 @@
+lib/workflows/genome.mli: Ckpt_dag

@@ -1,0 +1,1 @@
+lib/workflows/ligo.ml: Array Ckpt_dag Ckpt_prob Generator Printf

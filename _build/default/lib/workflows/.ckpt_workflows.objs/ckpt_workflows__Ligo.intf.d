@@ -1,0 +1,1 @@
+lib/workflows/ligo.mli: Ckpt_dag

@@ -1,0 +1,1 @@
+lib/workflows/montage.ml: Array Ckpt_dag Generator Printf

@@ -1,0 +1,1 @@
+lib/workflows/montage.mli: Ckpt_dag

@@ -1,0 +1,1 @@
+lib/workflows/random_wf.ml: Array Ckpt_mspg Ckpt_prob Printf

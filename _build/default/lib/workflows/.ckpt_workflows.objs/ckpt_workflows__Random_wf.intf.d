@@ -1,0 +1,1 @@
+lib/workflows/random_wf.mli: Ckpt_mspg Ckpt_prob

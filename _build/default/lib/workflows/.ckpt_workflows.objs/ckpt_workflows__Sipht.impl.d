@@ -1,0 +1,1 @@
+lib/workflows/sipht.ml: Ckpt_dag Generator List Printf

@@ -1,0 +1,1 @@
+lib/workflows/sipht.mli: Ckpt_dag

@@ -1,0 +1,1 @@
+lib/workflows/spec.ml: Ckpt_dag Cybershake Genome Ligo Montage Sipht String

@@ -1,0 +1,1 @@
+lib/workflows/spec.mli: Ckpt_dag

@@ -1,0 +1,71 @@
+module Dag = Ckpt_dag.Dag
+
+let mb = 1_000_000.
+
+(* Juve et al. 2013, CyberShake profile (rounded means). *)
+let rt_extract = 110.
+let rt_seismogram = 48.
+let rt_peakval = 1.2
+let rt_zipseis = 35.
+let rt_zippeak = 10.
+let sz_sgt_variation = 500. *. mb (* initial SGT slice read by ExtractSGT *)
+let sz_sgt = 300. *. mb (* extracted subtensor, broadcast to the site's chains *)
+let sz_seismogram = 0.25 *. mb
+let sz_peak = 0.01 *. mb
+let sz_zip = 30. *. mb
+
+(* per site: 1 ExtractSGT + m chains of 2 tasks; + 2 global zips *)
+let total_count sites m = (sites * ((2 * m) + 1)) + 2
+
+let pick_shape tasks =
+  let best = ref (max_int, 1, 1) in
+  for sites = 1 to 20 do
+    let m =
+      Generator.fit_count ~target:tasks
+        ~count_of:(fun m -> total_count sites m)
+        ~lo:1 ~hi:1000
+    in
+    let err = abs (total_count sites m - tasks) in
+    (* PWG sites carry a few dozen chains; favour growing sites *)
+    let penalty = if m > 32 then m - 32 else 0 in
+    let s0, _, _ = !best in
+    if err + penalty < s0 then best := (err + penalty, sites, m)
+  done;
+  let _, sites, m = !best in
+  (sites, m)
+
+let generate ?(seed = 42) ~tasks () =
+  if tasks < 5 then invalid_arg "Cybershake.generate: needs at least 5 tasks";
+  let g = Generator.create ~seed in
+  let sites, m = pick_shape tasks in
+  let dag = Dag.create ~name:(Printf.sprintf "cybershake-%d" tasks) () in
+  let zipseis = Dag.add_task dag ~name:"ZipSeismograms" ~weight:(Generator.runtime g ~mean:rt_zipseis) in
+  let zippeak = Dag.add_task dag ~name:"ZipPeakSA" ~weight:(Generator.runtime g ~mean:rt_zippeak) in
+  for _ = 1 to sites do
+    let extract =
+      Dag.add_task dag ~name:"ExtractSGT" ~weight:(Generator.runtime g ~mean:rt_extract)
+    in
+    Dag.add_input dag extract (Generator.filesize g ~mean:sz_sgt_variation);
+    (* the extracted subtensor is one shared file read by all chains *)
+    let sgt = Dag.add_file dag ~producer:extract ~size:(Generator.filesize g ~mean:sz_sgt) in
+    for _ = 1 to m do
+      let seis =
+        Dag.add_task dag ~name:"SeismogramSynthesis"
+          ~weight:(Generator.runtime g ~mean:rt_seismogram)
+      in
+      Dag.add_edge dag ~file:sgt extract seis 0.;
+      let peak =
+        Dag.add_task dag ~name:"PeakValCalcOkaya" ~weight:(Generator.runtime g ~mean:rt_peakval)
+      in
+      (* the peak task forwards the seismogram alongside its own
+         output (see the interface documentation) *)
+      Dag.add_edge dag seis peak (Generator.filesize g ~mean:sz_seismogram);
+      let seis_fwd = Dag.add_file dag ~producer:peak ~size:(Generator.filesize g ~mean:sz_seismogram) in
+      let peaks = Dag.add_file dag ~producer:peak ~size:(Generator.filesize g ~mean:sz_peak) in
+      Dag.add_edge dag ~file:seis_fwd peak zipseis 0.;
+      Dag.add_edge dag ~file:peaks peak zippeak 0.
+    done
+  done;
+  ignore (Dag.add_file dag ~producer:zipseis ~size:(Generator.filesize g ~mean:sz_zip));
+  ignore (Dag.add_file dag ~producer:zippeak ~size:(Generator.filesize g ~mean:sz_zip));
+  dag

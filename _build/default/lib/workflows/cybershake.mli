@@ -1,0 +1,21 @@
+(** CYBERSHAKE seismic-hazard workflow generator (an extension beyond
+    the paper's three families — CyberShake is part of the same
+    Pegasus characterisation suite).
+
+    Structure (Bharathi et al. 2008, simplified to an M-SPG): the
+    hazard model is computed per {e site}; each site extracts two
+    strain Green tensors ([ExtractSGT]) and runs [m] parallel
+    [SeismogramSynthesis -> PeakValCalcOkaya] chains; two global zip
+    tasks ([ZipSeismograms], [ZipPeakSA]) collect every chain's
+    results. In the real application [ZipSeismograms] reads the
+    seismograms directly from [SeismogramSynthesis] (a mid-chain
+    producer, which no M-SPG can express); we model the peak
+    calculator as forwarding the seismogram, a behaviour-preserving
+    simplification documented in DESIGN.md. The result is a strict
+    M-SPG: sites in parallel, complete bipartite into the two zips.
+
+    CyberShake is the most data-intensive family here (hundreds of MB
+    of SGT data per site against second-scale post-processing tasks),
+    so it exercises the high-CCR corner of the trade-off. *)
+
+val generate : ?seed:int -> tasks:int -> unit -> Ckpt_dag.Dag.t

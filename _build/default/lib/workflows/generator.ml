@@ -1,0 +1,24 @@
+module Rng = Ckpt_prob.Rng
+
+type t = { rng : Rng.t }
+
+let create ~seed = { rng = Rng.create seed }
+let rng t = t.rng
+
+let runtime t ~mean =
+  Rng.truncated_normal t.rng ~mean ~stddev:(0.2 *. mean) ~lo:(0.05 *. mean)
+
+let filesize t ~mean =
+  Rng.truncated_normal t.rng ~mean ~stddev:(0.3 *. mean) ~lo:(0.01 *. mean)
+
+let fit_count ~target ~count_of ~lo ~hi =
+  if lo > hi then invalid_arg "Generator.fit_count: empty range";
+  let best = ref lo and best_err = ref (abs (count_of lo - target)) in
+  for k = lo + 1 to hi do
+    let err = abs (count_of k - target) in
+    if err < !best_err then begin
+      best := k;
+      best_err := err
+    end
+  done;
+  !best

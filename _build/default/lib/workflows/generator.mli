@@ -1,0 +1,30 @@
+(** Shared machinery for the synthetic Pegasus-like generators.
+
+    The paper uses the Pegasus Workflow Generator (PWG), which samples
+    task runtimes and file sizes from profiles of real executions
+    (Bharathi et al. 2008, Juve et al. 2013). We reproduce that recipe:
+    every task type has a mean runtime and every file a mean size, and
+    individual values are drawn from a truncated normal with a fixed
+    coefficient of variation, from a seeded deterministic stream. The
+    absolute scale of file sizes is immaterial to the experiments — the
+    CCR sweep renormalises them — but realistic ratios between task
+    types are preserved. *)
+
+type t
+(** Sampling context. *)
+
+val create : seed:int -> t
+
+val runtime : t -> mean:float -> float
+(** Runtime draw: truncated normal, cv = 0.2, floored at 5% of mean. *)
+
+val filesize : t -> mean:float -> float
+(** File-size draw: truncated normal, cv = 0.3, floored at 1% of mean. *)
+
+val rng : t -> Ckpt_prob.Rng.t
+
+val fit_count : target:int -> count_of:(int -> int) -> lo:int -> hi:int -> int
+(** [fit_count ~target ~count_of ~lo ~hi] is the parameter in
+    [\[lo, hi\]] whose [count_of] is closest to [target] (ties towards
+    smaller parameter) — used to size each workflow family to "about
+    n tasks" like PWG's task-count knob. *)

@@ -1,0 +1,96 @@
+module Dag = Ckpt_dag.Dag
+
+let mb = 1_000_000.
+
+(* Juve et al. 2013, Epigenomics profile (rounded means). *)
+let rt_split = 35.
+let rt_filter = 2.4
+let rt_sol2sanger = 0.5
+let rt_fastq2bfq = 1.4
+let rt_map = 201.
+let rt_mapmerge = 11.
+let rt_maqindex = 43.
+let rt_pileup = 56.
+let sz_lane_input = 400. *. mb
+let sz_chunk = 25. *. mb
+let sz_filtered = 20. *. mb
+let sz_sanger = 20. *. mb
+let sz_bfq = 6. *. mb
+let sz_mapped = 5. *. mb
+let sz_merged = 60. *. mb
+let sz_index = 25. *. mb
+let sz_pileup = 100. *. mb
+
+let lane_task_count m = (4 * m) + 2
+
+let total_count l m = if l = 1 then lane_task_count m + 2 else (l * lane_task_count m) + 3
+
+let pick_shape tasks =
+  (* one lane up to ~100 tasks, then grow lanes with chunks *)
+  let candidates = ref [] in
+  for l = 1 to 12 do
+    let m =
+      Generator.fit_count ~target:tasks ~count_of:(fun m -> total_count l m) ~lo:1 ~hi:2000
+    in
+    candidates := (abs (total_count l m - tasks), l, m) :: !candidates
+  done;
+  (* prefer fewer lanes on ties, and keep chunk counts plausible
+     (PWG lanes have tens of chunks, not thousands) *)
+  let scored =
+    List.map
+      (fun (err, l, m) ->
+        let penalty = if m > 120 then (m - 120) / 4 else 0 in
+        (err + penalty, l, m))
+      !candidates
+  in
+  let _, l, m =
+    List.fold_left (fun (e0, l0, m0) (e, l, m) ->
+        if e < e0 || (e = e0 && l < l0) then (e, l, m) else (e0, l0, m0))
+      (max_int, 1, 1) scored
+  in
+  (l, m)
+
+let generate ?(seed = 42) ~tasks () =
+  if tasks < 6 then invalid_arg "Genome.generate: needs at least 6 tasks";
+  let g = Generator.create ~seed in
+  let l, m = pick_shape tasks in
+  let dag = Dag.create ~name:(Printf.sprintf "genome-%d" tasks) () in
+  let chain_through lane_split =
+    (* one chunk pipeline: filter -> sol2sanger -> fastq2bfq -> map *)
+    let filter = Dag.add_task dag ~name:"filterContams" ~weight:(Generator.runtime g ~mean:rt_filter) in
+    Dag.add_edge dag lane_split filter (Generator.filesize g ~mean:sz_chunk);
+    let sanger = Dag.add_task dag ~name:"sol2sanger" ~weight:(Generator.runtime g ~mean:rt_sol2sanger) in
+    Dag.add_edge dag filter sanger (Generator.filesize g ~mean:sz_filtered);
+    let bfq = Dag.add_task dag ~name:"fastq2bfq" ~weight:(Generator.runtime g ~mean:rt_fastq2bfq) in
+    Dag.add_edge dag sanger bfq (Generator.filesize g ~mean:sz_sanger);
+    let map = Dag.add_task dag ~name:"map" ~weight:(Generator.runtime g ~mean:rt_map) in
+    Dag.add_edge dag bfq map (Generator.filesize g ~mean:sz_bfq);
+    map
+  in
+  let lane () =
+    let split = Dag.add_task dag ~name:"fastQSplit" ~weight:(Generator.runtime g ~mean:rt_split) in
+    Dag.add_input dag split (Generator.filesize g ~mean:sz_lane_input);
+    let merge = Dag.add_task dag ~name:"mapMerge" ~weight:(Generator.runtime g ~mean:rt_mapmerge) in
+    for _ = 1 to m do
+      let map = chain_through split in
+      Dag.add_edge dag map merge (Generator.filesize g ~mean:sz_mapped)
+    done;
+    merge
+  in
+  let last_merge =
+    if l = 1 then lane ()
+    else begin
+      let lane_merges = List.init l (fun _ -> lane ()) in
+      let global = Dag.add_task dag ~name:"mapMergeGlobal" ~weight:(Generator.runtime g ~mean:rt_mapmerge) in
+      List.iter
+        (fun lm -> Dag.add_edge dag lm global (Generator.filesize g ~mean:sz_merged))
+        lane_merges;
+      global
+    end
+  in
+  let index = Dag.add_task dag ~name:"maqIndex" ~weight:(Generator.runtime g ~mean:rt_maqindex) in
+  Dag.add_edge dag last_merge index (Generator.filesize g ~mean:sz_merged);
+  let pileup = Dag.add_task dag ~name:"pileup" ~weight:(Generator.runtime g ~mean:rt_pileup) in
+  Dag.add_edge dag index pileup (Generator.filesize g ~mean:sz_index);
+  ignore (Dag.add_file dag ~producer:pileup ~size:(Generator.filesize g ~mean:sz_pileup));
+  dag

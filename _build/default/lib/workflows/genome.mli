@@ -1,0 +1,18 @@
+(** GENOME (Epigenomics) workflow generator.
+
+    Structure (Bharathi et al. 2008): the genome is processed in [l]
+    lanes; each lane splits its read file into [m] chunks
+    ([fastQSplit]), pipes every chunk through the 4-stage chain
+    [filterContams -> sol2sanger -> fastq2bfq -> map], and merges the
+    mapped chunks ([mapMerge]). Lanes merge globally, then [maqIndex]
+    and [pileup] finish the pipeline. The result is a fork-join M-SPG
+    — the recogniser accepts it without any completion.
+
+    Task count: [l*(4m + 2) + 3] for [l > 1] lanes, [4m + 4] for one
+    lane; [generate ~tasks] picks [(l, m)] to approach [tasks].
+
+    Runtime and file-size scales follow the Epigenomics profiles of
+    Juve et al. 2013 (map dominates at ~200 s; chunk files of tens of
+    MB). *)
+
+val generate : ?seed:int -> tasks:int -> unit -> Ckpt_dag.Dag.t

@@ -1,0 +1,86 @@
+module Dag = Ckpt_dag.Dag
+module Rng = Ckpt_prob.Rng
+
+let mb = 1_000_000.
+
+(* Juve et al. 2013, Inspiral profile (rounded means). *)
+let rt_tmpltbank = 18.
+let rt_inspiral = 460.
+let rt_thinca = 5.4
+let rt_trigbank = 5.
+let rt_inspiral2 = 460.
+let sz_raw = 2.2 *. mb
+let sz_bank = 1.0 *. mb
+let sz_inspiral_out = 0.3 *. mb
+let sz_thinca_out = 0.9 *. mb
+let sz_trig_out = 1.0 *. mb
+
+let group_count g = (4 * g) + 2
+let total_count groups g = groups * group_count g
+
+let pick_shape tasks =
+  let best = ref (max_int, 1, 1) in
+  for groups = 1 to 16 do
+    let g =
+      Generator.fit_count ~target:tasks
+        ~count_of:(fun g -> total_count groups g)
+        ~lo:2 ~hi:500
+    in
+    let err = abs (total_count groups g - tasks) in
+    (* keep per-group widths realistic (PWG groups have ~5-30 chains) *)
+    let penalty = if g > 40 then g - 40 else 0 in
+    let score = err + penalty in
+    let s0, _, _ = !best in
+    if score < s0 then best := (score, groups, g)
+  done;
+  let _, groups, g = !best in
+  (groups, g)
+
+let generate ?(seed = 42) ?(cross_group = 0.4) ~tasks () =
+  if tasks < 12 then invalid_arg "Ligo.generate: needs at least 12 tasks";
+  let g_ctx = Generator.create ~seed in
+  let rng = Generator.rng g_ctx in
+  let groups, g = pick_shape tasks in
+  let dag = Dag.create ~name:(Printf.sprintf "ligo-%d" tasks) () in
+  (* first build every group's front half, remembering the thincas so
+     cross-group edges can reference the neighbouring group *)
+  let thinca1 =
+    Array.init groups (fun _ ->
+        let thinca = Dag.add_task dag ~name:"Thinca" ~weight:(Generator.runtime g_ctx ~mean:rt_thinca) in
+        for _ = 1 to g do
+          let bank =
+            Dag.add_task dag ~name:"TmpltBank" ~weight:(Generator.runtime g_ctx ~mean:rt_tmpltbank)
+          in
+          Dag.add_input dag bank (Generator.filesize g_ctx ~mean:sz_raw);
+          let insp =
+            Dag.add_task dag ~name:"Inspiral" ~weight:(Generator.runtime g_ctx ~mean:rt_inspiral)
+          in
+          Dag.add_edge dag bank insp (Generator.filesize g_ctx ~mean:sz_bank);
+          Dag.add_edge dag insp thinca (Generator.filesize g_ctx ~mean:sz_inspiral_out)
+        done;
+        thinca)
+  in
+  Array.iteri
+    (fun gi thinca ->
+      let crosses = groups > 1 && Rng.uniform rng < cross_group in
+      let neighbour = thinca1.((gi + 1) mod groups) in
+      let thinca2 = Dag.add_task dag ~name:"Thinca" ~weight:(Generator.runtime g_ctx ~mean:rt_thinca) in
+      for k = 1 to g do
+        let trig =
+          Dag.add_task dag ~name:"TrigBank" ~weight:(Generator.runtime g_ctx ~mean:rt_trigbank)
+        in
+        Dag.add_edge dag thinca trig (Generator.filesize g_ctx ~mean:sz_thinca_out);
+        (* odd-indexed TrigBanks of a crossing group also read the
+           neighbouring Thinca: incomplete bipartite coupling *)
+        if crosses && k mod 2 = 1 && neighbour <> thinca then
+          Dag.add_edge dag neighbour trig (Generator.filesize g_ctx ~mean:sz_thinca_out);
+        let insp2 =
+          Dag.add_task dag ~name:"Inspiral2" ~weight:(Generator.runtime g_ctx ~mean:rt_inspiral2)
+        in
+        Dag.add_edge dag trig insp2 (Generator.filesize g_ctx ~mean:sz_trig_out);
+        Dag.add_edge dag insp2 thinca2 (Generator.filesize g_ctx ~mean:sz_inspiral_out)
+      done;
+      ignore
+        (Dag.add_file dag ~producer:thinca2 ~size:(Generator.filesize g_ctx ~mean:sz_thinca_out)))
+    thinca1;
+  dag

@@ -1,0 +1,25 @@
+(** LIGO Inspiral gravitational-wave analysis workflow generator.
+
+    Structure (Bharathi et al. 2008): the analysis proceeds in [gG]
+    groups. Each group runs [g] parallel [TmpltBank -> Inspiral]
+    chains joined by a [Thinca] coincidence task, then fans out into
+    [g] [TrigBank -> Inspiral2] chains joined by a second [Thinca].
+    With groups fully independent this is a strict M-SPG
+    (parallel composition of fork-join towers).
+
+    Like PWG (paper footnote 2), the generator sometimes produces
+    {e incomplete bipartite} couplings: a fraction of the [TrigBank]
+    tasks additionally read the [Thinca] output of the neighbouring
+    group (cross-group coincidence checks). Those instances are not
+    M-SPGs; CKPTSOME processes the dummy-completed graph while the
+    baselines process the raw one — exactly the paper's treatment.
+
+    Task count [gG * (4g + 2)]; [generate ~tasks] picks [(gG, g)].
+
+    Runtime/file-size scales follow the Inspiral profiles of Juve et
+    al. 2013 ([Inspiral] dominates at ~460 s; files of ~1 MB). *)
+
+val generate : ?seed:int -> ?cross_group:float -> tasks:int -> unit -> Ckpt_dag.Dag.t
+(** [cross_group] is the probability that a group's [TrigBank] level
+    reads the neighbouring group's first [Thinca] (default 0.4;
+    0. yields a strict M-SPG). *)

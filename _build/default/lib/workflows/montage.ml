@@ -1,0 +1,70 @@
+module Dag = Ckpt_dag.Dag
+
+let mb = 1_000_000.
+
+(* Juve et al. 2013, Montage profile (rounded means). *)
+let rt_project = 1.7
+let rt_difffit = 0.7
+let rt_concatfit = 143.
+let rt_bgmodel = 384.
+let rt_background = 1.7
+let rt_imgtbl = 2.6
+let rt_add = 63.
+let rt_shrink = 66.
+let rt_jpeg = 0.7
+let sz_raw_image = 4.2 *. mb
+let sz_projected = 8.1 *. mb
+let sz_diff = 0.3 *. mb
+let sz_concat = 1.0 *. mb
+let sz_bgtable = 0.1 *. mb
+let sz_corrected = 8.1 *. mb
+let sz_imgtbl = 0.03 *. mb
+let sz_mosaic = 165. *. mb
+let sz_shrunk = 0.2 *. mb
+let sz_jpeg = 0.1 *. mb
+
+let total_count w = (3 * w) + 5
+
+let generate ?(seed = 42) ~tasks () =
+  if tasks < 11 then invalid_arg "Montage.generate: needs at least 11 tasks";
+  let g = Generator.create ~seed in
+  let w = Generator.fit_count ~target:tasks ~count_of:total_count ~lo:2 ~hi:4000 in
+  let dag = Dag.create ~name:(Printf.sprintf "montage-%d" tasks) () in
+  let projects =
+    Array.init w (fun _ ->
+        let t = Dag.add_task dag ~name:"mProjectPP" ~weight:(Generator.runtime g ~mean:rt_project) in
+        Dag.add_input dag t (Generator.filesize g ~mean:sz_raw_image);
+        t)
+  in
+  (* one output file per projection, shared by the overlap tasks *)
+  let projected_file =
+    Array.map
+      (fun t -> Dag.add_file dag ~producer:t ~size:(Generator.filesize g ~mean:sz_projected))
+      projects
+  in
+  let concat = Dag.add_task dag ~name:"mConcatFit" ~weight:(Generator.runtime g ~mean:rt_concatfit) in
+  for i = 0 to w - 2 do
+    let diff = Dag.add_task dag ~name:"mDiffFit" ~weight:(Generator.runtime g ~mean:rt_difffit) in
+    Dag.add_edge dag ~file:projected_file.(i) projects.(i) diff 0.;
+    Dag.add_edge dag ~file:projected_file.(i + 1) projects.(i + 1) diff 0.;
+    Dag.add_edge dag diff concat (Generator.filesize g ~mean:sz_diff)
+  done;
+  let bgmodel = Dag.add_task dag ~name:"mBgModel" ~weight:(Generator.runtime g ~mean:rt_bgmodel) in
+  Dag.add_edge dag concat bgmodel (Generator.filesize g ~mean:sz_concat);
+  (* the background-correction table is broadcast: one shared file *)
+  let bg_table = Dag.add_file dag ~producer:bgmodel ~size:(Generator.filesize g ~mean:sz_bgtable) in
+  let imgtbl = Dag.add_task dag ~name:"mImgtbl" ~weight:(Generator.runtime g ~mean:rt_imgtbl) in
+  for _ = 1 to w do
+    let bg = Dag.add_task dag ~name:"mBackground" ~weight:(Generator.runtime g ~mean:rt_background) in
+    Dag.add_edge dag ~file:bg_table bgmodel bg 0.;
+    Dag.add_input dag bg (Generator.filesize g ~mean:sz_raw_image);
+    Dag.add_edge dag bg imgtbl (Generator.filesize g ~mean:sz_corrected)
+  done;
+  let add = Dag.add_task dag ~name:"mAdd" ~weight:(Generator.runtime g ~mean:rt_add) in
+  Dag.add_edge dag imgtbl add (Generator.filesize g ~mean:sz_imgtbl);
+  let shrink = Dag.add_task dag ~name:"mShrink" ~weight:(Generator.runtime g ~mean:rt_shrink) in
+  Dag.add_edge dag add shrink (Generator.filesize g ~mean:sz_mosaic);
+  let jpeg = Dag.add_task dag ~name:"mJPEG" ~weight:(Generator.runtime g ~mean:rt_jpeg) in
+  Dag.add_edge dag shrink jpeg (Generator.filesize g ~mean:sz_shrunk);
+  ignore (Dag.add_file dag ~producer:jpeg ~size:(Generator.filesize g ~mean:sz_jpeg));
+  dag

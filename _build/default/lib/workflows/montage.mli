@@ -1,0 +1,23 @@
+(** MONTAGE astronomy-mosaic workflow generator.
+
+    Structure (Bharathi et al. 2008): [w] input images are re-projected
+    in parallel ([mProjectPP]); overlapping pairs of re-projections are
+    compared ([mDiffFit], one task per overlap — we use the [w-1]
+    consecutive overlaps of a strip mosaic); the fit results are
+    concatenated ([mConcatFit]) and turned into a background model
+    ([mBgModel]) whose single correction table is {e broadcast} to [w]
+    [mBackground] tasks (a shared file: checkpointing saves it once);
+    finally [mImgtbl -> mAdd -> mShrink -> mJPEG] assemble the mosaic.
+
+    Task count [3w + 5]; [generate ~tasks] picks [w].
+
+    The [mProjectPP -> mDiffFit] overlap block is an {e incomplete}
+    bipartite graph, so the raw DAG is not an M-SPG: like the paper
+    does for LIGO (footnote 2), CKPTSOME processes the dummy-completed
+    graph while baseline strategies process the raw one.
+
+    Runtime/file-size scales follow the Montage profiles of Juve et
+    al. 2013 ([mConcatFit]/[mBgModel]/[mAdd] dominate runtime;
+    projected images of a few MB dominate data). *)
+
+val generate : ?seed:int -> tasks:int -> unit -> Ckpt_dag.Dag.t

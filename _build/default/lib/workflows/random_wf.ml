@@ -1,0 +1,41 @@
+module Rng = Ckpt_prob.Rng
+module Mspg = Ckpt_mspg.Mspg
+
+let blueprint rng ~max_tasks =
+  if max_tasks < 1 then invalid_arg "Random_wf.blueprint: max_tasks < 1";
+  let counter = ref 0 in
+  let fresh_task () =
+    incr counter;
+    Mspg.Btask (Printf.sprintf "t%d" !counter, 0.5 +. Rng.float rng 49.5)
+  in
+  (* [grow budget depth] returns a blueprint using at most [budget]
+     tasks (>= 1). Deeper levels are increasingly likely to emit
+     atomic tasks so trees stay shallow-ish. *)
+  let rec grow budget depth =
+    if budget <= 1 || depth > 5 || Rng.float rng 1.0 < 0.25 +. (0.15 *. float_of_int depth)
+    then fresh_task ()
+    else begin
+      let n_children = 2 + Rng.int rng (min 4 budget - 1) in
+      let shares = Array.make n_children 1 in
+      let remaining = ref (budget - n_children) in
+      while !remaining > 0 do
+        let k = Rng.int rng n_children in
+        let take = 1 + Rng.int rng !remaining in
+        shares.(k) <- shares.(k) + take;
+        remaining := !remaining - take
+      done;
+      let children =
+        Array.to_list (Array.map (fun b -> grow b (depth + 1)) shares)
+      in
+      if Rng.bool rng then Mspg.Bserial children else Mspg.Bparallel children
+    end
+  in
+  grow max_tasks 0
+
+let generate ?(seed = 42) ~max_tasks () =
+  let rng = Rng.create seed in
+  let bp = blueprint rng ~max_tasks in
+  let edge_rng = Rng.split rng in
+  Mspg.build ~name:"random-mspg"
+    ~edge_size:(fun _ _ -> 1e5 +. Rng.float edge_rng (1e8 -. 1e5))
+    bp

@@ -1,0 +1,89 @@
+module Dag = Ckpt_dag.Dag
+
+let mb = 1_000_000.
+
+(* Juve et al. 2013, SIPHT profile (rounded means). *)
+let rt_patser = 0.96
+let rt_patser_concate = 0.03
+let rt_transterm = 32.
+let rt_findterm = 594.
+let rt_rnamotif = 12.
+let rt_blast = 3.3
+let rt_srna = 12.
+let rt_ffn_parse = 0.3
+let rt_blast_synteny = 3.7
+let rt_blast_candidate = 0.6
+let rt_blast_qrna = 40.
+let rt_blast_paralogues = 0.7
+let rt_annotate = 0.14
+let sz_genome = 8. *. mb
+let sz_patser_out = 0.05 *. mb
+let sz_branch_out = 1.5 *. mb
+let sz_srna_out = 2. *. mb
+let sz_secondary = 0.5 *. mb
+let sz_annotation = 0.3 *. mb
+
+let sub_count m = m + 12
+let total_count r m = r * sub_count m
+
+let pick_shape tasks =
+  let best = ref (max_int, 1, 1) in
+  for r = 1 to 40 do
+    let m =
+      Generator.fit_count ~target:tasks ~count_of:(fun m -> total_count r m) ~lo:1 ~hi:500
+    in
+    let err = abs (total_count r m - tasks) in
+    (* PWG uses a couple dozen Patser tasks per sub-workflow *)
+    let penalty = if m > 40 then m - 40 else 0 in
+    let s0, _, _ = !best in
+    if err + penalty < s0 then best := (err + penalty, r, m)
+  done;
+  let _, r, m = !best in
+  (r, m)
+
+let generate ?(seed = 42) ~tasks () =
+  if tasks < 13 then invalid_arg "Sipht.generate: needs at least 13 tasks";
+  let g = Generator.create ~seed in
+  let r, m = pick_shape tasks in
+  let dag = Dag.create ~name:(Printf.sprintf "sipht-%d" tasks) () in
+  let sub () =
+    let srna = Dag.add_task dag ~name:"SRNA" ~weight:(Generator.runtime g ~mean:rt_srna) in
+    (* patser block: m parallel pattern searches concatenated *)
+    let concate =
+      Dag.add_task dag ~name:"Patser_concate"
+        ~weight:(Generator.runtime g ~mean:rt_patser_concate)
+    in
+    for _ = 1 to m do
+      let patser = Dag.add_task dag ~name:"Patser" ~weight:(Generator.runtime g ~mean:rt_patser) in
+      Dag.add_input dag patser (Generator.filesize g ~mean:sz_genome);
+      Dag.add_edge dag patser concate (Generator.filesize g ~mean:sz_patser_out)
+    done;
+    Dag.add_edge dag concate srna (Generator.filesize g ~mean:sz_branch_out);
+    (* single-task analysis branches *)
+    List.iter
+      (fun (name, mean) ->
+        let t = Dag.add_task dag ~name ~weight:(Generator.runtime g ~mean) in
+        Dag.add_input dag t (Generator.filesize g ~mean:sz_genome);
+        Dag.add_edge dag t srna (Generator.filesize g ~mean:sz_branch_out))
+      [ ("Transterm", rt_transterm); ("Findterm", rt_findterm); ("RNAMotif", rt_rnamotif);
+        ("Blast", rt_blast) ];
+    (* the SRNA verdict is one shared file consumed by the secondary
+       analyses *)
+    let verdict = Dag.add_file dag ~producer:srna ~size:(Generator.filesize g ~mean:sz_srna_out) in
+    let annotate =
+      Dag.add_task dag ~name:"SRNA_annotate" ~weight:(Generator.runtime g ~mean:rt_annotate)
+    in
+    List.iter
+      (fun (name, mean) ->
+        let t = Dag.add_task dag ~name ~weight:(Generator.runtime g ~mean) in
+        Dag.add_edge dag ~file:verdict srna t 0.;
+        Dag.add_edge dag t annotate (Generator.filesize g ~mean:sz_secondary))
+      [ ("FFN_parse", rt_ffn_parse); ("Blast_synteny", rt_blast_synteny);
+        ("Blast_candidate", rt_blast_candidate); ("Blast_QRNA", rt_blast_qrna);
+        ("Blast_paralogues", rt_blast_paralogues) ];
+    ignore (Dag.add_file dag ~producer:annotate ~size:(Generator.filesize g ~mean:sz_annotation))
+  in
+  for _ = 1 to r do
+    sub ()
+  done;
+  dag

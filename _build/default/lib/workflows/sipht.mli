@@ -1,0 +1,19 @@
+(** SIPHT sRNA-identification workflow generator (an extension beyond
+    the paper's three families — SIPHT belongs to the same Pegasus
+    characterisation suite).
+
+    Structure (Bharathi et al. 2008, arranged as an M-SPG): the search
+    is replicated over [r] independent {e candidate sub-workflows} run
+    in parallel. Each sub-workflow fans out into heterogeneous
+    analysis branches — a [Patser -> ... -> Patser_concate] chain
+    block plus the [Transterm], [Findterm], [RNAMotif] and [Blast]
+    single-task branches — joins at [SRNA], fans out again into five
+    secondary [Blast*/FFN_parse] analyses, and finishes with
+    [SRNA_annotate]. Findterm dominates the runtime (~10 min), making
+    SIPHT strongly imbalanced across branches — a stress test for
+    PROPMAP's proportional allocation.
+
+    Task count per sub-workflow: [m + 12]; [generate ~tasks] picks
+    [(r, m)]. *)
+
+val generate : ?seed:int -> tasks:int -> unit -> Ckpt_dag.Dag.t

@@ -1,0 +1,32 @@
+module Dag = Ckpt_dag.Dag
+
+type kind = Genome | Montage | Ligo | Cybershake | Sipht
+
+let paper = [ Genome; Montage; Ligo ]
+let all = [ Genome; Montage; Ligo; Cybershake; Sipht ]
+
+let name = function
+  | Genome -> "genome"
+  | Montage -> "montage"
+  | Ligo -> "ligo"
+  | Cybershake -> "cybershake"
+  | Sipht -> "sipht"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "genome" | "epigenomics" -> Some Genome
+  | "montage" -> Some Montage
+  | "ligo" | "inspiral" -> Some Ligo
+  | "cybershake" -> Some Cybershake
+  | "sipht" -> Some Sipht
+  | _ -> None
+
+let generate kind ?seed ~tasks () =
+  match kind with
+  | Genome -> Genome.generate ?seed ~tasks ()
+  | Montage -> Montage.generate ?seed ~tasks ()
+  | Ligo -> Ligo.generate ?seed ~tasks ()
+  | Cybershake -> Cybershake.generate ?seed ~tasks ()
+  | Sipht -> Sipht.generate ?seed ~tasks ()
+
+let ccr dag ~bandwidth = Dag.total_data dag /. bandwidth /. Dag.total_weight dag

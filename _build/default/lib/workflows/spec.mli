@@ -1,0 +1,24 @@
+(** Uniform access to the workflow families.
+
+    GENOME, MONTAGE and LIGO are the three families of the paper's
+    evaluation; CYBERSHAKE and SIPHT extend the study to the remaining
+    Pegasus characterisation-suite applications. *)
+
+type kind = Genome | Montage | Ligo | Cybershake | Sipht
+
+val paper : kind list
+(** The families used in the paper's Figures 5-7. *)
+
+val all : kind list
+(** Every implemented family (paper + extensions). *)
+
+val name : kind -> string
+val of_name : string -> kind option
+
+val generate : kind -> ?seed:int -> tasks:int -> unit -> Ckpt_dag.Dag.t
+(** Dispatches to the family's generator. *)
+
+val ccr : Ckpt_dag.Dag.t -> bandwidth:float -> float
+(** The paper's Communication-to-Computation Ratio: time to store every
+    file the workflow handles (input, output, intermediate) divided by
+    the total single-processor computation time. *)

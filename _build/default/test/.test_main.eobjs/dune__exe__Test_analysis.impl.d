@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ckpt_dag Ckpt_workflows List

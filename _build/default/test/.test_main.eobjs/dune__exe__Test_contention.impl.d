@@ -1,0 +1,1 @@
+test/test_contention.ml: Alcotest Array Ckpt_core Ckpt_platform Ckpt_prob Ckpt_sim Ckpt_workflows Printf

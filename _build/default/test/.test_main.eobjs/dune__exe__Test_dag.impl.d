@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Ckpt_dag Ckpt_prob Float Hashtbl List Printf QCheck QCheck_alcotest String

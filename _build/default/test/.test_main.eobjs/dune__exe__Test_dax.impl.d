@@ -1,0 +1,1 @@
+test/test_dax.ml: Alcotest Ckpt_core Ckpt_dag Ckpt_dax Ckpt_workflows Filename Fun List Sys

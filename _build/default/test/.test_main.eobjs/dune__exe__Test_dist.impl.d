@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Ckpt_prob Float Gen List QCheck QCheck_alcotest

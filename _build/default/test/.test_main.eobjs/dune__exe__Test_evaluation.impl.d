@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Array Ckpt_eval Ckpt_mspg Ckpt_prob List

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ckpt_core Ckpt_eval Ckpt_sim Ckpt_workflows List

@@ -1,0 +1,1 @@
+test/test_mspg.ml: Alcotest Ckpt_dag Ckpt_mspg Ckpt_prob Ckpt_workflows List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_normal.ml: Alcotest Ckpt_prob Float List Printf

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Ckpt_core Ckpt_dag Ckpt_platform Ckpt_prob List Printf QCheck QCheck_alcotest

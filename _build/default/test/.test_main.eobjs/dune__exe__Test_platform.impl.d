@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Ckpt_platform Ckpt_prob List

@@ -1,0 +1,1 @@
+test/test_recognize.ml: Alcotest Array Ckpt_core Ckpt_dag Ckpt_mspg Ckpt_platform Ckpt_workflows Format List QCheck QCheck_alcotest

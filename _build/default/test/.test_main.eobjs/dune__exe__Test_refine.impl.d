@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Ckpt_core Ckpt_workflows List

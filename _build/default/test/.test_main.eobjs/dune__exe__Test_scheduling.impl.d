@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Array Ckpt_core Ckpt_dag Ckpt_mspg Ckpt_prob Ckpt_workflows Hashtbl List Printf

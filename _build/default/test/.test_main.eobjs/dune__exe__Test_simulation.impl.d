@@ -1,0 +1,1 @@
+test/test_simulation.ml: Alcotest Array Ckpt_core Ckpt_eval Ckpt_platform Ckpt_prob Ckpt_sim Ckpt_workflows List

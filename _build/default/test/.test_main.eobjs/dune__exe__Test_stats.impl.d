@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ckpt_prob Stdlib

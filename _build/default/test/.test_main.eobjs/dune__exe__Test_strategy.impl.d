@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Ckpt_core Ckpt_dag Ckpt_eval Ckpt_mspg Ckpt_platform Ckpt_prob Ckpt_sim Ckpt_workflows Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_toueg.ml: Alcotest Array Ckpt_core Ckpt_prob List Printf

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Ckpt_core Ckpt_platform Ckpt_prob Ckpt_sim Ckpt_viz Ckpt_workflows Filename Fun List String Sys

@@ -1,0 +1,1 @@
+test/test_workflows.ml: Alcotest Array Ckpt_dag Ckpt_mspg Ckpt_workflows Float Hashtbl List Option

@@ -1,0 +1,94 @@
+(* Tests for Ckpt_dag.Analysis. *)
+
+module Dag = Ckpt_dag.Dag
+module Analysis = Ckpt_dag.Analysis
+module Spec = Ckpt_workflows.Spec
+
+let diamond () =
+  let d = Dag.create ~name:"diamond" () in
+  let a = Dag.add_task d ~name:"head" ~weight:1. in
+  let b = Dag.add_task d ~name:"mid" ~weight:2. in
+  let c = Dag.add_task d ~name:"mid" ~weight:3. in
+  let e = Dag.add_task d ~name:"tail" ~weight:4. in
+  Dag.add_edge d a b 10.;
+  Dag.add_edge d a c 20.;
+  Dag.add_edge d b e 30.;
+  Dag.add_edge d c e 40.;
+  Dag.add_input d a 100.;
+  d
+
+let test_profile_diamond () =
+  let p = Analysis.profile (diamond ()) in
+  Alcotest.(check int) "tasks" 4 p.Analysis.tasks;
+  Alcotest.(check int) "edges" 4 p.Analysis.edges;
+  Alcotest.(check int) "depth" 3 p.Analysis.depth;
+  Alcotest.(check int) "max width" 2 p.Analysis.max_width;
+  Alcotest.(check (float 1e-9)) "critical path" 8. p.Analysis.critical_path_length;
+  Alcotest.(check int) "cp tasks" 3 p.Analysis.critical_path_tasks;
+  Alcotest.(check (float 1e-9)) "parallelism" (10. /. 8.) p.Analysis.avg_parallelism;
+  Alcotest.(check int) "sources" 1 p.Analysis.sources;
+  Alcotest.(check int) "sinks" 1 p.Analysis.sinks;
+  Alcotest.(check int) "max in" 2 p.Analysis.max_in_degree;
+  Alcotest.(check int) "max out" 2 p.Analysis.max_out_degree;
+  Alcotest.(check int) "inputs" 1 p.Analysis.initial_input_files;
+  Alcotest.(check int) "no shared files" 0 p.Analysis.shared_files;
+  Alcotest.(check (float 1e-6)) "data incl. input" 200. p.Analysis.total_data
+
+let test_level_widths () =
+  Alcotest.(check (array int)) "widths" [| 1; 2; 1 |] (Analysis.level_widths (diamond ()))
+
+let test_shared_file_detection () =
+  let d = Dag.create () in
+  let a = Dag.add_task d ~name:"a" ~weight:1. in
+  let b = Dag.add_task d ~name:"b" ~weight:1. in
+  let c = Dag.add_task d ~name:"c" ~weight:1. in
+  let f = Dag.add_file d ~producer:a ~size:5. in
+  Dag.add_edge d ~file:f a b 0.;
+  Dag.add_edge d ~file:f a c 0.;
+  Alcotest.(check int) "one shared file" 1 (Analysis.profile d).Analysis.shared_files
+
+let test_by_task_type () =
+  match Analysis.by_task_type (diamond ()) with
+  | [ ("mid", 2, w); ("tail", 1, 4.); ("head", 1, 1.) ] ->
+      Alcotest.(check (float 1e-9)) "mid weight" 5. w
+  | l -> Alcotest.failf "unexpected breakdown (%d entries)" (List.length l)
+
+let test_bottleneck_tasks () =
+  let tops = Analysis.bottleneck_tasks ~top:2 (diamond ()) in
+  Alcotest.(check (list (float 1e-9))) "two heaviest" [ 4.; 3. ]
+    (List.map (fun (t : Ckpt_dag.Task.t) -> t.Ckpt_dag.Task.weight) tops)
+
+let test_profile_real_workflows () =
+  List.iter
+    (fun kind ->
+      let dag = Spec.generate kind ~seed:2 ~tasks:300 () in
+      let p = Analysis.profile dag in
+      Alcotest.(check bool) (Spec.name kind ^ " parallelism >= 1") true
+        (p.Analysis.avg_parallelism >= 1. -. 1e-9);
+      Alcotest.(check bool) "depth sane" true (p.Analysis.depth >= 3);
+      Alcotest.(check bool) "width sane" true
+        (p.Analysis.max_width >= 1 && p.Analysis.max_width <= p.Analysis.tasks))
+    Spec.all
+
+let test_montage_shared_broadcast () =
+  let dag = Spec.generate Spec.Montage ~seed:2 ~tasks:100 () in
+  Alcotest.(check bool) "montage shares files" true
+    ((Analysis.profile dag).Analysis.shared_files >= 1)
+
+let test_empty_rejected () =
+  Alcotest.(check bool) "empty rejected" true
+    (match Analysis.profile (Dag.create ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "profile diamond" `Quick test_profile_diamond;
+    Alcotest.test_case "level widths" `Quick test_level_widths;
+    Alcotest.test_case "shared files" `Quick test_shared_file_detection;
+    Alcotest.test_case "by task type" `Quick test_by_task_type;
+    Alcotest.test_case "bottlenecks" `Quick test_bottleneck_tasks;
+    Alcotest.test_case "real workflows" `Quick test_profile_real_workflows;
+    Alcotest.test_case "montage broadcast" `Quick test_montage_shared_broadcast;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+  ]

@@ -1,0 +1,157 @@
+(* Tests for the contention-aware simulator: hand-computable fluid
+   schedules, degeneration to the contention-free engine, and the
+   qualitative effect on checkpoint-heavy strategies. *)
+
+module Contention = Ckpt_sim.Contention
+module Engine = Ckpt_sim.Engine
+module Runner = Ckpt_sim.Runner
+module Failure = Ckpt_platform.Failure
+module Rng = Ckpt_prob.Rng
+module Stats = Ckpt_prob.Stats
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Spec = Ckpt_workflows.Spec
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1. +. abs_float expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let no_failures _ = Failure.create (Rng.create 1) ~lambda:0.
+
+let seg ?(preds = []) processor read_bytes work write_bytes =
+  { Contention.processor; read_bytes; work; write_bytes; preds }
+
+let test_single_segment_phases () =
+  (* 100 bytes at bw 10 = 10 s, compute 5 s, write 50 bytes = 5 s *)
+  let segs = [| seg 0 100. 5. 50. |] in
+  check_close "sum of phases" 20. (Contention.makespan ~bandwidth:10. segs no_failures)
+
+let test_two_concurrent_readers_share_bandwidth () =
+  (* two processors reading 100 bytes each at bw 10: fair sharing
+     makes both take 20 s instead of 10 *)
+  let segs = [| seg 0 100. 0. 0.; seg 1 100. 0. 0. |] in
+  check_close "halved rate" 20. (Contention.makespan ~bandwidth:10. segs no_failures)
+
+let test_io_and_compute_overlap () =
+  (* a reader and a computer do not contend *)
+  let segs = [| seg 0 100. 0. 0.; seg 1 0. 12. 0. |] in
+  check_close "independent" 12. (Contention.makespan ~bandwidth:10. segs no_failures)
+
+let test_staggered_release () =
+  (* p0 reads 100B; p1 computes 5s then reads 100B. bw 10.
+     Phase 1 (0-5s): p0 alone at 10 B/s -> 50B left.
+     Phase 2 (5s-): both read at 5 B/s; p0 finishes its 50B at t=15;
+     p1 has 50B left, alone again at 10 B/s -> t=20. *)
+  let segs = [| seg 0 100. 0. 0.; seg 1 0. 5. 100. |] in
+  check_close "fluid sharing" 20. (Contention.makespan ~bandwidth:10. segs no_failures)
+
+let test_dependencies_respected () =
+  let segs = [| seg 0 0. 10. 0.; seg ~preds:[ 0 ] 1 0. 3. 0. |] in
+  check_close "waits" 13. (Contention.makespan ~bandwidth:10. segs no_failures)
+
+let test_matches_engine_without_contention () =
+  (* a single processor never contends with itself: the fluid model
+     must agree with the contention-free engine *)
+  let rng = Rng.create 3 in
+  for _ = 1 to 20 do
+    let n = 1 + Rng.int rng 6 in
+    let bandwidth = 10. in
+    let csegs =
+      Array.init n (fun i ->
+          seg
+            ~preds:(if i > 0 then [ i - 1 ] else [])
+            0 (Rng.float rng 100.) (Rng.float rng 10.) (Rng.float rng 100.))
+    in
+    let esegs =
+      Array.map
+        (fun (s : Contention.seg) ->
+          {
+            Engine.processor = s.Contention.processor;
+            duration =
+              (s.Contention.read_bytes /. bandwidth)
+              +. s.Contention.work
+              +. (s.Contention.write_bytes /. bandwidth);
+            preds = s.Contention.preds;
+          })
+        csegs
+    in
+    let lambda = 0.01 in
+    (* same seed -> same failure trace in both engines *)
+    let m1 = Contention.makespan ~bandwidth csegs (fun _ -> Failure.create (Rng.create 77) ~lambda) in
+    let m2 = Engine.makespan esegs (fun _ -> Failure.create (Rng.create 77) ~lambda) in
+    check_close ~eps:1e-6 "one processor: fluid = engine" m2 m1
+  done
+
+let test_failure_restarts_segment () =
+  (* deterministic check via statistics: with failures the mean grows *)
+  let rng = Rng.create 5 in
+  let segs = [| seg 0 100. 10. 100. |] in
+  let mean lambda =
+    let s = Stats.create () in
+    for _ = 1 to 2000 do
+      let trial = Rng.split rng in
+      Stats.add s (Contention.makespan ~bandwidth:10. segs (fun _ -> Failure.create trial ~lambda))
+    done;
+    Stats.mean s
+  in
+  let m0 = mean 0. in
+  check_close "failure-free" 30. m0;
+  Alcotest.(check bool) "failures lengthen" true (mean 0.02 > m0 +. 1.)
+
+let test_simulate_plan_close_to_engine_at_low_contention () =
+  (* with mostly-compute workloads, contention barely matters. Use a
+     (numerically) failure-free setting so both simulators are
+     deterministic and the inequality is exact, not noise-dominated. *)
+  let dag = Spec.generate Spec.Ligo ~seed:1 ~tasks:50 () in
+  let setup = Pipeline.prepare ~dag ~processors:3 ~pfail:1e-12 ~ccr:0.001 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let nominal = Stats.mean (Runner.simulate ~trials:3 plan) in
+  let contended = Stats.mean (Contention.simulate ~trials:3 plan) in
+  if contended < nominal -. 1e-6 then
+    Alcotest.failf "contention sped things up: %f vs %f" contended nominal;
+  if contended > nominal *. 1.05 then
+    Alcotest.failf "low-CCR contention too large: %f vs %f" contended nominal
+
+let test_contention_hurts_ckptall_more () =
+  (* at high CCR many concurrent checkpoints collide: CKPTALL (maximal
+     I/O) must lose more from contention than CKPTSOME *)
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+  let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.5 () in
+  let penalty kind =
+    let plan = Pipeline.plan setup kind in
+    let nominal = Stats.mean (Runner.simulate ~trials:60 plan) in
+    let contended = Stats.mean (Contention.simulate ~trials:60 plan) in
+    contended /. nominal
+  in
+  let all = penalty Strategy.Ckpt_all in
+  let some = penalty Strategy.Ckpt_some in
+  Alcotest.(check bool)
+    (Printf.sprintf "CKPTALL penalty %.3f >= CKPTSOME penalty %.3f" all some)
+    true
+    (all >= some -. 0.02)
+
+let test_rejects_bad_input () =
+  Alcotest.(check bool) "bad order" true
+    (match
+       Contention.makespan ~bandwidth:1. [| seg ~preds:[ 0 ] 0 1. 1. 1. |] no_failures
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad bandwidth" true
+    (match Contention.makespan ~bandwidth:0. [| seg 0 1. 1. 1. |] no_failures with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "phase sequence" `Quick test_single_segment_phases;
+    Alcotest.test_case "bandwidth sharing" `Quick test_two_concurrent_readers_share_bandwidth;
+    Alcotest.test_case "io/compute overlap" `Quick test_io_and_compute_overlap;
+    Alcotest.test_case "staggered release" `Quick test_staggered_release;
+    Alcotest.test_case "dependencies" `Quick test_dependencies_respected;
+    Alcotest.test_case "fluid = engine on one proc" `Quick test_matches_engine_without_contention;
+    Alcotest.test_case "failure restarts" `Slow test_failure_restarts_segment;
+    Alcotest.test_case "low contention ~ nominal" `Slow test_simulate_plan_close_to_engine_at_low_contention;
+    Alcotest.test_case "contention hurts CKPTALL more" `Slow test_contention_hurts_ckptall_more;
+    Alcotest.test_case "rejects bad input" `Quick test_rejects_bad_input;
+  ]

@@ -1,0 +1,149 @@
+(* End-to-end integration tests: the paper's qualitative claims
+   (Section VI-C) must hold on our reproduction. *)
+
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Spec = Ckpt_workflows.Spec
+module Evaluator = Ckpt_eval.Evaluator
+
+let compare_at kind ~tasks ~processors ~pfail ~ccr =
+  let dag = Spec.generate kind ~seed:1 ~tasks () in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  Pipeline.compare_strategies setup
+
+let test_ckptsome_vs_ckptall_genome () =
+  (* CKPTSOME always at least matches CKPTALL on genome (strict M-SPG,
+     no dummy-synchronisation artifacts) *)
+  List.iter
+    (fun ccr ->
+      List.iter
+        (fun pfail ->
+          let cmp = compare_at Spec.Genome ~tasks:300 ~processors:35 ~pfail ~ccr in
+          if cmp.Pipeline.rel_all < 1. -. 1e-9 then
+            Alcotest.failf "ccr=%g pfail=%g: CKPTALL beat CKPTSOME (%f)" ccr pfail
+              cmp.Pipeline.rel_all)
+        [ 0.01; 0.001; 0.0001 ])
+    [ 0.0001; 0.001; 0.01; 0.1; 1.0 ]
+
+let test_ckptall_converges_to_one_low_ccr () =
+  (* as CCR -> 0, checkpointing becomes free: CKPTSOME checkpoints
+     everything and matches CKPTALL *)
+  List.iter
+    (fun kind ->
+      let cmp = compare_at kind ~tasks:300 ~processors:35 ~pfail:0.01 ~ccr:1e-6 in
+      if abs_float (cmp.Pipeline.rel_all -. 1.) > 0.02 then
+        Alcotest.failf "%s: rel_all %f at tiny CCR" (Spec.name kind) cmp.Pipeline.rel_all)
+    Spec.all
+
+let test_ckptall_penalty_grows_with_ccr () =
+  (* the CKPTALL overhead is monotone-ish: compare extremes *)
+  List.iter
+    (fun kind ->
+      let low = compare_at kind ~tasks:300 ~processors:35 ~pfail:0.001 ~ccr:0.001 in
+      let high = compare_at kind ~tasks:300 ~processors:35 ~pfail:0.001 ~ccr:1.0 in
+      if high.Pipeline.rel_all < low.Pipeline.rel_all -. 0.02 then
+        Alcotest.failf "%s: rel_all fell from %f to %f as CCR rose" (Spec.name kind)
+          low.Pipeline.rel_all high.Pipeline.rel_all)
+    Spec.all
+
+let test_ckptnone_loses_at_high_failure_rate () =
+  (* frequent failures and cheap checkpoints: CKPTNONE must lose badly *)
+  List.iter
+    (fun kind ->
+      let cmp = compare_at kind ~tasks:300 ~processors:35 ~pfail:0.01 ~ccr:0.001 in
+      if cmp.Pipeline.rel_none < 1.2 then
+        Alcotest.failf "%s: CKPTNONE too good (%f)" (Spec.name kind) cmp.Pipeline.rel_none)
+    Spec.all
+
+let test_ckptnone_competitive_when_failures_rare_and_ckpt_dear () =
+  (* rare failures + expensive checkpoints: CKPTNONE wins or nearly *)
+  let cmp = compare_at Spec.Ligo ~tasks:300 ~processors:35 ~pfail:0.0001 ~ccr:1.0 in
+  if cmp.Pipeline.rel_none > 1.0 +. 1e-6 then
+    Alcotest.failf "CKPTNONE should win at pfail=1e-4, CCR=1 (got %f)" cmp.Pipeline.rel_none
+
+let test_ckptnone_degrades_with_size () =
+  (* more tasks, more re-execution on restart: relNONE grows with n *)
+  let rel n p =
+    (compare_at Spec.Genome ~tasks:n ~processors:p ~pfail:0.01 ~ccr:0.001).Pipeline.rel_none
+  in
+  Alcotest.(check bool) "monotone in n" true (rel 50 5 < rel 1000 61)
+
+let test_ckptnone_degrades_with_failures () =
+  let rel pfail =
+    (compare_at Spec.Montage ~tasks:300 ~processors:35 ~pfail ~ccr:0.01).Pipeline.rel_none
+  in
+  Alcotest.(check bool) "monotone in pfail" true (rel 0.0001 < rel 0.01)
+
+let test_paper_processor_grid_runs () =
+  (* the full grid of Figures 5-7 processor counts must at least run *)
+  let grid = [ (50, [ 3; 5; 7; 10 ]); (300, [ 18; 35; 52; 70 ]) ] in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (tasks, procs) ->
+          List.iter
+            (fun p ->
+              let cmp = compare_at kind ~tasks ~processors:p ~pfail:0.001 ~ccr:0.01 in
+              if not (cmp.Pipeline.em_some > 0.) then
+                Alcotest.failf "%s n=%d p=%d failed" (Spec.name kind) tasks p)
+            procs)
+        grid)
+    Spec.all
+
+let test_more_processors_not_slower () =
+  (* proportional mapping should not make the failure-free schedule
+     dramatically worse with more processors *)
+  let em p =
+    let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+    let setup = Pipeline.prepare ~dag ~processors:p ~pfail:0.0001 ~ccr:0.001 () in
+    (Pipeline.plan setup Strategy.Ckpt_none).Strategy.wpar
+  in
+  Alcotest.(check bool) "wpar shrinks with processors" true (em 70 <= em 18 +. 1e-6)
+
+let test_estimators_consistent_on_real_plans () =
+  (* all four estimators agree within a few percent on a real
+     CKPTSOME plan (Section VI-B conclusion) *)
+  let dag = Spec.generate Spec.Ligo ~seed:1 ~tasks:300 () in
+  let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let mc =
+    Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials = 100_000; seed = 1 })
+      plan
+  in
+  List.iter
+    (fun m ->
+      let v = Strategy.expected_makespan ~method_:m plan in
+      let err = abs_float (v -. mc) /. mc in
+      if err > 0.05 then
+        Alcotest.failf "%s: %f vs MC %f (%.1f%%)" (Evaluator.name m) v mc (err *. 100.))
+    Evaluator.all_fast
+
+let test_simulation_validates_model_on_all_workflows () =
+  (* the simulator (exact failure semantics) stays within ~5% of the
+     first-order PATHAPPROX estimate in the paper's regime *)
+  List.iter
+    (fun kind ->
+      let dag = Spec.generate kind ~seed:1 ~tasks:50 () in
+      let setup = Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.01 () in
+      let plan = Pipeline.plan setup Strategy.Ckpt_some in
+      let est = Strategy.expected_makespan plan in
+      let sim = Ckpt_sim.Runner.simulated_expected_makespan ~trials:2000 plan in
+      let err = abs_float (sim -. est) /. est in
+      if err > 0.05 then
+        Alcotest.failf "%s: sim %f vs est %f (%.1f%%)" (Spec.name kind) sim est (err *. 100.))
+    Spec.all
+
+let suite =
+  [
+    Alcotest.test_case "CKPTSOME >= CKPTALL (genome)" `Slow test_ckptsome_vs_ckptall_genome;
+    Alcotest.test_case "rel_all -> 1 as CCR -> 0" `Slow test_ckptall_converges_to_one_low_ccr;
+    Alcotest.test_case "rel_all grows with CCR" `Slow test_ckptall_penalty_grows_with_ccr;
+    Alcotest.test_case "CKPTNONE loses at high pfail" `Slow test_ckptnone_loses_at_high_failure_rate;
+    Alcotest.test_case "CKPTNONE wins when ckpt dear" `Quick test_ckptnone_competitive_when_failures_rare_and_ckpt_dear;
+    Alcotest.test_case "CKPTNONE degrades with n" `Slow test_ckptnone_degrades_with_size;
+    Alcotest.test_case "CKPTNONE degrades with pfail" `Quick test_ckptnone_degrades_with_failures;
+    Alcotest.test_case "paper processor grid" `Slow test_paper_processor_grid_runs;
+    Alcotest.test_case "wpar shrinks with procs" `Quick test_more_processors_not_slower;
+    Alcotest.test_case "estimators agree on plans" `Slow test_estimators_consistent_on_real_plans;
+    Alcotest.test_case "simulator validates model" `Slow test_simulation_validates_model_on_all_workflows;
+  ]

@@ -1,0 +1,27 @@
+(* Test entry point: one Alcotest suite per library module group. *)
+
+let () =
+  Alcotest.run "ckptwf"
+    [
+      ("rng", Test_rng.suite);
+      ("dist", Test_dist.suite);
+      ("normal", Test_normal.suite);
+      ("stats", Test_stats.suite);
+      ("dag", Test_dag.suite);
+      ("mspg", Test_mspg.suite);
+      ("recognize", Test_recognize.suite);
+      ("platform", Test_platform.suite);
+      ("workflows", Test_workflows.suite);
+      ("toueg", Test_toueg.suite);
+      ("scheduling", Test_scheduling.suite);
+      ("placement", Test_placement.suite);
+      ("evaluation", Test_evaluation.suite);
+      ("strategy", Test_strategy.suite);
+      ("simulation", Test_simulation.suite);
+      ("integration", Test_integration.suite);
+      ("dax", Test_dax.suite);
+      ("viz", Test_viz.suite);
+      ("contention", Test_contention.suite);
+      ("analysis", Test_analysis.suite);
+      ("refine", Test_refine.suite);
+    ]

@@ -1,0 +1,100 @@
+(* Tests for Ckpt_prob.Normal: erf/cdf/quantile accuracy against
+   published values, and Clark's max-of-normals moments against Monte
+   Carlo. *)
+
+module Normal = Ckpt_prob.Normal
+module Rng = Ckpt_prob.Rng
+module Stats = Ckpt_prob.Stats
+
+let check_close ?(eps = 1e-7) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let test_erf_reference_values () =
+  (* reference values from Abramowitz & Stegun table 7.1 *)
+  check_close "erf 0" 0. (Normal.erf 0.);
+  check_close ~eps:1e-9 "erf 0.5" 0.5204998778 (Normal.erf 0.5);
+  check_close ~eps:1e-9 "erf 1" 0.8427007929 (Normal.erf 1.);
+  check_close ~eps:1e-9 "erf 2" 0.9953222650 (Normal.erf 2.);
+  check_close ~eps:1e-10 "erf 3" 0.9999779095 (Normal.erf 3.);
+  check_close ~eps:1e-9 "erf -1" (-0.8427007929) (Normal.erf (-1.))
+
+let test_cdf_reference_values () =
+  check_close "cdf 0" 0.5 (Normal.cdf 0.);
+  check_close ~eps:1e-9 "cdf 1" 0.8413447461 (Normal.cdf 1.);
+  check_close ~eps:1e-9 "cdf -1" 0.1586552539 (Normal.cdf (-1.));
+  check_close ~eps:1e-9 "cdf 1.96" 0.9750021049 (Normal.cdf 1.96);
+  check_close ~eps:1e-10 "cdf 4" 0.9999683288 (Normal.cdf 4.)
+
+let test_pdf () =
+  check_close ~eps:1e-12 "pdf 0" (1. /. sqrt (2. *. Float.pi)) (Normal.pdf 0.);
+  check_close ~eps:1e-12 "pdf symmetric" (Normal.pdf 1.3) (Normal.pdf (-1.3))
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Normal.quantile p in
+      check_close ~eps:1e-8 (Printf.sprintf "cdf(quantile %g)" p) p (Normal.cdf x))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+let test_quantile_known () =
+  check_close ~eps:1e-8 "median" 0. (Normal.quantile 0.5);
+  check_close ~eps:1e-6 "97.5%" 1.959963985 (Normal.quantile 0.975)
+
+let test_quantile_rejects_bounds () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Normal.quantile: argument must be in (0,1)")
+    (fun () -> ignore (Normal.quantile 0.));
+  Alcotest.check_raises "p=1" (Invalid_argument "Normal.quantile: argument must be in (0,1)")
+    (fun () -> ignore (Normal.quantile 1.))
+
+let mc_max_moments ~mean1 ~var1 ~mean2 ~var2 trials =
+  let rng = Rng.create 99 in
+  let stats = Stats.create () in
+  for _ = 1 to trials do
+    let x1 = Rng.normal rng ~mean:mean1 ~stddev:(sqrt var1) in
+    let x2 = Rng.normal rng ~mean:mean2 ~stddev:(sqrt var2) in
+    Stats.add stats (Float.max x1 x2)
+  done;
+  (Stats.mean stats, Stats.variance stats)
+
+let test_clark_vs_montecarlo () =
+  List.iter
+    (fun (m1, v1, m2, v2) ->
+      let cm, cv = Normal.clark_max ~mean1:m1 ~var1:v1 ~mean2:m2 ~var2:v2 ~rho:0. in
+      let mm, mv = mc_max_moments ~mean1:m1 ~var1:v1 ~mean2:m2 ~var2:v2 400_000 in
+      if abs_float (cm -. mm) > 0.02 *. (1. +. abs_float mm) then
+        Alcotest.failf "clark mean %f vs mc %f" cm mm;
+      if abs_float (cv -. mv) > 0.05 *. (1. +. abs_float mv) then
+        Alcotest.failf "clark var %f vs mc %f" cv mv)
+    [ (0., 1., 0., 1.); (5., 2., 3., 1.); (10., 0.5, 10., 0.5); (0., 1., 4., 9.) ]
+
+let test_clark_dominant_operand () =
+  (* when X1 is far above X2, max ~ X1 *)
+  let m, v = Normal.clark_max ~mean1:100. ~var1:1. ~mean2:0. ~var2:1. ~rho:0. in
+  check_close ~eps:1e-6 "mean" 100. m;
+  check_close ~eps:1e-4 "variance" 1. v
+
+let test_clark_identical_degenerate () =
+  (* identical deterministic variables: a=0 branch *)
+  let m, v = Normal.clark_max ~mean1:5. ~var1:0. ~mean2:5. ~var2:0. ~rho:0. in
+  check_close "mean" 5. m;
+  check_close "variance" 0. v
+
+let test_clark_max_of_standard_normals () =
+  (* E[max(N(0,1),N(0,1))] = 1/sqrt(pi) for independent standard normals *)
+  let m, _ = Normal.clark_max ~mean1:0. ~var1:1. ~mean2:0. ~var2:1. ~rho:0. in
+  check_close ~eps:1e-9 "1/sqrt(pi)" (1. /. sqrt Float.pi) m
+
+let suite =
+  [
+    Alcotest.test_case "erf reference values" `Quick test_erf_reference_values;
+    Alcotest.test_case "cdf reference values" `Quick test_cdf_reference_values;
+    Alcotest.test_case "pdf" `Quick test_pdf;
+    Alcotest.test_case "quantile roundtrip" `Quick test_quantile_roundtrip;
+    Alcotest.test_case "quantile known values" `Quick test_quantile_known;
+    Alcotest.test_case "quantile bounds" `Quick test_quantile_rejects_bounds;
+    Alcotest.test_case "Clark vs Monte Carlo" `Slow test_clark_vs_montecarlo;
+    Alcotest.test_case "Clark dominant operand" `Quick test_clark_dominant_operand;
+    Alcotest.test_case "Clark degenerate" `Quick test_clark_identical_degenerate;
+    Alcotest.test_case "Clark standard normals" `Quick test_clark_max_of_standard_normals;
+  ]

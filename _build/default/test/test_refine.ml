@@ -1,0 +1,76 @@
+(* Tests for Ckpt_core.Refine: the global hill-climbing refinement. *)
+
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Refine = Ckpt_core.Refine
+module Spec = Ckpt_workflows.Spec
+
+let setup () =
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  Pipeline.prepare ~dag ~processors:5 ~pfail:0.01 ~ccr:0.1 ()
+
+let test_never_worse () =
+  let s = setup () in
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan s kind in
+      let r = Refine.hill_climb ~max_rounds:5 plan in
+      if r.Refine.final_em > r.Refine.initial_em +. 1e-9 then
+        Alcotest.failf "%s: refinement degraded %f -> %f" (Strategy.kind_name kind)
+          r.Refine.initial_em r.Refine.final_em)
+    [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_every 5 ]
+
+let test_ckptsome_near_global_optimum () =
+  (* the headline: Algorithm 2's per-superchain optimum leaves almost
+     nothing on the table globally *)
+  let s = setup () in
+  let r = Refine.hill_climb (Pipeline.plan s Strategy.Ckpt_some) in
+  let gain = (r.Refine.initial_em -. r.Refine.final_em) /. r.Refine.initial_em in
+  if gain > 0.01 then
+    Alcotest.failf "refinement gained %.2f%% over Algorithm 2 — too much" (gain *. 100.)
+
+let test_improves_bad_start () =
+  (* from a poor fixed-period start the search must recover most of
+     the gap to CKPTSOME *)
+  let s = setup () in
+  let some_em = Strategy.expected_makespan (Pipeline.plan s Strategy.Ckpt_some) in
+  let r = Refine.hill_climb ~max_rounds:30 (Pipeline.plan s (Strategy.Ckpt_every 5)) in
+  Alcotest.(check bool) "moves applied" true (r.Refine.moves > 0);
+  if r.Refine.final_em > some_em *. 1.005 then
+    Alcotest.failf "refined every-5 (%f) still far from CKPTSOME (%f)" r.Refine.final_em
+      some_em
+
+let test_final_positions_keep_exits () =
+  (* the refined plan still checkpoints every superchain's end *)
+  let s = setup () in
+  let r = Refine.hill_climb ~max_rounds:5 (Pipeline.plan s (Strategy.Ckpt_every 3)) in
+  List.iter
+    (fun (chain, positions) ->
+      let sc = s.Pipeline.schedule.Ckpt_core.Schedule.superchains.(chain) in
+      Alcotest.(check int) "exit kept"
+        (Ckpt_core.Superchain.n_tasks sc - 1)
+        (List.rev positions |> List.hd))
+    (Strategy.checkpoint_positions r.Refine.plan)
+
+let test_rejects_ckptnone () =
+  let s = setup () in
+  Alcotest.(check bool) "rejected" true
+    (match Refine.hill_climb (Pipeline.plan s Strategy.Ckpt_none) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_counts_consistent () =
+  let s = setup () in
+  let r = Refine.hill_climb ~max_rounds:3 (Pipeline.plan s (Strategy.Ckpt_every 4)) in
+  Alcotest.(check bool) "evaluations >= moves" true (r.Refine.evaluations >= r.Refine.moves);
+  Alcotest.(check bool) "moves bounded by rounds" true (r.Refine.moves <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "never worse" `Quick test_never_worse;
+    Alcotest.test_case "Algorithm 2 near-optimal" `Quick test_ckptsome_near_global_optimum;
+    Alcotest.test_case "improves bad start" `Quick test_improves_bad_start;
+    Alcotest.test_case "exits kept" `Quick test_final_positions_keep_exits;
+    Alcotest.test_case "rejects CKPTNONE" `Quick test_rejects_ckptnone;
+    Alcotest.test_case "counters" `Quick test_counts_consistent;
+  ]

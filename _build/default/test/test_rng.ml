@@ -1,0 +1,158 @@
+(* Tests for Ckpt_prob.Rng: determinism, splitting, and the sampling
+   distributions the whole experiment stack depends on. *)
+
+module Rng = Ckpt_prob.Rng
+module Stats = Ckpt_prob.Stats
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "seeds 1 and 2 give different streams" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy resumes at same point" xa xb;
+  ignore (Rng.bits64 a);
+  (* advancing a must not affect b *)
+  let a2 = Rng.bits64 a and b2 = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after different advances" true (a2 <> b2 || a2 = b2)
+
+let test_split_independent () =
+  let parent = Rng.create 7 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  let s1 = List.init 8 (fun _ -> Rng.bits64 child1) in
+  let s2 = List.init 8 (fun _ -> Rng.bits64 child2) in
+  Alcotest.(check bool) "sibling streams differ" true (s1 <> s2)
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 3.5 in
+    if x < 0. || x >= 3.5 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_range_and_uniformity () =
+  let rng = Rng.create 13 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.int rng 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun k c ->
+      let expected = float_of_int n /. 10. in
+      if abs_float (float_of_int c -. expected) > 5. *. sqrt expected then
+        Alcotest.failf "bucket %d count %d too far from %f" k c expected)
+    counts
+
+let test_uniform_never_zero () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 100_000 do
+    let u = Rng.uniform rng in
+    if u <= 0. || u >= 1. then Alcotest.failf "uniform out of (0,1): %g" u
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 19 in
+  let stats = Stats.create () in
+  let rate = 0.25 in
+  for _ = 1 to 200_000 do
+    Stats.add stats (Rng.exponential rng ~rate)
+  done;
+  let expected = 1. /. rate in
+  let err = abs_float (Stats.mean stats -. expected) /. expected in
+  if err > 0.02 then Alcotest.failf "exponential mean off by %.1f%%" (err *. 100.)
+
+let test_exponential_memoryless_tail () =
+  (* P(X > 2/rate) should be e^-2 *)
+  let rng = Rng.create 23 in
+  let rate = 2.0 in
+  let n = 200_000 and hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.exponential rng ~rate > 2. /. rate then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  let expected = exp (-2.) in
+  if abs_float (p -. expected) > 0.005 then
+    Alcotest.failf "tail probability %f vs %f" p expected
+
+let test_normal_moments () =
+  let rng = Rng.create 29 in
+  let stats = Stats.create () in
+  for _ = 1 to 200_000 do
+    Stats.add stats (Rng.normal rng ~mean:10. ~stddev:3.)
+  done;
+  if abs_float (Stats.mean stats -. 10.) > 0.05 then
+    Alcotest.failf "normal mean %f" (Stats.mean stats);
+  if abs_float (Stats.stddev stats -. 3.) > 0.05 then
+    Alcotest.failf "normal stddev %f" (Stats.stddev stats)
+
+let test_truncated_normal_bound () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 20_000 do
+    let x = Rng.truncated_normal rng ~mean:1. ~stddev:2. ~lo:0.1 in
+    if x < 0.1 then Alcotest.failf "truncated normal below bound: %f" x
+  done
+
+let test_lognormal_positive () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 10_000 do
+    if Rng.lognormal rng ~mu:0. ~sigma:1. <= 0. then Alcotest.fail "lognormal <= 0"
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 41 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_moves_elements () =
+  let rng = Rng.create 43 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  Alcotest.(check bool) "shuffle changed the order" true (a <> Array.init 100 (fun i -> i))
+
+let test_bool_balance () =
+  let rng = Rng.create 47 in
+  let n = 100_000 and trues = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  let p = float_of_int !trues /. float_of_int n in
+  if abs_float (p -. 0.5) > 0.01 then Alcotest.failf "bool bias %f" p
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int range + uniformity" `Quick test_int_range_and_uniformity;
+    Alcotest.test_case "uniform in (0,1)" `Quick test_uniform_never_zero;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential tail" `Quick test_exponential_memoryless_tail;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "truncated normal bound" `Quick test_truncated_normal_bound;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_elements;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+  ]

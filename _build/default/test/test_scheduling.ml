@@ -1,0 +1,289 @@
+(* Tests for the scheduling half of the core library: Linearize,
+   Superchain, Propmap, Allocate, Schedule. *)
+
+module Dag = Ckpt_dag.Dag
+module Mspg = Ckpt_mspg.Mspg
+module Rng = Ckpt_prob.Rng
+module Linearize = Ckpt_core.Linearize
+module Superchain = Ckpt_core.Superchain
+module Propmap = Ckpt_core.Propmap
+module Allocate = Ckpt_core.Allocate
+module Schedule = Ckpt_core.Schedule
+module Random_wf = Ckpt_workflows.Random_wf
+module Spec = Ckpt_workflows.Spec
+module Recognize = Ckpt_mspg.Recognize
+
+(* --- Linearize --- *)
+
+let fig4 () =
+  (* Figure 4 M-SPG: T1 -> T2 -> {T3 -> T5, T4 -> T5}? The paper's
+     Figure 4(a): 1->2, 2->3, 2->4, 3->5, 4->5, 5->6 *)
+  let d = Dag.create ~name:"fig4" () in
+  let t = Array.init 6 (fun i -> Dag.add_task d ~name:(Printf.sprintf "T%d" (i + 1)) ~weight:1.) in
+  Dag.add_edge d t.(0) t.(1) 1.;
+  Dag.add_edge d t.(1) t.(2) 1.;
+  Dag.add_edge d t.(1) t.(3) 1.;
+  Dag.add_edge d t.(2) t.(4) 1.;
+  Dag.add_edge d t.(3) t.(4) 1.;
+  Dag.add_edge d t.(4) t.(5) 1.;
+  d
+
+let all_ids d = List.init (Dag.n_tasks d) (fun i -> i)
+
+let check_valid_order d tasks order =
+  Alcotest.(check int) "covers subset" (List.length tasks) (Array.length order);
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun k v -> Hashtbl.replace pos v k) order;
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          match (Hashtbl.find_opt pos u, Hashtbl.find_opt pos v) with
+          | Some pu, Some pv ->
+              if pu >= pv then Alcotest.failf "edge %d->%d violated" u v
+          | _ -> ())
+        (Dag.succ_ids d u))
+    tasks
+
+let test_linearize_deterministic () =
+  let d = fig4 () in
+  let order = Linearize.order d (all_ids d) Linearize.Deterministic in
+  check_valid_order d (all_ids d) order;
+  Alcotest.(check (array int)) "smallest-id first" [| 0; 1; 2; 3; 4; 5 |] order
+
+let test_linearize_random_valid () =
+  let d = fig4 () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 30 do
+    check_valid_order d (all_ids d) (Linearize.order d (all_ids d) (Linearize.Random rng))
+  done
+
+let test_linearize_subset () =
+  let d = fig4 () in
+  let order = Linearize.order d [ 2; 3; 4 ] Linearize.Deterministic in
+  check_valid_order d [ 2; 3; 4 ] order
+
+let test_linearize_min_volume_valid () =
+  let d = fig4 () in
+  check_valid_order d (all_ids d) (Linearize.order d (all_ids d) Linearize.Min_volume)
+
+let test_linearize_min_volume_prefers_draining () =
+  (* a produces a huge file for c; b is independent and tiny. After a,
+     the min-volume policy should run c (freeing the huge file) before
+     b. Deterministic order would pick b (smaller id) first. *)
+  let d = Dag.create () in
+  let a = Dag.add_task d ~name:"a" ~weight:1. in
+  let b = Dag.add_task d ~name:"b" ~weight:1. in
+  let c = Dag.add_task d ~name:"c" ~weight:1. in
+  Dag.add_edge d a c 1e9;
+  let order = Linearize.order d [ a; b; c ] Linearize.Min_volume in
+  (* a and b both start ready with delta: a creates 1e9, b creates 0 ->
+     b first, then a, then c. Check c immediately follows a. *)
+  let pos v = Array.to_list order |> List.mapi (fun i x -> (x, i)) |> List.assoc v in
+  Alcotest.(check bool) "c right after a" true (pos c = pos a + 1)
+
+(* --- Superchain --- *)
+
+let test_superchain_entry_exit () =
+  let d = fig4 () in
+  let sc = Superchain.make ~id:0 ~processor:0 ~order:[| 2; 4 |] in
+  (* tasks T3 (id 2) and T5 (id 4) on one processor: T3 has pred T2
+     outside; T5 has preds T3 (inside), T4 (outside) and succ T6 outside *)
+  Alcotest.(check (list int)) "entries" [ 2; 4 ] (Superchain.entry_tasks d sc);
+  Alcotest.(check (list int)) "exits" [ 4 ] (Superchain.exit_tasks d sc);
+  Alcotest.(check int) "position" 1 (Superchain.position sc 4);
+  Alcotest.(check bool) "mem" true (Superchain.mem sc 2);
+  Alcotest.(check bool) "not mem" false (Superchain.mem sc 0)
+
+let test_superchain_rejects_duplicates () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Superchain.make: duplicate task")
+    (fun () -> ignore (Superchain.make ~id:0 ~processor:0 ~order:[| 1; 1 |]))
+
+(* --- Propmap --- *)
+
+let weighted_branches weights =
+  let d = Dag.create () in
+  let branches =
+    List.map (fun w -> Mspg.leaf (Dag.add_task d ~name:"t" ~weight:w)) weights
+  in
+  (d, branches)
+
+let test_propmap_more_processors_than_graphs () =
+  let d, branches = weighted_branches [ 10.; 1. ] in
+  let result = Propmap.run d branches 5 in
+  Alcotest.(check int) "2 groups" 2 (List.length result);
+  let counts = List.map snd result in
+  Alcotest.(check int) "all processors used" 5 (List.fold_left ( + ) 0 counts);
+  (* the heavy branch gets more processors *)
+  (match result with
+  | [ (g1, c1); (_, c2) ] ->
+      Alcotest.(check bool) "heavy first (sorted)" true (Mspg.tree_weight d g1 = 10.);
+      Alcotest.(check bool) "heavy gets more" true (c1 > c2)
+  | _ -> Alcotest.fail "shape")
+
+let test_propmap_more_graphs_than_processors () =
+  let d, branches = weighted_branches [ 5.; 4.; 3.; 2.; 1. ] in
+  let result = Propmap.run d branches 2 in
+  Alcotest.(check int) "2 groups" 2 (List.length result);
+  List.iter (fun (_, c) -> Alcotest.(check int) "1 proc each" 1 c) result;
+  (* greedy balancing of 5,4,3,2,1 into two bins: {5,2,1}=8 and {4,3}=7 *)
+  let weights = List.map (fun (g, _) -> Mspg.tree_weight d g) result |> List.sort compare in
+  Alcotest.(check (list (float 1e-9))) "balanced bins" [ 7.; 8. ] weights;
+  (* all tasks preserved *)
+  let total_tasks =
+    List.fold_left (fun acc (g, _) -> acc + Mspg.tree_size g) 0 result
+  in
+  Alcotest.(check int) "all tasks" 5 total_tasks
+
+let test_propmap_equal_split () =
+  let d, branches = weighted_branches [ 1.; 1.; 1.; 1. ] in
+  let result = Propmap.run d branches 4 in
+  Alcotest.(check int) "4 groups" 4 (List.length result);
+  List.iter (fun (_, c) -> Alcotest.(check int) "1 each" 1 c) result
+
+let test_propmap_rejects_bad_input () =
+  let d, branches = weighted_branches [ 1. ] in
+  Alcotest.check_raises "empty" (Invalid_argument "Propmap.run: no graphs") (fun () ->
+      ignore (Propmap.run d [] 2));
+  Alcotest.check_raises "no procs" (Invalid_argument "Propmap.run: p < 1") (fun () ->
+      ignore (Propmap.run d branches 0))
+
+(* --- Allocate / Schedule --- *)
+
+let test_allocate_chain_single_superchain () =
+  let m =
+    Mspg.build (Mspg.Bserial [ Mspg.Btask ("a", 1.); Mspg.Btask ("b", 1.); Mspg.Btask ("c", 1.) ])
+  in
+  let s = Allocate.run m ~processors:4 in
+  Alcotest.(check int) "one superchain" 1 (Array.length s.Schedule.superchains);
+  Alcotest.(check int) "on processor 0" 0 s.Schedule.superchains.(0).Superchain.processor
+
+let test_allocate_forkjoin_two_processors () =
+  let m =
+    Mspg.build
+      (Mspg.Bserial
+         [ Mspg.Btask ("head", 1.);
+           Mspg.Bparallel
+             [ Mspg.Bserial [ Mspg.Btask ("a1", 5.); Mspg.Btask ("a2", 5.) ];
+               Mspg.Bserial [ Mspg.Btask ("b1", 5.); Mspg.Btask ("b2", 5.) ] ];
+           Mspg.Btask ("tail", 1.) ])
+  in
+  let s = Allocate.run m ~processors:2 in
+  (match Schedule.check s with Ok () -> () | Error e -> Alcotest.fail e);
+  (* head, two branch superchains, tail *)
+  Alcotest.(check int) "4 superchains" 4 (Array.length s.Schedule.superchains);
+  (* the two branches land on different processors *)
+  let branch_procs =
+    Array.to_list s.Schedule.superchains
+    |> List.filter (fun sc -> Superchain.n_tasks sc = 2)
+    |> List.map (fun sc -> sc.Superchain.processor)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "branches spread" [ 0; 1 ] branch_procs
+
+let test_allocate_covers_all_tasks_once () =
+  for seed = 0 to 30 do
+    let m = Random_wf.generate ~seed ~max_tasks:60 () in
+    List.iter
+      (fun p ->
+        let s = Allocate.run m ~processors:p in
+        (* Schedule.make already verifies the partition; run check too *)
+        match Schedule.check s with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d p %d: %s" seed p e)
+      [ 1; 2; 3; 7 ]
+  done
+
+let test_allocate_single_processor () =
+  let m = Random_wf.generate ~seed:5 ~max_tasks:40 () in
+  let s = Allocate.run m ~processors:1 in
+  Array.iter
+    (fun sc -> Alcotest.(check int) "all on p0" 0 sc.Superchain.processor)
+    s.Schedule.superchains
+
+let test_allocate_processor_bounds () =
+  let m = Random_wf.generate ~seed:6 ~max_tasks:60 () in
+  let s = Allocate.run m ~processors:4 in
+  Array.iter
+    (fun sc ->
+      Alcotest.(check bool) "proc in range" true
+        (sc.Superchain.processor >= 0 && sc.Superchain.processor < 4))
+    s.Schedule.superchains
+
+let test_allocate_respects_policy () =
+  let m = Random_wf.generate ~seed:8 ~max_tasks:50 () in
+  let s1 = Allocate.run ~policy:Linearize.Deterministic m ~processors:2 in
+  let s2 = Allocate.run ~policy:Linearize.Deterministic m ~processors:2 in
+  Alcotest.(check bool) "deterministic schedules equal" true
+    (Array.for_all2
+       (fun (a : Superchain.t) (b : Superchain.t) -> a.Superchain.order = b.Superchain.order)
+       s1.Schedule.superchains s2.Schedule.superchains)
+
+let test_allocate_real_workflows () =
+  List.iter
+    (fun kind ->
+      let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+      let m =
+        match Recognize.of_dag_completed dag with
+        | Ok (m, _) -> m
+        | Error e -> Alcotest.fail e
+      in
+      List.iter
+        (fun p ->
+          let s = Allocate.run m ~processors:p in
+          match Schedule.check s with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s p=%d: %s" (Spec.name kind) p e)
+        [ 18; 35; 70 ])
+    Spec.all
+
+let test_macro_edges_cross_chains () =
+  let m = Random_wf.generate ~seed:9 ~max_tasks:50 () in
+  let s = Allocate.run m ~processors:3 in
+  List.iter
+    (fun (i, j) ->
+      if i = j then Alcotest.fail "self macro edge";
+      if i < 0 || j < 0 || i >= Array.length s.Schedule.superchains then
+        Alcotest.fail "macro edge out of range")
+    (Schedule.macro_edges s)
+
+let test_chains_of_processor_ordered () =
+  let m = Random_wf.generate ~seed:10 ~max_tasks:60 () in
+  let s = Allocate.run m ~processors:2 in
+  List.iter
+    (fun p ->
+      let ids =
+        List.map (fun (sc : Superchain.t) -> sc.Superchain.id) (Schedule.chains_of_processor s p)
+      in
+      Alcotest.(check (list int)) "temporal order" (List.sort compare ids) ids)
+    [ 0; 1 ]
+
+let test_used_processors () =
+  let m = Mspg.build (Mspg.Btask ("only", 1.)) in
+  let s = Allocate.run m ~processors:8 in
+  Alcotest.(check int) "one used" 1 (Schedule.used_processors s)
+
+let suite =
+  [
+    Alcotest.test_case "linearize deterministic" `Quick test_linearize_deterministic;
+    Alcotest.test_case "linearize random valid" `Quick test_linearize_random_valid;
+    Alcotest.test_case "linearize subset" `Quick test_linearize_subset;
+    Alcotest.test_case "linearize min-volume valid" `Quick test_linearize_min_volume_valid;
+    Alcotest.test_case "min-volume drains" `Quick test_linearize_min_volume_prefers_draining;
+    Alcotest.test_case "superchain entry/exit" `Quick test_superchain_entry_exit;
+    Alcotest.test_case "superchain duplicates" `Quick test_superchain_rejects_duplicates;
+    Alcotest.test_case "propmap surplus procs" `Quick test_propmap_more_processors_than_graphs;
+    Alcotest.test_case "propmap packing" `Quick test_propmap_more_graphs_than_processors;
+    Alcotest.test_case "propmap equal split" `Quick test_propmap_equal_split;
+    Alcotest.test_case "propmap rejections" `Quick test_propmap_rejects_bad_input;
+    Alcotest.test_case "allocate chain" `Quick test_allocate_chain_single_superchain;
+    Alcotest.test_case "allocate fork-join" `Quick test_allocate_forkjoin_two_processors;
+    Alcotest.test_case "allocate covers tasks" `Quick test_allocate_covers_all_tasks_once;
+    Alcotest.test_case "allocate single proc" `Quick test_allocate_single_processor;
+    Alcotest.test_case "allocate proc bounds" `Quick test_allocate_processor_bounds;
+    Alcotest.test_case "allocate deterministic" `Quick test_allocate_respects_policy;
+    Alcotest.test_case "allocate real workflows" `Slow test_allocate_real_workflows;
+    Alcotest.test_case "macro edges sane" `Quick test_macro_edges_cross_chains;
+    Alcotest.test_case "processor chains ordered" `Quick test_chains_of_processor_ordered;
+    Alcotest.test_case "used processors" `Quick test_used_processors;
+  ]

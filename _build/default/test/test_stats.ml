@@ -1,0 +1,100 @@
+(* Tests for Ckpt_prob.Stats (Welford accumulator). *)
+
+module Stats = Ckpt_prob.Stats
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  check_close "variance" 0. (Stats.variance s)
+
+let test_single () =
+  let s = Stats.create () in
+  Stats.add s 42.;
+  check_close "mean" 42. (Stats.mean s);
+  check_close "variance" 0. (Stats.variance s);
+  check_close "min" 42. (Stats.min s);
+  check_close "max" 42. (Stats.max s)
+
+let test_known_sample () =
+  (* sample 2,4,4,4,5,5,7,9: mean 5, population var 4, sample var 32/7 *)
+  let s = Stats.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_close "mean" 5. (Stats.mean s);
+  check_close "sample variance" (32. /. 7.) (Stats.variance s);
+  check_close "min" 2. (Stats.min s);
+  check_close "max" 9. (Stats.max s)
+
+let test_matches_naive_two_pass () =
+  let xs = Array.init 1000 (fun i -> sin (float_of_int i) *. 100.) in
+  let s = Stats.of_array xs in
+  let mean = Array.fold_left ( +. ) 0. xs /. 1000. in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. 999.
+  in
+  check_close ~eps:1e-6 "mean" mean (Stats.mean s);
+  check_close ~eps:1e-6 "variance" var (Stats.variance s)
+
+let test_numerical_stability_large_offset () =
+  (* classic Welford motivation: tiny variance on a huge offset *)
+  let xs = Array.init 1000 (fun i -> 1e9 +. float_of_int (i mod 2)) in
+  let s = Stats.of_array xs in
+  check_close ~eps:1e-4 "variance" (0.25 *. 1000. /. 999.) (Stats.variance s)
+
+let test_ci_shrinks () =
+  let s100 = Stats.of_array (Array.init 100 (fun i -> float_of_int (i mod 10))) in
+  let s10000 = Stats.of_array (Array.init 10_000 (fun i -> float_of_int (i mod 10))) in
+  Alcotest.(check bool) "ci shrinks with n" true
+    (Stats.ci95_halfwidth s10000 < Stats.ci95_halfwidth s100)
+
+let test_ks_perfect_fit () =
+  (* sample 0.5/n, 1.5/n, ... vs uniform cdf: the optimal-fit grid has
+     KS = 1/(2n) *)
+  let n = 100 in
+  let xs = Array.init n (fun i -> (float_of_int i +. 0.5) /. float_of_int n) in
+  let cdf x = Stdlib.min 1. (Stdlib.max 0. x) in
+  check_close ~eps:1e-6 "half-step grid" (0.5 /. float_of_int n)
+    (Stats.ks_distance xs ~cdf)
+
+let test_ks_detects_shift () =
+  let xs = Array.init 100 (fun i -> (float_of_int i +. 0.5) /. 100.) in
+  (* shifted uniform: cdf of U + 0.3 *)
+  let cdf x = Stdlib.min 1. (Stdlib.max 0. (x -. 0.3)) in
+  Alcotest.(check bool) "shift detected" true (Stats.ks_distance xs ~cdf > 0.25)
+
+let test_ks_atom_alignment () =
+  (* sample and distribution share an atom at (float-noisy) 10:
+     distance must be the mass mismatch, not the whole atom *)
+  let xs = Array.append (Array.make 70 (10. +. 1e-13)) (Array.make 30 20.) in
+  let cdf x = if x < 10. then 0. else if x < 20. then 0.7 else 1. in
+  Alcotest.(check bool) "atom aligned" true (Stats.ks_distance xs ~cdf < 0.01)
+
+let test_ks_empty_rejected () =
+  Alcotest.(check bool) "empty" true
+    (match Stats.ks_distance [||] ~cdf:(fun _ -> 0.) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_quantiles () =
+  let xs = Array.init 100 (fun i -> float_of_int (99 - i)) in
+  check_close "median" 49. (Stats.quantile_of_array xs 0.5);
+  check_close "q0" 0. (Stats.quantile_of_array xs 0.0);
+  check_close "q1" 99. (Stats.quantile_of_array xs 1.0);
+  check_close "q0.9" 89. (Stats.quantile_of_array xs 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single" `Quick test_single;
+    Alcotest.test_case "known sample" `Quick test_known_sample;
+    Alcotest.test_case "matches two-pass" `Quick test_matches_naive_two_pass;
+    Alcotest.test_case "stability" `Quick test_numerical_stability_large_offset;
+    Alcotest.test_case "ci shrinks" `Quick test_ci_shrinks;
+    Alcotest.test_case "ks perfect fit" `Quick test_ks_perfect_fit;
+    Alcotest.test_case "ks detects shift" `Quick test_ks_detects_shift;
+    Alcotest.test_case "ks atom alignment" `Quick test_ks_atom_alignment;
+    Alcotest.test_case "ks empty" `Quick test_ks_empty_rejected;
+    Alcotest.test_case "quantiles" `Quick test_quantiles;
+  ]

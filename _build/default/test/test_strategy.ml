@@ -1,0 +1,367 @@
+(* Tests for Ckpt_core.Strategy and Pipeline: plan construction,
+   coalesced 2-state DAGs, and the paper's qualitative claims. *)
+
+module Dag = Ckpt_dag.Dag
+module Mspg = Ckpt_mspg.Mspg
+module Platform = Ckpt_platform.Platform
+module Allocate = Ckpt_core.Allocate
+module Schedule = Ckpt_core.Schedule
+module Strategy = Ckpt_core.Strategy
+module Pipeline = Ckpt_core.Pipeline
+module Prob_dag = Ckpt_eval.Prob_dag
+module Evaluator = Ckpt_eval.Evaluator
+module Spec = Ckpt_workflows.Spec
+module Random_wf = Ckpt_workflows.Random_wf
+
+let check_close ?(eps = 1e-9) msg expected actual =
+  if abs_float (expected -. actual) > eps *. (1. +. abs_float expected) then
+    Alcotest.failf "%s: expected %g, got %g" msg expected actual
+
+let simple_setup ?(processors = 2) ?(pfail = 0.01) ?(ccr = 0.01) ?(tasks = 50) kind =
+  let dag = Spec.generate kind ~seed:1 ~tasks () in
+  Pipeline.prepare ~dag ~processors ~pfail ~ccr ()
+
+let test_plan_kinds () =
+  let setup = simple_setup Spec.Genome in
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan setup kind in
+      Alcotest.(check string) "kind" (Strategy.kind_name kind) (Strategy.kind_name plan.Strategy.kind))
+    [ Strategy.Ckpt_all; Strategy.Ckpt_some; Strategy.Ckpt_none ]
+
+let test_ckptall_one_segment_per_task () =
+  let setup = simple_setup Spec.Genome in
+  let plan = Pipeline.plan setup Strategy.Ckpt_all in
+  Alcotest.(check int) "segments = tasks" (Dag.n_tasks setup.Pipeline.raw)
+    plan.Strategy.checkpoint_count
+
+let test_ckptsome_fewer_checkpoints () =
+  let setup = simple_setup ~ccr:0.1 Spec.Genome in
+  let some = Pipeline.plan setup Strategy.Ckpt_some in
+  let all = Pipeline.plan setup Strategy.Ckpt_all in
+  Alcotest.(check bool) "fewer checkpoints" true
+    (some.Strategy.checkpoint_count < all.Strategy.checkpoint_count);
+  Alcotest.(check bool) "at least one per superchain" true
+    (some.Strategy.checkpoint_count
+    >= Array.length setup.Pipeline.schedule.Schedule.superchains)
+
+let test_ckptnone_has_no_segments () =
+  let setup = simple_setup Spec.Genome in
+  let plan = Pipeline.plan setup Strategy.Ckpt_none in
+  Alcotest.(check int) "no checkpoints" 0 plan.Strategy.checkpoint_count;
+  Alcotest.(check bool) "no prob dag" true (plan.Strategy.prob_dag = None)
+
+let test_segment_of_task_total () =
+  let setup = simple_setup Spec.Montage in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  Array.iteri
+    (fun t seg ->
+      if seg < 0 || seg >= Array.length plan.Strategy.segments then
+        Alcotest.failf "task %d unmapped" t)
+    plan.Strategy.segment_of_task
+
+let test_prob_dag_acyclic_and_sized () =
+  let setup = simple_setup Spec.Ligo ~tasks:100 in
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan setup kind in
+      match plan.Strategy.prob_dag with
+      | None -> Alcotest.fail "expected prob dag"
+      | Some pd ->
+          Alcotest.(check int) "nodes = segments" (Array.length plan.Strategy.segments)
+            (Prob_dag.n_nodes pd);
+          ignore (Prob_dag.topological_order pd))
+    [ Strategy.Ckpt_all; Strategy.Ckpt_some ]
+
+let test_exit_data_always_checkpointed () =
+  (* every superchain's last position is checkpointed under CKPTSOME *)
+  let setup = simple_setup Spec.Genome ~tasks:300 ~processors:18 in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let positions = Strategy.checkpoint_positions plan in
+  Array.iter
+    (fun (sc : Ckpt_core.Superchain.t) ->
+      match List.assoc_opt sc.Ckpt_core.Superchain.id positions with
+      | None -> Alcotest.failf "superchain %d has no checkpoints" sc.Ckpt_core.Superchain.id
+      | Some l ->
+          Alcotest.(check int) "last checkpointed"
+            (Ckpt_core.Superchain.n_tasks sc - 1)
+            (List.rev l |> List.hd))
+    setup.Pipeline.schedule.Schedule.superchains
+
+let test_wpar_positive_and_bounded () =
+  let setup = simple_setup Spec.Genome in
+  let plan = Pipeline.plan setup Strategy.Ckpt_none in
+  let raw = setup.Pipeline.raw in
+  Alcotest.(check bool) "wpar >= critical path" true
+    (plan.Strategy.wpar >= Dag.longest_path raw -. 1e-6);
+  Alcotest.(check bool) "wpar <= sequential time + io" true
+    (plan.Strategy.wpar
+    <= Dag.total_weight raw
+       +. Platform.io_time setup.Pipeline.platform (Dag.total_data raw)
+       +. 1e-6)
+
+let test_expected_makespan_positive () =
+  let setup = simple_setup Spec.Montage in
+  List.iter
+    (fun kind ->
+      let plan = Pipeline.plan setup kind in
+      let em = Strategy.expected_makespan plan in
+      Alcotest.(check bool) (Strategy.kind_name kind ^ " positive") true (em > 0.))
+    [ Strategy.Ckpt_all; Strategy.Ckpt_some; Strategy.Ckpt_none ]
+
+let test_em_at_least_failure_free () =
+  let setup = simple_setup Spec.Genome in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  match plan.Strategy.prob_dag with
+  | None -> Alcotest.fail "prob dag"
+  | Some pd ->
+      Alcotest.(check bool) "EM >= deterministic makespan" true
+        (Strategy.expected_makespan plan >= Prob_dag.deterministic_makespan pd -. 1e-6)
+
+let test_ckptsome_optimal_over_positions () =
+  (* CKPTSOME's expected time per superchain is no worse than both the
+     single-checkpoint and checkpoint-everything policies evaluated
+     with the same cost model *)
+  let setup = simple_setup Spec.Genome ~ccr:0.1 in
+  let platform = setup.Pipeline.platform in
+  let dag = setup.Pipeline.schedule.Schedule.dag in
+  Array.iter
+    (fun sc ->
+      let opt, _ = Ckpt_core.Placement.optimal_positions platform dag sc in
+      let lambda = platform.Platform.lambda in
+      let sum_for positions =
+        Ckpt_core.Placement.segments_of_positions platform dag sc ~positions
+        |> List.fold_left
+             (fun acc seg -> acc +. Ckpt_core.Placement.expected_time ~lambda seg)
+             0.
+      in
+      let n = Ckpt_core.Superchain.n_tasks sc in
+      let all = sum_for (List.init n (fun i -> i)) in
+      let one = sum_for [ n - 1 ] in
+      if opt > all +. 1e-9 then Alcotest.failf "opt %f worse than all %f" opt all;
+      if opt > one +. 1e-9 then Alcotest.failf "opt %f worse than single %f" opt one)
+    setup.Pipeline.schedule.Schedule.superchains
+
+let test_periodic_positions () =
+  let _, sc = (fun () ->
+    let d = Dag.create () in
+    let ids = Array.init 7 (fun _ -> Dag.add_task d ~name:"t" ~weight:1.) in
+    (d, Ckpt_core.Superchain.make ~id:0 ~processor:0 ~order:ids)) ()
+  in
+  Alcotest.(check (list int)) "period 3" [ 2; 5; 6 ]
+    (Ckpt_core.Placement.periodic_positions sc ~period:3);
+  Alcotest.(check (list int)) "period 1 = all" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (Ckpt_core.Placement.periodic_positions sc ~period:1);
+  Alcotest.(check (list int)) "period 100 = final only" [ 6 ]
+    (Ckpt_core.Placement.periodic_positions sc ~period:100)
+
+let test_ckptsome_beats_periodic () =
+  (* Algorithm 2 is optimal per superchain: no fixed period does
+     better under the same cost model *)
+  let setup = simple_setup Spec.Genome ~ccr:0.1 in
+  let em kind = Strategy.expected_makespan (Pipeline.plan setup kind) in
+  let some = em Strategy.Ckpt_some in
+  List.iter
+    (fun k ->
+      let periodic = em (Strategy.Ckpt_every k) in
+      if some > periodic +. 1e-6 then
+        Alcotest.failf "period %d (%f) beat CKPTSOME (%f)" k periodic some)
+    [ 1; 2; 3; 5; 10 ]
+
+let test_budget_strategy_bounds () =
+  let setup = simple_setup Spec.Genome ~ccr:0.01 in
+  let some = Pipeline.plan setup Strategy.Ckpt_some in
+  let chains = Array.length setup.Pipeline.schedule.Schedule.superchains in
+  (* budget 1: exactly one checkpoint per superchain *)
+  let one = Pipeline.plan setup (Strategy.Ckpt_budget 1) in
+  Alcotest.(check int) "budget 1 count" chains one.Strategy.checkpoint_count;
+  (* a huge budget reproduces CKPTSOME *)
+  let loose = Pipeline.plan setup (Strategy.Ckpt_budget 10_000) in
+  Alcotest.(check int) "loose budget = CKPTSOME" some.Strategy.checkpoint_count
+    loose.Strategy.checkpoint_count;
+  let em p = Strategy.expected_makespan p in
+  if abs_float (em loose -. em some) > 1e-9 *. em some then
+    Alcotest.fail "loose budget changed the makespan"
+
+let test_segment_dag_mirrors_prob_dag () =
+  let setup = simple_setup Spec.Genome in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let sd = Strategy.segment_dag plan in
+  match plan.Strategy.prob_dag with
+  | None -> Alcotest.fail "prob dag"
+  | Some pd ->
+      Alcotest.(check int) "same nodes" (Prob_dag.n_nodes pd) (Dag.n_tasks sd);
+      for u = 0 to Prob_dag.n_nodes pd - 1 do
+        Alcotest.(check (list int))
+          (Printf.sprintf "succs of %d" u)
+          (List.sort compare (Prob_dag.succs pd u))
+          (Dag.succ_ids sd u)
+      done
+
+let test_exact_matches_montecarlo () =
+  (* the exact SP evaluation agrees with a large Monte Carlo run on
+     the same 2-state DAG *)
+  let setup = simple_setup Spec.Genome ~tasks:50 ~processors:3 ~ccr:0.05 in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  match Strategy.exact_expected_makespan plan with
+  | None -> Alcotest.fail "genome CKPTSOME segment graph should be (G)SP"
+  | Some exact ->
+      let mc =
+        Strategy.expected_makespan
+          ~method_:(Ckpt_eval.Evaluator.Montecarlo { trials = 200_000; seed = 2 })
+          plan
+      in
+      if abs_float (exact -. mc) > 0.01 *. mc then
+        Alcotest.failf "exact %f vs MC %f" exact mc
+
+let test_exact_available_for_superchain_strategies () =
+  let setup = simple_setup Spec.Ligo ~tasks:100 in
+  List.iter
+    (fun kind ->
+      match Strategy.exact_expected_makespan (Pipeline.plan setup kind) with
+      | Some v -> Alcotest.(check bool) (Strategy.kind_name kind) true (v > 0.)
+      | None -> Alcotest.failf "%s: segment graph not recognised" (Strategy.kind_name kind))
+    [ Strategy.Ckpt_some; Strategy.Ckpt_every 3; Strategy.Ckpt_budget 2 ]
+
+let test_makespan_distribution_consistency () =
+  let setup = simple_setup Spec.Genome ~ccr:0.05 in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  match Strategy.makespan_distribution plan with
+  | None -> Alcotest.fail "distribution expected"
+  | Some dist ->
+      (* its mean is the exact expected makespan *)
+      (match Strategy.exact_expected_makespan plan with
+      | Some em -> check_close ~eps:1e-9 "mean = exact EM" em (Ckpt_prob.Dist.mean dist)
+      | None -> Alcotest.fail "exact EM");
+      (* its minimum is the failure-free makespan *)
+      let pd = Option.get plan.Strategy.prob_dag in
+      check_close ~eps:1e-6 "support min = deterministic makespan"
+        (Prob_dag.deterministic_makespan pd)
+        (Ckpt_prob.Dist.quantile dist 0.);
+      (* simulated sample agrees in distribution within first-order
+         error: small KS distance *)
+      let sample = Ckpt_sim.Runner.sample_makespans ~trials:2000 plan in
+      let ks = Ckpt_prob.Stats.ks_distance sample ~cdf:(Ckpt_prob.Dist.cdf dist) in
+      if ks > 0.2 then Alcotest.failf "KS too large: %f" ks
+
+let test_heterogeneous_checkpointing () =
+  (* two identical parallel chains on two processors with wildly
+     different failure rates: Algorithm 2 must checkpoint the flaky
+     processor's superchain at least as densely *)
+  let bp =
+    Mspg.Bparallel
+      [ Mspg.Bserial (List.init 10 (fun i -> Mspg.Btask (Printf.sprintf "a%d" i, 10.)));
+        Mspg.Bserial (List.init 10 (fun i -> Mspg.Btask (Printf.sprintf "b%d" i, 10.))) ]
+  in
+  let m = Mspg.build ~edge_size:(fun _ _ -> 1e6) bp in
+  let schedule = Allocate.run m ~processors:2 in
+  let platform = Platform.make_heterogeneous ~rates:[| 1e-5; 5e-3 |] ~bandwidth:1e6 in
+  let plan = Strategy.plan Strategy.Ckpt_some ~raw:m.Mspg.dag ~schedule ~platform in
+  let per_chain = Hashtbl.create 4 in
+  Array.iter
+    (fun (seg : Ckpt_core.Placement.segment) ->
+      let c = seg.Ckpt_core.Placement.chain in
+      Hashtbl.replace per_chain c (1 + Option.value ~default:0 (Hashtbl.find_opt per_chain c)))
+    plan.Strategy.segments;
+  let count_on proc =
+    Array.to_list schedule.Schedule.superchains
+    |> List.filter (fun (sc : Ckpt_core.Superchain.t) -> sc.Ckpt_core.Superchain.processor = proc)
+    |> List.fold_left
+         (fun acc (sc : Ckpt_core.Superchain.t) ->
+           acc + Option.value ~default:0 (Hashtbl.find_opt per_chain sc.Ckpt_core.Superchain.id))
+         0
+  in
+  let reliable = count_on 0 and flaky = count_on 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flaky %d >= reliable %d" flaky reliable)
+    true (flaky >= reliable);
+  Alcotest.(check bool) "flaky checkpoints more than once" true (flaky > 1)
+
+let test_kind_names () =
+  Alcotest.(check string) "every" "ckpt-every-3" (Strategy.kind_name (Strategy.Ckpt_every 3));
+  Alcotest.(check string) "budget" "ckpt-budget-2"
+    (Strategy.kind_name (Strategy.Ckpt_budget 2))
+
+let test_compare_strategies_consistency () =
+  let setup = simple_setup Spec.Ligo ~tasks:300 ~processors:18 in
+  let cmp = Pipeline.compare_strategies setup in
+  check_close "rel_all" (cmp.Pipeline.em_all /. cmp.Pipeline.em_some) cmp.Pipeline.rel_all;
+  check_close "rel_none" (cmp.Pipeline.em_none /. cmp.Pipeline.em_some) cmp.Pipeline.rel_none;
+  Alcotest.(check bool) "ckpts_some <= ckpts_all" true
+    (cmp.Pipeline.ckpts_some <= cmp.Pipeline.ckpts_all)
+
+let test_prepare_rejects_bad_knobs () =
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  Alcotest.(check bool) "pfail = 1 rejected" true
+    (match Pipeline.prepare ~dag ~processors:2 ~pfail:1. ~ccr:0.01 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "ccr = 0 rejected" true
+    (match Pipeline.prepare ~dag ~processors:2 ~pfail:0.01 ~ccr:0. () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_prepare_sets_ccr () =
+  let dag = Spec.generate Spec.Montage ~seed:3 ~tasks:50 () in
+  let setup = Pipeline.prepare ~dag ~processors:3 ~pfail:0.001 ~ccr:0.05 () in
+  let realised =
+    Spec.ccr setup.Pipeline.raw ~bandwidth:setup.Pipeline.platform.Platform.bandwidth
+  in
+  check_close ~eps:1e-9 "ccr realised" 0.05 realised
+
+let prop_ckptsome_never_loses_on_strict_mspgs =
+  (* on strict M-SPGs there are no dummy-edge artifacts, but one small
+     asymmetry remains: coalescing a segment makes it atomic, so a
+     segment waits for the cross-superchain predecessors of ALL its
+     tasks before starting, while CKPTALL's per-task granularity can
+     overlap those waits. On adversarial random graphs this can hand
+     CKPTALL a sub-percent edge; the paper-level claim is therefore
+     checked with a 1% tolerance (it holds exactly on the three paper
+     workflows — see the integration suite). *)
+  QCheck.Test.make ~name:"CKPTSOME <= CKPTALL (1%) on random strict M-SPGs" ~count:40
+    QCheck.(pair small_nat (int_range 2 5))
+    (fun (seed, procs) ->
+      let m = Random_wf.generate ~seed ~max_tasks:40 () in
+      let setup =
+        Pipeline.prepare ~dag:m.Mspg.dag ~processors:procs ~pfail:0.005 ~ccr:0.05 ()
+      in
+      let cmp = Pipeline.compare_strategies setup in
+      cmp.Pipeline.rel_all >= 0.99)
+
+let test_prepare_random_mspgs () =
+  for seed = 0 to 10 do
+    let m = Random_wf.generate ~seed ~max_tasks:40 () in
+    let setup = Pipeline.prepare ~dag:m.Mspg.dag ~processors:3 ~pfail:0.01 ~ccr:0.01 () in
+    let cmp = Pipeline.compare_strategies setup in
+    if not (cmp.Pipeline.em_some > 0. && cmp.Pipeline.em_all > 0.) then
+      Alcotest.failf "seed %d: non-positive makespans" seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "plan kinds" `Quick test_plan_kinds;
+    Alcotest.test_case "CKPTALL segments" `Quick test_ckptall_one_segment_per_task;
+    Alcotest.test_case "CKPTSOME fewer checkpoints" `Quick test_ckptsome_fewer_checkpoints;
+    Alcotest.test_case "CKPTNONE bare" `Quick test_ckptnone_has_no_segments;
+    Alcotest.test_case "segment map total" `Quick test_segment_of_task_total;
+    Alcotest.test_case "prob dag well-formed" `Quick test_prob_dag_acyclic_and_sized;
+    Alcotest.test_case "exit data checkpointed" `Quick test_exit_data_always_checkpointed;
+    Alcotest.test_case "wpar bounds" `Quick test_wpar_positive_and_bounded;
+    Alcotest.test_case "EM positive" `Quick test_expected_makespan_positive;
+    Alcotest.test_case "EM >= failure-free" `Quick test_em_at_least_failure_free;
+    Alcotest.test_case "Algorithm 2 beats fixed policies" `Quick test_ckptsome_optimal_over_positions;
+    Alcotest.test_case "periodic positions" `Quick test_periodic_positions;
+    Alcotest.test_case "CKPTSOME beats periodic" `Quick test_ckptsome_beats_periodic;
+    Alcotest.test_case "budget strategy bounds" `Quick test_budget_strategy_bounds;
+    Alcotest.test_case "segment dag mirrors prob dag" `Quick test_segment_dag_mirrors_prob_dag;
+    Alcotest.test_case "exact vs Monte Carlo" `Slow test_exact_matches_montecarlo;
+    Alcotest.test_case "exact available (superchain kinds)" `Quick test_exact_available_for_superchain_strategies;
+    Alcotest.test_case "makespan distribution" `Quick test_makespan_distribution_consistency;
+    Alcotest.test_case "heterogeneous checkpointing" `Quick test_heterogeneous_checkpointing;
+    Alcotest.test_case "kind names" `Quick test_kind_names;
+    Alcotest.test_case "comparison consistency" `Quick test_compare_strategies_consistency;
+    Alcotest.test_case "prepare rejects bad knobs" `Quick test_prepare_rejects_bad_knobs;
+    Alcotest.test_case "prepare sets CCR" `Quick test_prepare_sets_ccr;
+    Alcotest.test_case "random M-SPG pipelines" `Quick test_prepare_random_mspgs;
+    QCheck_alcotest.to_alcotest prop_ckptsome_never_loses_on_strict_mspgs;
+  ]

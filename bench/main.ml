@@ -15,7 +15,14 @@
       estimator-accuracy table.
 
    Run with: dune exec bench/main.exe
-   (pass --quick for a single representative row set per figure) *)
+   (pass --quick for a single representative row set per figure)
+
+   The figure series and the accuracy table — the long-running parts —
+   are crash-tolerant: with --journal FILE every completed cell is
+   recorded through Ckpt_resilience.Journal, and --resume replays
+   recorded cells verbatim instead of recomputing them, so a killed
+   regeneration run picks up where it left off with identical output.
+   Micro-benchmarks and ablations are cheap and always re-run. *)
 
 open Bechamel
 open Toolkit
@@ -30,6 +37,18 @@ module Strategy = Ckpt_core.Strategy
 module Pipeline = Ckpt_core.Pipeline
 module Evaluator = Ckpt_eval.Evaluator
 module Runner = Ckpt_sim.Runner
+module Journal = Ckpt_resilience.Journal
+module Rerror = Ckpt_resilience.Error
+
+(* [cell journal key line] replays a journaled line or computes,
+   journals and returns a fresh one — the unit of crash tolerance. *)
+let cell journal key compute =
+  match Option.bind journal (fun j -> Journal.find j key) with
+  | Some stored -> stored
+  | None ->
+      let line = compute () in
+      Option.iter (fun j -> Journal.append j ~key ~value:line) journal;
+      line
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: Bechamel micro-benchmarks                                   *)
@@ -149,76 +168,122 @@ let ccrs_for = function
   | Spec.Genome -> logspace 1e-4 1e-2 7
   | Spec.Montage | Spec.Ligo | Spec.Cybershake | Spec.Sipht -> logspace 1e-3 1. 7
 
-let figure_series fig kind =
+let figure_series ?journal fig kind =
   Printf.printf "== Figure %s: %s — relative expected makespan vs CCR ==\n" fig
     (String.uppercase_ascii (Spec.name kind));
   Printf.printf "%-8s %5s %4s %7s %8s | %8s %9s %6s\n" "workflow" "n" "p" "pfail" "ccr"
     "relALL" "relNONE" "ckpts";
   List.iter
     (fun (tasks, procs) ->
-      let dag = Spec.generate kind ~seed:1 ~tasks () in
-      let n = Dag.n_tasks dag in
-      let mean_weight = Dag.total_weight dag /. float_of_int n in
-      let total_data = Dag.total_data dag in
-      let total_weight = Dag.total_weight dag in
-      let mspg =
-        match Recognize.of_dag dag with
-        | Ok m -> m
-        | Error _ -> (
-            match Recognize.of_dag_completed dag with
-            | Ok (m, _) -> m
-            | Error e -> failwith e)
+      (* the workflow and its M-SPG are rebuilt only when some cell of
+         this size group actually needs computing (resume skips them) *)
+      let prepared =
+        lazy
+          (let dag = Spec.generate kind ~seed:1 ~tasks () in
+           let n = Dag.n_tasks dag in
+           let mean_weight = Dag.total_weight dag /. float_of_int n in
+           let mspg =
+             match Recognize.of_dag dag with
+             | Ok m -> m
+             | Error _ -> (
+                 match Recognize.of_dag_completed dag with
+                 | Ok (m, _) -> m
+                 | Error e -> failwith e)
+           in
+           (dag, n, mean_weight, mspg))
       in
       List.iter
         (fun p ->
           (* the schedule does not depend on pfail or CCR: build once *)
-          let schedule = Allocate.run mspg ~processors:p in
+          let schedule =
+            lazy
+              (let _, _, _, mspg = Lazy.force prepared in
+               Allocate.run mspg ~processors:p)
+          in
           List.iter
             (fun pfail ->
-              let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
               List.iter
                 (fun ccr ->
-                  let bandwidth = Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight in
-                  let platform = Platform.make ~processors:p ~lambda ~bandwidth in
-                  let plan k = Strategy.plan k ~raw:dag ~schedule ~platform in
-                  let some = plan Strategy.Ckpt_some in
-                  let em_some = Strategy.expected_makespan some in
-                  let em_all = Strategy.expected_makespan (plan Strategy.Ckpt_all) in
-                  let em_none = Strategy.expected_makespan (plan Strategy.Ckpt_none) in
-                  Printf.printf "%-8s %5d %4d %7g %8.5f | %8.4f %9.4f %6d\n"
-                    (Spec.name kind) n p pfail ccr (em_all /. em_some)
-                    (em_none /. em_some) some.Strategy.checkpoint_count)
+                  let key =
+                    Printf.sprintf "bench|fig=%s|wf=%s|tasks=%d|p=%d|pfail=%g|ccr=%.17g"
+                      fig (Spec.name kind) tasks p pfail ccr
+                  in
+                  let line =
+                    cell journal key (fun () ->
+                        let dag, n, mean_weight, _ = Lazy.force prepared in
+                        let total_data = Dag.total_data dag in
+                        let total_weight = Dag.total_weight dag in
+                        let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+                        let bandwidth =
+                          Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight
+                        in
+                        let platform = Platform.make ~processors:p ~lambda ~bandwidth in
+                        let schedule = Lazy.force schedule in
+                        let plan k = Strategy.plan k ~raw:dag ~schedule ~platform in
+                        let some = plan Strategy.Ckpt_some in
+                        let em_some = Strategy.expected_makespan some in
+                        let em_all = Strategy.expected_makespan (plan Strategy.Ckpt_all) in
+                        let em_none = Strategy.expected_makespan (plan Strategy.Ckpt_none) in
+                        Printf.sprintf "%-8s %5d %4d %7g %8.5f | %8.4f %9.4f %6d"
+                          (Spec.name kind) n p pfail ccr (em_all /. em_some)
+                          (em_none /. em_some) some.Strategy.checkpoint_count)
+                  in
+                  print_endline line)
                 (ccrs_for kind))
             pfails)
         procs)
     paper_grid;
   print_newline ()
 
-let accuracy_table () =
+let accuracy_table ?journal () =
   Printf.printf "== Section VI-B: estimator accuracy vs Monte Carlo ground truth ==\n";
   let trials = 50_000 in
   Printf.printf "%-10s %-12s %12s %9s\n" "workflow" "method" "estimate" "error";
   List.iter
     (fun kind ->
-      let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
-      let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
-      let plan = Pipeline.plan setup Strategy.Ckpt_some in
-      let truth =
-        Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 }) plan
+      let plan =
+        lazy
+          (let dag = Spec.generate kind ~seed:1 ~tasks:300 () in
+           let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr:0.01 () in
+           Pipeline.plan setup Strategy.Ckpt_some)
       in
-      Printf.printf "%-10s %-12s %12.2f %9s\n" (Spec.name kind) "montecarlo" truth "--";
+      (* the ground truth is journaled as a machine value of its own so
+         resumed runs can compute estimator errors without redoing the
+         50k-trial Monte Carlo *)
+      let truth =
+        lazy
+          (let key = Printf.sprintf "bench|acc-truth|wf=%s|trials=%d" (Spec.name kind) trials in
+           float_of_string
+             (cell journal key (fun () ->
+                  Printf.sprintf "%.17g"
+                    (Strategy.expected_makespan
+                       ~method_:(Evaluator.Montecarlo { trials; seed = 1 })
+                       (Lazy.force plan)))))
+      in
+      let acc_cell method_name compute =
+        let key = Printf.sprintf "bench|acc|wf=%s|m=%s|trials=%d" (Spec.name kind) method_name trials in
+        print_endline (cell journal key compute)
+      in
+      acc_cell "montecarlo" (fun () ->
+          Printf.sprintf "%-10s %-12s %12.2f %9s" (Spec.name kind) "montecarlo"
+            (Lazy.force truth) "--");
       List.iter
         (fun m ->
-          let v = Strategy.expected_makespan ~method_:m plan in
-          Printf.printf "%-10s %-12s %12.2f %+8.3f%%\n" (Spec.name kind) (Evaluator.name m)
-            v
-            ((v -. truth) /. truth *. 100.))
+          acc_cell (Evaluator.name m) (fun () ->
+              let truth = Lazy.force truth in
+              let v = Strategy.expected_makespan ~method_:m (Lazy.force plan) in
+              Printf.sprintf "%-10s %-12s %12.2f %+8.3f%%" (Spec.name kind)
+                (Evaluator.name m) v
+                ((v -. truth) /. truth *. 100.)))
         Evaluator.all_fast;
-      match Strategy.exact_expected_makespan plan with
-      | Some v ->
-          Printf.printf "%-10s %-12s %12.2f %+8.3f%%\n" (Spec.name kind) "exact-sp" v
-            ((v -. truth) /. truth *. 100.)
-      | None -> Printf.printf "%-10s %-12s %12s %9s\n" (Spec.name kind) "exact-sp" "n/a" "--")
+      acc_cell "exact-sp" (fun () ->
+          match Strategy.exact_expected_makespan (Lazy.force plan) with
+          | Some v ->
+              let truth = Lazy.force truth in
+              Printf.sprintf "%-10s %-12s %12.2f %+8.3f%%" (Spec.name kind) "exact-sp" v
+                ((v -. truth) /. truth *. 100.)
+          | None ->
+              Printf.sprintf "%-10s %-12s %12s %9s" (Spec.name kind) "exact-sp" "n/a" "--"))
     Spec.all;
   print_newline ()
 
@@ -316,8 +381,32 @@ let contention_ablation () =
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let resume = Array.exists (fun a -> a = "--resume") Sys.argv in
+  let journal_path =
+    let n = Array.length Sys.argv in
+    let rec find i =
+      if i >= n then None
+      else if Sys.argv.(i) = "--journal" && i + 1 < n then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  (if resume && journal_path = None then begin
+     prerr_endline "bench: --resume requires --journal FILE";
+     exit 2
+   end);
+  let journal =
+    match journal_path with
+    | None -> None
+    | Some path -> (
+        match Journal.open_ ~fresh:(not resume) path with
+        | Ok j -> Some j
+        | Error e ->
+            Printf.eprintf "bench: %s\n" (Rerror.to_string e);
+            exit (Rerror.exit_code e))
+  in
   run_benchmarks ();
-  accuracy_table ();
+  accuracy_table ?journal ();
   linearization_ablation ();
   policy_ablation ();
   refinement_ablation ();
@@ -338,7 +427,7 @@ let () =
         print_newline ())
       [ ("5", Spec.Genome); ("6", Spec.Montage); ("7", Spec.Ligo) ]
   else begin
-    figure_series "5" Spec.Genome;
-    figure_series "6" Spec.Montage;
-    figure_series "7" Spec.Ligo
+    figure_series ?journal "5" Spec.Genome;
+    figure_series ?journal "6" Spec.Montage;
+    figure_series ?journal "7" Spec.Ligo
   end

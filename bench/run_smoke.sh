@@ -1,0 +1,70 @@
+#!/bin/sh
+# Smoke test for the resilience layer: run a tiny sweep to completion,
+# re-run it with an injected fail-stop crash partway through, resume from
+# the journal, and check that the resumed output is byte-identical to the
+# uninterrupted run.  Also checks the exit-code contract for bad input.
+#
+# Usage: bench/run_smoke.sh   (from the repo root; builds ckptwf first)
+set -eu
+
+cd "$(dirname "$0")/.."
+dune build bin/ckptwf.exe
+CKPTWF=_build/default/bin/ckptwf.exe
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ckptwf-smoke.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+SWEEP="--workflow montage --tasks 40 --seed 3 --processors 4 --method pathapprox --csv"
+
+echo "smoke: uninterrupted sweep"
+$CKPTWF sweep $SWEEP > "$TMP/reference.csv"
+
+echo "smoke: sweep with injected fail-stop crash after 2 cells"
+status=0
+$CKPTWF sweep $SWEEP --journal "$TMP/sweep.journal" --fail-after 2 \
+  > "$TMP/crashed.csv" 2> "$TMP/crashed.err" || status=$?
+if [ "$status" -ne 1 ]; then
+  echo "smoke: FAIL injected crash should exit 1, got $status" >&2
+  exit 1
+fi
+if [ ! -s "$TMP/sweep.journal" ]; then
+  echo "smoke: FAIL journal is empty after the crash" >&2
+  exit 1
+fi
+
+echo "smoke: resume from the journal"
+$CKPTWF sweep $SWEEP --journal "$TMP/sweep.journal" --resume \
+  > "$TMP/resumed.csv" 2> "$TMP/resumed.err"
+grep -q "2 cell(s) reused" "$TMP/resumed.err" || {
+  echo "smoke: FAIL resume did not reuse the journaled cells:" >&2
+  cat "$TMP/resumed.err" >&2
+  exit 1
+}
+if ! diff -u "$TMP/reference.csv" "$TMP/resumed.csv"; then
+  echo "smoke: FAIL resumed sweep differs from the uninterrupted run" >&2
+  exit 1
+fi
+
+echo "smoke: malformed DAX exits 2 with a one-line diagnostic"
+printf 'this is not a DAX file' > "$TMP/garbage.dax"
+status=0
+$CKPTWF schedule --dax "$TMP/garbage.dax" > /dev/null 2> "$TMP/garbage.err" || status=$?
+if [ "$status" -ne 2 ]; then
+  echo "smoke: FAIL malformed DAX should exit 2, got $status" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$TMP/garbage.err")" -ne 1 ]; then
+  echo "smoke: FAIL diagnostic should be one line:" >&2
+  cat "$TMP/garbage.err" >&2
+  exit 1
+fi
+
+echo "smoke: deadline cutoff reports partial trial count"
+$CKPTWF simulate --workflow montage --tasks 40 --seed 3 --processors 4 \
+  --trials 1000000 --deadline 0.2 > "$TMP/deadline.out"
+grep -q "deadline hit" "$TMP/deadline.out" || {
+  echo "smoke: FAIL simulate did not report the deadline cutoff" >&2
+  exit 1
+}
+
+echo "smoke: OK"

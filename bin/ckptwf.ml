@@ -15,6 +15,32 @@ module Superchain = Ckpt_core.Superchain
 module Evaluator = Ckpt_eval.Evaluator
 module Runner = Ckpt_sim.Runner
 module Stats = Ckpt_prob.Stats
+module Rerror = Ckpt_resilience.Error
+module Journal = Ckpt_resilience.Journal
+module Retry = Ckpt_resilience.Retry
+module Deadline = Ckpt_resilience.Deadline
+module Faulty = Ckpt_resilience.Faulty
+
+(* --- error boundary ---
+
+   Every command body runs under [protect]: recoverable failures
+   (malformed DAX, invalid DAG, journal corruption, I/O trouble) exit
+   with a one-line diagnostic and code 2 — never an OCaml backtrace.
+   Exhausted budgets/retries exit 3; an injected fail-stop error (the
+   testing aid) exits 1, mimicking a killed process. *)
+
+let die e =
+  Printf.eprintf "ckptwf: %s\n%!" (Rerror.to_string e);
+  exit (Rerror.exit_code e)
+
+let protect f =
+  try f () with
+  | Rerror.E e -> die e
+  | Ckpt_dax.Dax.Error message -> die (Rerror.Parse { source = "dax"; message })
+  | Faulty.Injected label ->
+      Printf.eprintf "ckptwf: injected fail-stop error during %s\n%!" label;
+      exit 1
+  | Sys_error message -> die (Rerror.Io { path = "<fs>"; message })
 
 (* --- shared arguments --- *)
 
@@ -79,15 +105,45 @@ let dax_arg =
     & info [ "dax" ] ~docv:"FILE"
         ~doc:"Load the workflow from a Pegasus DAX file instead of generating one.")
 
-(* the workflow under study: a DAX file when given, else synthetic *)
+let positive_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0. -> Ok v
+    | Some _ -> Error (`Msg "expected a positive number of seconds")
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some positive_float_conv) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget: Monte-Carlo sampling is cut off at the samples completed \
+           when the budget expires instead of running to the full trial count.")
+
+(* the workflow under study: a DAX file when given, else synthetic;
+   always validated before any scheduling touches it *)
 let source dax workflow tasks seed =
-  match dax with
-  | Some path -> Ckpt_dax.Dax.load path
-  | None -> Spec.generate workflow ~seed ~tasks ()
+  let dag =
+    match dax with
+    | Some path -> (
+        match Ckpt_dax.Dax.of_file path with Ok d -> d | Error e -> Rerror.raise_ e)
+    | None -> Spec.generate workflow ~seed ~tasks ()
+  in
+  (match Dag.validate dag with
+  | Ok () -> ()
+  | Error vs ->
+      Rerror.raise_
+        (Rerror.Invalid_dag
+           { name = Dag.name dag; violations = List.map Dag.violation_to_string vs }));
+  dag
 
 (* --- generate --- *)
 
 let generate_run dax workflow tasks seed dot =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   if dot then print_string (Dag.to_dot dag)
   else begin
@@ -118,6 +174,7 @@ let generate_cmd =
 (* --- schedule --- *)
 
 let schedule_run dax workflow tasks seed processors pfail ccr verbose =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let schedule = setup.Pipeline.schedule in
@@ -159,6 +216,7 @@ let schedule_cmd =
 (* --- evaluate --- *)
 
 let evaluate_run dax workflow tasks seed processors pfail ccr method_ =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let cmp = Pipeline.compare_strategies ~method_ setup in
@@ -180,19 +238,24 @@ let evaluate_cmd =
 
 (* --- simulate --- *)
 
-let simulate_run dax workflow tasks seed processors pfail ccr trials =
+let simulate_run dax workflow tasks seed processors pfail ccr trials deadline =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let deadline = Deadline.of_seconds deadline in
   Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
     (Dag.n_tasks dag) processors pfail ccr trials;
   List.iter
     (fun kind ->
       let plan = Pipeline.plan setup kind in
       let est = Strategy.expected_makespan plan in
-      let stats = Runner.simulate ~trials plan in
+      let stats = Runner.simulate ~trials ~deadline plan in
       Format.printf "  %-10s estimate %10.2f | simulated %10.2f +- %.2f (min %.2f max %.2f)@."
         (Strategy.kind_name kind) est (Stats.mean stats) (Stats.ci95_halfwidth stats)
-        (Stats.min stats) (Stats.max stats))
+        (Stats.min stats) (Stats.max stats);
+      if Stats.count stats < trials then
+        Format.printf "  %-10s deadline hit: %d/%d trials completed@."
+          (Strategy.kind_name kind) (Stats.count stats) trials)
     [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ]
 
 let simulate_cmd =
@@ -200,7 +263,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Failure-injected simulation versus the analytical estimate.")
     Term.(
       const simulate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials_arg)
+      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg)
 
 (* --- sweep (the figure series) --- *)
 
@@ -215,30 +278,106 @@ let default_ccrs workflow =
   | Spec.Montage | Spec.Ligo -> logspace 1e-3 1. 10
   | Spec.Cybershake | Spec.Sipht -> logspace 1e-3 1. 10
 
-let sweep_run dax workflow tasks seed processors pfail method_ csv =
+(* One sweep cell, rendered to the exact output line. The line is what
+   gets journaled, so a resumed sweep replays it verbatim. *)
+let sweep_row ~csv ~dag ~processors ~pfail ~method_ ccr =
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  let cmp = Pipeline.compare_strategies ~method_ setup in
+  if csv then
+    Printf.sprintf "%s,%d,%d,%g,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%d" (Dag.name dag)
+      (Dag.n_tasks dag) processors pfail ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
+      cmp.Pipeline.em_none cmp.Pipeline.rel_all cmp.Pipeline.rel_none
+      cmp.Pipeline.ckpts_some
+  else
+    Printf.sprintf "%-8s %6.4f %10.2f %10.2f %10.2f %8.4f %8.4f %6d" (Dag.name dag) ccr
+      cmp.Pipeline.em_some cmp.Pipeline.em_all cmp.Pipeline.em_none cmp.Pipeline.rel_all
+      cmp.Pipeline.rel_none cmp.Pipeline.ckpts_some
+
+let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr =
+  Printf.sprintf "sweep|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|m=%s|csv=%b|ccr=%.17g"
+    (Dag.name dag) (Dag.n_tasks dag) seed processors pfail (Evaluator.name method_) csv ccr
+
+let sweep_run dax workflow tasks seed processors pfail method_ csv journal resume
+    fail_after =
+  protect @@ fun () ->
+  if resume && journal = None then
+    die
+      (Rerror.Io
+         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
   let dag = source dax workflow tasks seed in
+  let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
+  let journal =
+    match journal with
+    | None -> None
+    | Some path -> (
+        match Journal.open_ ~fresh:(not resume) path with
+        | Ok j -> Some j
+        | Error e -> Rerror.raise_ e)
+  in
+  (* journal appends are retried under the default backoff policy: a
+     transient filesystem hiccup must not lose a computed cell *)
+  let journal_append j ~key ~value =
+    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
+    | Ok () -> ()
+    | Error e -> Rerror.raise_ e
+  in
   if csv then print_endline "workflow,tasks,processors,pfail,ccr,em_some,em_all,em_none,rel_all,rel_none,ckpts_some"
   else
     Format.printf "%-8s %6s %10s %10s %10s %8s %8s %6s@." "wf" "ccr" "EM(some)" "EM(all)"
       "EM(none)" "relALL" "relNONE" "ckpts";
+  let reused = ref 0 and computed = ref 0 in
   List.iter
     (fun ccr ->
-      let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
-      let cmp = Pipeline.compare_strategies ~method_ setup in
-      if csv then
-        Printf.printf "%s,%d,%d,%g,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n" (Dag.name dag)
-          (Dag.n_tasks dag) processors pfail ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
-          cmp.Pipeline.em_none cmp.Pipeline.rel_all cmp.Pipeline.rel_none
-          cmp.Pipeline.ckpts_some
-      else
-        Format.printf "%-8s %6.4f %10.2f %10.2f %10.2f %8.4f %8.4f %6d@."
-          (Dag.name dag) ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
-          cmp.Pipeline.em_none cmp.Pipeline.rel_all cmp.Pipeline.rel_none
-          cmp.Pipeline.ckpts_some)
-    (default_ccrs workflow)
+      let key = sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr in
+      let row =
+        match Option.bind journal (fun j -> Journal.find j key) with
+        | Some stored ->
+            incr reused;
+            stored
+        | None ->
+            Faulty.inject faulty "sweep cell";
+            let row = sweep_row ~csv ~dag ~processors ~pfail ~method_ ccr in
+            Option.iter (fun j -> journal_append j ~key ~value:row) journal;
+            incr computed;
+            row
+      in
+      print_endline row)
+    (default_ccrs workflow);
+  Option.iter
+    (fun j ->
+      Printf.eprintf "ckptwf: journal %s: %d cell(s) reused, %d computed\n%!"
+        (Journal.path j) !reused !computed)
+    journal
 
 let sweep_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed sweep cells to $(docv) (CRC-guarded, atomically updated) so \
+             a crashed sweep can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the journal: cells already recorded are replayed verbatim instead \
+             of recomputed, so the output matches an uninterrupted run exactly.")
+  in
+  let fail_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fail-after" ] ~docv:"K"
+          ~doc:
+            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
+             computing the ($(docv)+1)-th non-journaled cell.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -246,18 +385,30 @@ let sweep_cmd =
           7).")
     Term.(
       const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ method_arg $ csv)
+      $ pfail_arg $ method_arg $ csv $ journal $ resume $ fail_after)
 
 (* --- accuracy (Section VI-B) --- *)
 
-let accuracy_run dax workflow tasks seed processors pfail ccr trials =
+let accuracy_run dax workflow tasks seed processors pfail ccr trials deadline =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let plan = Pipeline.plan setup Strategy.Ckpt_some in
-  let ground_truth =
-    Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 }) plan
+  let deadline = Deadline.of_seconds deadline in
+  let ground_truth, mc_count =
+    match plan.Strategy.prob_dag with
+    | Some pd ->
+        let stats = Ckpt_eval.Montecarlo.estimate_with_stats ~trials ~seed:1 ~deadline pd in
+        (Stats.mean stats, Stats.count stats)
+    | None ->
+        ( Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 })
+            plan,
+          trials )
   in
-  Format.printf "ground truth (MC, %d trials): %.2f@." trials ground_truth;
+  if mc_count < trials then
+    Format.printf "ground truth (MC, deadline hit at %d/%d trials): %.2f@." mc_count trials
+      ground_truth
+  else Format.printf "ground truth (MC, %d trials): %.2f@." trials ground_truth;
   List.iter
     (fun m ->
       let t0 = Unix.gettimeofday () in
@@ -287,7 +438,7 @@ let accuracy_cmd =
        ~doc:"Estimator accuracy versus a large-trial Monte Carlo ground truth (Section VI-B).")
     Term.(
       const accuracy_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials)
+      $ pfail_arg $ ccr_arg $ trials $ deadline_arg)
 
 (* --- gantt --- *)
 
@@ -320,6 +471,7 @@ let strategy_arg =
         ~doc:"Checkpointing strategy: all, some, none, every-K or budget-K.")
 
 let gantt_run dax workflow tasks seed processors pfail ccr strategy output sim_seed =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let plan = Pipeline.plan setup strategy in
@@ -343,6 +495,7 @@ let gantt_cmd =
 (* --- contention --- *)
 
 let contention_run dax workflow tasks seed processors pfail ccr trials =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
@@ -368,14 +521,18 @@ let contention_cmd =
 
 (* --- quantiles --- *)
 
-let quantiles_run dax workflow tasks seed processors pfail ccr strategy trials =
+let quantiles_run dax workflow tasks seed processors pfail ccr strategy trials deadline =
+  protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let plan = Pipeline.plan setup strategy in
   let qs = [ 0.5; 0.9; 0.99 ] in
-  let sample = Runner.sample_makespans ~trials plan in
+  let deadline = Deadline.of_seconds deadline in
+  let sample = Runner.sample_makespans ~trials ~deadline plan in
   Format.printf "workflow=%s strategy=%s trials=%d@." (Dag.name dag)
     (Strategy.kind_name strategy) trials;
+  if Array.length sample < trials then
+    Format.printf "  deadline hit: %d/%d trials completed@." (Array.length sample) trials;
   Format.printf "  simulated: mean %.2f" (Ckpt_prob.Stats.mean_of_array sample);
   List.iter
     (fun q ->
@@ -401,11 +558,12 @@ let quantiles_cmd =
           distribution (extension).")
     Term.(
       const quantiles_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg)
+      $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg $ deadline_arg)
 
 (* --- export --- *)
 
 let export_run workflow tasks seed output =
+  protect @@ fun () ->
   let dag = Spec.generate workflow ~seed ~tasks () in
   (match output with
   | Some path ->
@@ -430,7 +588,9 @@ let main_cmd =
        ~doc:
          "Checkpointing workflows for fail-stop errors (Han, Canon, Casanova, Robert, \
           Vivien — IEEE Cluster 2017): scheduling, checkpoint placement, expected-makespan \
-          evaluation and simulation.")
+          evaluation and simulation. Exit codes: 0 success, 1 simulated fail-stop crash \
+          (--fail-after), 2 malformed or invalid input, 3 exhausted retry/deadline budget, \
+          124 command-line misuse.")
     [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
       export_cmd; gantt_cmd; contention_cmd; quantiles_cmd ]
 

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repo-wide check: build, unit/property tests, then the end-to-end
+# crash/resume smoke test.  This is what CI (and a reviewer) should run.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench/run_smoke.sh =="
+sh bench/run_smoke.sh
+
+echo "== all checks passed =="

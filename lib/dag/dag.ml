@@ -255,6 +255,80 @@ let topological_sort ?rng t =
 
 let check_acyclic t = ignore (topological_sort t)
 
+type violation =
+  | Cycle of Task.id list
+  | Bad_weight of Task.id * float
+  | Bad_file_size of int * float
+  | Bad_input_size of Task.id * float
+  | Dangling_producer of int
+  | Duplicate_task_id of Task.id
+  | Duplicate_edge of Task.id * Task.id * int
+
+let violation_to_string = function
+  | Cycle ids ->
+      Printf.sprintf "cycle through task%s %s"
+        (if List.length ids = 1 then "" else "s")
+        (String.concat ", " (List.map string_of_int ids))
+  | Bad_weight (id, w) -> Printf.sprintf "task %d: weight %g" id w
+  | Bad_file_size (fid, s) -> Printf.sprintf "file %d: size %g" fid s
+  | Bad_input_size (id, s) -> Printf.sprintf "task %d: initial input size %g" id s
+  | Dangling_producer fid -> Printf.sprintf "file %d: producer is not a task" fid
+  | Duplicate_task_id id -> Printf.sprintf "task at index %d carries a foreign id" id
+  | Duplicate_edge (src, dst, fid) ->
+      Printf.sprintf "edge %d->%d (file %d) recorded twice" src dst fid
+
+let bad_number x = Float.is_nan x || x < 0.
+
+let validate t =
+  let violations = ref [] in
+  let note v = violations := v :: !violations in
+  for i = 0 to t.n - 1 do
+    let nd = t.nodes.(i) in
+    if nd.info.Task.id <> i then note (Duplicate_task_id i);
+    if bad_number nd.info.Task.weight then note (Bad_weight (i, nd.info.Task.weight));
+    List.iter (fun s -> if bad_number s then note (Bad_input_size (i, s))) nd.input_files;
+    (* out_edges are kept sorted by dst, so duplicates are adjacent *)
+    let rec dups = function
+      | (d1, f1) :: ((d2, f2) :: _ as rest) ->
+          if d1 = d2 && f1 = f2 then note (Duplicate_edge (i, d1, f1));
+          dups rest
+      | _ -> ()
+    in
+    dups nd.out_edges
+  done;
+  for fid = 0 to t.n_files - 1 do
+    let f = t.file_tbl.(fid) in
+    if f.producer < 0 || f.producer >= t.n then note (Dangling_producer fid)
+    else if bad_number f.size then note (Bad_file_size (fid, f.size))
+  done;
+  (* Kahn residue: tasks never emitted sit on or behind a cycle. Run it
+     by hand — [topological_sort] raises instead of reporting. *)
+  let indeg = Array.init t.n (fun i -> List.length t.nodes.(i).in_edges) in
+  let queue = Queue.create () in
+  for i = 0 to t.n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let emitted = ref 0 in
+  let done_ = Array.make t.n false in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    done_.(u) <- true;
+    incr emitted;
+    List.iter
+      (fun (v, _) ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      t.nodes.(u).out_edges
+  done;
+  if !emitted <> t.n then begin
+    let trapped = ref [] in
+    for i = t.n - 1 downto 0 do
+      if not done_.(i) then trapped := i :: !trapped
+    done;
+    note (Cycle !trapped)
+  end;
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
 let longest_path ?weight:w t =
   let w = match w with Some f -> f | None -> fun i -> weight t i in
   let order = topological_sort t in

@@ -87,6 +87,37 @@ val sources : t -> Task.id list
 val sinks : t -> Task.id list
 (** Tasks without successors, in id order. *)
 
+(** {1 Validation} *)
+
+type violation =
+  | Cycle of Task.id list
+      (** Tasks trapped on directed cycles (every listed task lies on
+          or behind a cycle). *)
+  | Bad_weight of Task.id * float  (** NaN or negative task weight. *)
+  | Bad_file_size of int * float  (** NaN or negative file size. *)
+  | Bad_input_size of Task.id * float
+      (** NaN or negative initial-input size. *)
+  | Dangling_producer of int
+      (** A file whose producer is not a task of the DAG. *)
+  | Duplicate_task_id of Task.id
+      (** A task whose recorded id disagrees with its index. *)
+  | Duplicate_edge of Task.id * Task.id * int
+      (** The same (src, dst, file) triple recorded twice. *)
+
+val violation_to_string : violation -> string
+(** One-line rendering, e.g. ["task 3 (mDiff): weight nan"]. *)
+
+val validate : t -> (unit, violation list) result
+(** Structural soundness check run at input boundaries before any
+    scheduling: detects cycles, NaN/negative task weights, NaN/negative
+    file and initial-input sizes, dangling file producers, duplicate
+    task ids and duplicate edges. [Ok ()] on a well-formed DAG;
+    otherwise every violation found, in deterministic order. Unlike the
+    builder's [Invalid_argument] guards this never raises, so callers
+    can degrade gracefully on hostile input (the builder cannot catch a
+    NaN smuggled through {!set_weight} or a cycle assembled edge by
+    edge). *)
+
 (** {1 Algorithms} *)
 
 val check_acyclic : t -> unit

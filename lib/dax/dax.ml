@@ -237,12 +237,24 @@ let to_string dag =
   in
   "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" ^ Xml.to_string root
 
-let load path =
+let of_string_result ?(source = "<dax>") src =
+  match of_string src with
+  | dag -> Ok dag
+  | exception Error message -> Result.Error (Ckpt_resilience.Error.Parse { source; message })
+
+let read_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  of_string src
+  src
+
+let load path = of_string (read_file path)
+
+let of_file path =
+  match read_file path with
+  | exception Sys_error message -> Result.Error (Ckpt_resilience.Error.Io { path; message })
+  | src -> of_string_result ~source:path src
 
 let save path dag =
   let oc = open_out_bin path in

@@ -29,14 +29,26 @@
 
 exception Error of string
 
+val of_string_result :
+  ?source:string -> string -> (Ckpt_dag.Dag.t, Ckpt_resilience.Error.t) result
+(** Total parsing entry point: malformed DAX (unknown refs, duplicate
+    job ids, missing attributes, negative sizes, cyclic dependencies)
+    yields [Error (Parse _)] instead of raising. [source] names the
+    input in diagnostics (default ["<dax>"]). *)
+
+val of_file : string -> (Ckpt_dag.Dag.t, Ckpt_resilience.Error.t) result
+(** [of_file path] reads and parses a DAX file; I/O failures yield
+    [Error (Io _)], malformed content [Error (Parse _)]. Never
+    raises. *)
+
 val of_string : string -> Ckpt_dag.Dag.t
-(** @raise Error on malformed DAX (unknown refs, duplicate job ids,
-    missing attributes, negative sizes, cyclic dependencies). *)
+(** Thin raising wrapper over {!of_string_result} for legacy callers.
+    @raise Error on malformed DAX. *)
 
 val to_string : Ckpt_dag.Dag.t -> string
 
 val load : string -> Ckpt_dag.Dag.t
-(** [load path] reads and parses a DAX file.
+(** Thin raising wrapper over {!of_file}.
 
     @raise Error as {!of_string}, or [Sys_error] on I/O failure. *)
 

@@ -1,13 +1,23 @@
 module Rng = Ckpt_prob.Rng
 module Stats = Ckpt_prob.Stats
+module Deadline = Ckpt_resilience.Deadline
 
-let estimate_with_stats ?(trials = 10_000) ?(seed = 1) dag =
+(* How many samples to draw between deadline checks: cheap enough to
+   keep the overshoot small, coarse enough that the clock read does not
+   show up in the profile. *)
+let check_every = 128
+
+let estimate_with_stats ?(trials = 10_000) ?(seed = 1) ?(deadline = Deadline.never) dag =
   if trials < 1 then invalid_arg "Montecarlo.estimate: trials < 1";
   let rng = Rng.create seed in
   let stats = Stats.create () in
-  for _ = 1 to trials do
-    Stats.add stats (Prob_dag.sample dag rng)
-  done;
+  (try
+     for i = 1 to trials do
+       Stats.add stats (Prob_dag.sample dag rng);
+       if i mod check_every = 0 && Deadline.expired deadline then raise Exit
+     done
+   with Exit -> ());
   stats
 
-let estimate ?trials ?seed dag = Stats.mean (estimate_with_stats ?trials ?seed dag)
+let estimate ?trials ?seed ?deadline dag =
+  Stats.mean (estimate_with_stats ?trials ?seed ?deadline dag)

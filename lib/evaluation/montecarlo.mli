@@ -3,10 +3,23 @@
     The classical ground-truth method (van Slyke 1963): unbiased, with
     a [1/sqrt(trials)] error, but expensive — the paper uses 300,000
     trials to calibrate the other estimators and notes this is
-    prohibitive in practice. *)
+    prohibitive in practice.
 
-val estimate : ?trials:int -> ?seed:int -> Prob_dag.t -> float
-(** Mean over [trials] (default 10_000) independent realisations. *)
+    A wall-clock {!Ckpt_resilience.Deadline} can bound the sampling
+    loop: when the budget runs out the estimator stops at the samples
+    drawn so far (a checkpointed sample count, at least one batch)
+    instead of hanging — the resulting statistics report the achieved
+    count via [Stats.count]. *)
 
-val estimate_with_stats : ?trials:int -> ?seed:int -> Prob_dag.t -> Ckpt_prob.Stats.t
+val estimate :
+  ?trials:int -> ?seed:int -> ?deadline:Ckpt_resilience.Deadline.t -> Prob_dag.t -> float
+(** Mean over [trials] (default 10_000) independent realisations, or
+    over however many completed before [deadline] expired. *)
+
+val estimate_with_stats :
+  ?trials:int ->
+  ?seed:int ->
+  ?deadline:Ckpt_resilience.Deadline.t ->
+  Prob_dag.t ->
+  Ckpt_prob.Stats.t
 (** Full sample statistics (mean, variance, extremes, CI). *)

@@ -1,0 +1,24 @@
+type t = Never | At of { clock : unit -> float; expiry : float; seconds : float }
+
+let never = Never
+
+let make ?(clock = Unix.gettimeofday) ~seconds () =
+  if seconds <= 0. then invalid_arg "Deadline.make: non-positive budget";
+  At { clock; expiry = clock () +. seconds; seconds }
+
+let of_seconds = function None -> Never | Some s -> make ~seconds:s ()
+
+let expired = function Never -> false | At { clock; expiry; _ } -> clock () >= expiry
+
+let remaining = function
+  | Never -> infinity
+  | At { clock; expiry; _ } -> Float.max 0. (expiry -. clock ())
+
+let budget = function Never -> infinity | At { seconds; _ } -> seconds
+
+let check t ~completed =
+  match t with
+  | Never -> ()
+  | At { seconds; _ } ->
+      if expired t then
+        Error.raise_ (Error.Deadline_exceeded { budget = seconds; completed })

@@ -1,0 +1,34 @@
+(** Wall-clock budgets for open-ended computations.
+
+    A deadline bounds work whose duration is data-dependent — a
+    Monte-Carlo estimator, a long sweep — so a runaway configuration
+    degrades into a truncated-but-checkpointed result instead of a
+    hang. The clock is injectable, so tests drive time by hand. *)
+
+type t
+
+val never : t
+(** Never expires. *)
+
+val make : ?clock:(unit -> float) -> seconds:float -> unit -> t
+(** [make ~seconds ()] expires [seconds] from now. [clock] defaults to
+    [Unix.gettimeofday].
+
+    @raise Invalid_argument on a non-positive budget. *)
+
+val of_seconds : float option -> t
+(** [of_seconds None] is {!never}; [of_seconds (Some s)] is
+    [make ~seconds:s ()] — the shape of an optional [--deadline] CLI
+    argument. *)
+
+val expired : t -> bool
+
+val remaining : t -> float
+(** Seconds left; [infinity] for {!never}, never negative. *)
+
+val budget : t -> float
+(** The original budget in seconds; [infinity] for {!never}. *)
+
+val check : t -> completed:int -> unit
+(** Raises [Error.E (Deadline_exceeded _)] when expired, recording how
+    many units of work completed in time. *)

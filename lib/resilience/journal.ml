@@ -1,0 +1,140 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over bytes. *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl) in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+type t = {
+  jpath : string;
+  inject : unit -> unit;
+  mutable rev_entries : (string * string) list; (* newest first *)
+  index : (string, string) Hashtbl.t; (* first binding wins *)
+  mutable tail_dropped : bool;
+}
+
+let path t = t.jpath
+let length t = List.length t.rev_entries
+let recovered_tail t = t.tail_dropped
+let mem t key = Hashtbl.mem t.index key
+let find t key = Hashtbl.find_opt t.index key
+let entries t = List.rev t.rev_entries
+
+let render_line key value = Printf.sprintf "%08lx\t%s\t%s" (crc32 (key ^ "\t" ^ value)) key value
+
+(* [parse_line line] is [Ok (key, value)] or [Error message]. *)
+let parse_line line =
+  match String.index_opt line '\t' with
+  | None -> Error "missing field separator"
+  | Some i -> (
+      let crc_hex = String.sub line 0 i in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      match String.index_opt rest '\t' with
+      | None -> Error "missing value field"
+      | Some j -> (
+          let key = String.sub rest 0 j in
+          let value = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match Int32.of_string_opt ("0x" ^ crc_hex) with
+          | None -> Error (Printf.sprintf "unreadable CRC %S" crc_hex)
+          | Some crc ->
+              if crc <> crc32 (key ^ "\t" ^ value) then Error "CRC mismatch"
+              else Ok (key, value)))
+
+(* Atomic persistence: whole journal to [path ^ ".tmp"], fsync, rename.
+   A fail-stop error at any point leaves the previous version intact. *)
+let persist t =
+  t.inject ();
+  let tmp = t.jpath ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     (try
+        List.iter
+          (fun (k, v) ->
+            output_string oc (render_line k v);
+            output_char oc '\n')
+          (List.rev t.rev_entries);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc)
+      with e ->
+        close_out_noerr oc;
+        raise e);
+     close_out oc
+   with Sys_error m | Unix.Unix_error (_, _, m) ->
+     Error.raise_ (Error.Io { path = tmp; message = m }));
+  try Sys.rename tmp t.jpath
+  with Sys_error m -> Error.raise_ (Error.Io { path = t.jpath; message = m })
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let open_ ?(inject = fun () -> ()) ?(fresh = false) jpath =
+  let t =
+    { jpath; inject; rev_entries = []; index = Hashtbl.create 64; tail_dropped = false }
+  in
+  if fresh || not (Sys.file_exists jpath) then Ok t
+  else
+    match read_lines jpath with
+    | exception Sys_error m -> Error (Error.Io { path = jpath; message = m })
+    | lines -> (
+        let non_empty = List.filteri (fun _ l -> l <> "") lines in
+        let n = List.length non_empty in
+        let rec load i = function
+          | [] -> Ok ()
+          | line :: rest -> (
+              match parse_line line with
+              | Ok (key, value) ->
+                  t.rev_entries <- (key, value) :: t.rev_entries;
+                  if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
+                  load (i + 1) rest
+              | Error message ->
+                  (* a torn final line is the expected signature of a
+                     crash mid-write; anything earlier is real damage *)
+                  if i = n - 1 then begin
+                    t.tail_dropped <- true;
+                    Ok ()
+                  end
+                  else Error (Error.Journal_corrupt { path = jpath; line = i + 1; message }))
+        in
+        match load 0 non_empty with Ok () -> Ok t | Error e -> Error e)
+
+let check_field what ~allow_tab s =
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' || ((not allow_tab) && c = '\t') then
+        Error.raise_
+          (Error.Io
+             { path = "journal"; message = Printf.sprintf "%s contains forbidden character" what }))
+    s
+
+let append t ~key ~value =
+  check_field "key" ~allow_tab:false key;
+  check_field "value" ~allow_tab:true value;
+  t.rev_entries <- (key, value) :: t.rev_entries;
+  if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
+  persist t
+
+let sync t = persist t

@@ -1,0 +1,46 @@
+(** Bounded retries with exponential backoff and seeded jitter.
+
+    Transient faults (a journal write hitting a busy filesystem, an
+    injected fail-stop error in tests) are retried a bounded number of
+    times with exponentially growing delays. Jitter is drawn from
+    {!Ckpt_prob.Rng}, so a given seed yields one deterministic backoff
+    schedule — experiments stay exactly reproducible even through their
+    failure handling. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first; >= 1 *)
+  base_delay : float;  (** seconds before the second attempt *)
+  multiplier : float;  (** growth factor per retry; >= 1 *)
+  max_delay : float;  (** cap on any single delay *)
+  jitter : float;  (** relative spread in [0, 1]: each delay is scaled
+                       by a factor uniform in [1 - jitter, 1 + jitter] *)
+}
+
+val default : policy
+(** 5 attempts, 0.1 s base, x2 growth, 5 s cap, 0.25 jitter. *)
+
+val schedule : ?rng:Ckpt_prob.Rng.t -> policy -> float array
+(** The [max_attempts - 1] inter-attempt delays the policy produces.
+    Deterministic: equal seeds give equal schedules. Without [rng] the
+    jitter factor is 1 (pure exponential).
+
+    @raise Invalid_argument on a non-positive [max_attempts] or a
+    negative delay parameter. *)
+
+val transient : exn -> bool
+(** Default retry predicate: [Sys_error], [Error.E (Io _)] and
+    {!Faulty.Injected} are transient; everything else propagates. *)
+
+val with_retries :
+  ?policy:policy ->
+  ?rng:Ckpt_prob.Rng.t ->
+  ?sleep:(float -> unit) ->
+  ?retry_on:(exn -> bool) ->
+  (attempt:int -> 'a) ->
+  ('a, Error.t) result
+(** [with_retries f] runs [f ~attempt:1]; if it raises an exception
+    accepted by [retry_on] (default {!transient}), sleeps the next
+    backoff delay and tries again, up to [policy.max_attempts] times.
+    Returns [Error (Retries_exhausted _)] when every attempt failed;
+    non-transient exceptions propagate immediately. [sleep] defaults to
+    [Unix.sleepf] and is injectable so tests need not wait. *)

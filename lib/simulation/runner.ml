@@ -7,6 +7,9 @@ module Platform = Ckpt_platform.Platform
 module Failure = Ckpt_platform.Failure
 module Rng = Ckpt_prob.Rng
 module Stats = Ckpt_prob.Stats
+module Deadline = Ckpt_resilience.Deadline
+module Retry = Ckpt_resilience.Retry
+module Error = Ckpt_resilience.Error
 
 let segs_of_plan (plan : Strategy.plan) =
   match plan.Strategy.prob_dag with
@@ -22,15 +25,16 @@ let segs_of_plan (plan : Strategy.plan) =
           })
         plan.Strategy.segments
 
-let sample_makespans ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
+let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
+    ?(inject = fun ~trial:_ -> ()) ?retry (plan : Strategy.plan) =
   if trials < 1 then invalid_arg "Runner.simulate: trials < 1";
   let platform = plan.Strategy.platform in
   let master = Rng.create seed in
-  match plan.Strategy.prob_dag with
-  | Some _ ->
-      let segs = segs_of_plan plan in
-      Array.init trials (fun _ ->
-          let trial_rng = Rng.split master in
+  let one_trial =
+    match plan.Strategy.prob_dag with
+    | Some _ ->
+        let segs = segs_of_plan plan in
+        fun trial_rng ->
           let traces = Hashtbl.create 16 in
           let trace_of p =
             match Hashtbl.find_opt traces p with
@@ -40,21 +44,53 @@ let sample_makespans ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
                 Hashtbl.replace traces p t;
                 t
           in
-          Engine.makespan segs trace_of)
-  | None ->
-      let wpar = plan.Strategy.wpar in
-      (* restart semantics: the aggregate failure process over the
-         used processors (sum of exponential rates) *)
-      let used = Hashtbl.create 16 in
-      Array.iter
-        (fun (sc : Superchain.t) -> Hashtbl.replace used sc.Superchain.processor ())
-        plan.Strategy.schedule.Schedule.superchains;
-      let rate = Hashtbl.fold (fun p () acc -> acc +. Platform.rate_of platform p) used 0. in
-      Array.init trials (fun _ ->
-          let trial_rng = Rng.split master in
-          Engine.restart_rate_makespan ~wpar ~rate trial_rng)
+          Engine.makespan segs trace_of
+    | None ->
+        let wpar = plan.Strategy.wpar in
+        (* restart semantics: the aggregate failure process over the
+           used processors (sum of exponential rates) *)
+        let used = Hashtbl.create 16 in
+        Array.iter
+          (fun (sc : Superchain.t) -> Hashtbl.replace used sc.Superchain.processor ())
+          plan.Strategy.schedule.Schedule.superchains;
+        let rate =
+          Hashtbl.fold (fun p () acc -> acc +. Platform.rate_of platform p) used 0.
+        in
+        fun trial_rng -> Engine.restart_rate_makespan ~wpar ~rate trial_rng
+  in
+  let rev_samples = ref [] in
+  let completed = ref 0 in
+  (try
+     for k = 0 to trials - 1 do
+       (* deadline cut-off between trials, always keeping at least one
+          completed sample so statistics stay well-defined *)
+       if k > 0 && Deadline.expired deadline then raise Exit;
+       (* the trial's randomness is fixed before any attempt, so a
+          retried (fault-injected) trial reproduces the exact makespan
+          an undisturbed run would have drawn *)
+       let base = Rng.split master in
+       let attempt ~attempt:_ =
+         inject ~trial:k;
+         one_trial (Rng.copy base)
+       in
+       let v =
+         match retry with
+         | None -> attempt ~attempt:1
+         | Some policy -> (
+             match
+               Retry.with_retries ~policy ~rng:(Rng.create (seed + k)) attempt
+             with
+             | Ok v -> v
+             | Result.Error e -> Error.raise_ e)
+       in
+       rev_samples := v :: !rev_samples;
+       incr completed
+     done
+   with Exit -> ());
+  Array.of_list (List.rev !rev_samples)
 
-let simulate ?trials ?seed plan = Stats.of_array (sample_makespans ?trials ?seed plan)
+let simulate ?trials ?seed ?deadline ?inject ?retry plan =
+  Stats.of_array (sample_makespans ?trials ?seed ?deadline ?inject ?retry plan)
 
 let simulated_expected_makespan ?trials ?seed plan =
   Stats.mean (simulate ?trials ?seed plan)

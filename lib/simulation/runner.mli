@@ -3,7 +3,15 @@
     Repeatedly executes a {!Ckpt_core.Strategy.plan} against fresh
     exponential failure traces and collects makespan statistics —
     ground truth against which the analytical estimators (and the
-    first-order model itself) are validated. *)
+    first-order model itself) are validated.
+
+    The driver practices what the paper preaches: a wall-clock
+    {!Ckpt_resilience.Deadline} cuts a runaway simulation off at the
+    trials completed so far; an [inject] hook lets the fault-injection
+    harness ({!Ckpt_resilience.Faulty}) kill individual trials; and an
+    optional {!Ckpt_resilience.Retry} policy re-runs a killed trial
+    with its original randomness, so an injected-and-retried run
+    produces bitwise the same samples as an undisturbed one. *)
 
 val segs_of_plan : Ckpt_core.Strategy.plan -> Engine.seg array
 (** The executable segment DAG of a CKPTALL/CKPTSOME plan: one entry
@@ -13,15 +21,38 @@ val segs_of_plan : Ckpt_core.Strategy.plan -> Engine.seg array
     @raise Invalid_argument on a CKPTNONE plan (nothing to segment). *)
 
 val simulate :
-  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> Ckpt_prob.Stats.t
+  ?trials:int ->
+  ?seed:int ->
+  ?deadline:Ckpt_resilience.Deadline.t ->
+  ?inject:(trial:int -> unit) ->
+  ?retry:Ckpt_resilience.Retry.policy ->
+  Ckpt_core.Strategy.plan ->
+  Ckpt_prob.Stats.t
 (** [trials] defaults to 1000. CKPTALL/CKPTSOME run through
     {!Engine.makespan}; CKPTNONE uses the restart-from-scratch
-    semantics on its failure-free parallel time. *)
+    semantics on its failure-free parallel time. See
+    {!sample_makespans} for [deadline] / [inject] / [retry]. *)
 
 val simulated_expected_makespan :
   ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> float
 
 val sample_makespans :
-  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> float array
+  ?trials:int ->
+  ?seed:int ->
+  ?deadline:Ckpt_resilience.Deadline.t ->
+  ?inject:(trial:int -> unit) ->
+  ?retry:Ckpt_resilience.Retry.policy ->
+  Ckpt_core.Strategy.plan ->
+  float array
 (** The raw makespan sample (same semantics as {!simulate}) — for
-    quantiles and distribution comparisons. *)
+    quantiles and distribution comparisons.
+
+    [deadline]: checked between trials; on expiry the completed prefix
+    (never empty) is returned. [inject ~trial] runs before each trial
+    attempt and may raise to simulate a fail-stop error. Without
+    [retry] such an exception propagates; with [retry] the trial is
+    re-attempted under the policy (jitter seeded from [seed] and the
+    trial index), and exhaustion raises [Error.E (Retries_exhausted)].
+    Each trial's failure traces are drawn from a per-trial generator
+    split off before any attempt, so retried trials reproduce the
+    undisturbed run's samples exactly. *)

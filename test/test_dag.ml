@@ -123,6 +123,60 @@ let test_cycle_detection () =
   Alcotest.check_raises "cycle found" (Invalid_argument "Dag.topological_sort: dag has a cycle")
     (fun () -> Dag.check_acyclic d)
 
+(* --- validate --- *)
+
+let test_validate_ok () =
+  match Dag.validate (diamond ()) with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "spurious violations: %s"
+        (String.concat "; " (List.map Dag.violation_to_string vs))
+
+let test_validate_detects_cycle () =
+  let d = Dag.create () in
+  let a = Dag.add_task d ~name:"a" ~weight:1. in
+  let b = Dag.add_task d ~name:"b" ~weight:1. in
+  Dag.add_edge d a b 1.;
+  Dag.add_edge d b a 1.;
+  (match Dag.validate d with
+  | Ok () -> Alcotest.fail "cycle not detected"
+  | Error [ Dag.Cycle ids ] -> Alcotest.(check (list int)) "trapped tasks" [ a; b ] ids
+  | Error vs ->
+      Alcotest.failf "unexpected violations: %s"
+        (String.concat "; " (List.map Dag.violation_to_string vs)))
+
+let test_validate_detects_bad_weight () =
+  (* the builder guard rejects negatives outright, but NaN slips through
+     every `< 0.` comparison — only validate can catch it *)
+  let d = diamond () in
+  Dag.set_weight d 1 nan;
+  Dag.set_weight d 2 nan;
+  match Dag.validate d with
+  | Ok () -> Alcotest.fail "bad weights not detected"
+  | Error vs ->
+      let weights =
+        List.filter_map (function Dag.Bad_weight (id, _) -> Some id | _ -> None) vs
+      in
+      Alcotest.(check (list int)) "both flagged" [ 1; 2 ] weights;
+      List.iter
+        (fun v -> Alcotest.(check bool) "message renders" true (Dag.violation_to_string v <> ""))
+        vs
+
+let test_validate_detects_bad_file_size () =
+  let d = Dag.create () in
+  let a = Dag.add_task d ~name:"a" ~weight:1. in
+  let b = Dag.add_task d ~name:"b" ~weight:1. in
+  Dag.add_edge d a b 1.;
+  (* corrupt the file size through scaling with a NaN factor-free path:
+     scale_files rejects negatives, so smuggle NaN via 0 * inf *)
+  Dag.scale_files d infinity;
+  Dag.scale_files d 0.;
+  match Dag.validate d with
+  | Ok () -> Alcotest.fail "NaN file size not detected"
+  | Error vs ->
+      Alcotest.(check bool) "bad file size flagged" true
+        (List.exists (function Dag.Bad_file_size _ -> true | _ -> false) vs)
+
 let test_longest_path () =
   let d = diamond () in
   (* longest path 0 -> 2 -> 3 = 1 + 3 + 4 *)
@@ -259,6 +313,11 @@ let suite =
     Alcotest.test_case "random topo sort valid" `Quick test_random_topological_sort_valid;
     Alcotest.test_case "random topo sort varies" `Quick test_random_topological_sort_varies;
     Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate detects cycle" `Quick test_validate_detects_cycle;
+    Alcotest.test_case "validate detects bad weight" `Quick test_validate_detects_bad_weight;
+    Alcotest.test_case "validate detects bad file size" `Quick
+      test_validate_detects_bad_file_size;
     Alcotest.test_case "longest path" `Quick test_longest_path;
     Alcotest.test_case "critical path" `Quick test_critical_path;
     Alcotest.test_case "levels" `Quick test_levels;

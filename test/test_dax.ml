@@ -195,6 +195,39 @@ let test_dax_roundtrip_preserves_pipeline_results () =
   if abs_float (em1 -. em2) > 1e-6 *. em1 then
     Alcotest.failf "EM changed: %f vs %f" em1 em2
 
+(* --- result-based API (the CLI's error boundary) --- *)
+
+let test_dax_of_string_result () =
+  (match Dax.of_string_result sample_dax with
+  | Ok dag -> Alcotest.(check bool) "parses sample" true (Dag.n_tasks dag > 0)
+  | Error e -> Alcotest.failf "sample rejected: %s" (Ckpt_resilience.Error.to_string e));
+  match Dax.of_string_result ~source:"inline" "<adag name=\"x\"/>" with
+  | Ok _ -> Alcotest.fail "empty adag accepted"
+  | Error (Ckpt_resilience.Error.Parse { source; message }) ->
+      Alcotest.(check string) "source threaded" "inline" source;
+      Alcotest.(check bool) "message set" true (message <> "")
+  | Error e -> Alcotest.failf "wrong error: %s" (Ckpt_resilience.Error.to_string e)
+
+let test_dax_of_file_missing () =
+  match Dax.of_file "/nonexistent/ckptwf.dax" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error (Ckpt_resilience.Error.Io _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Ckpt_resilience.Error.to_string e)
+
+let test_dax_of_file_malformed () =
+  let path = Filename.temp_file "ckptwf" ".dax" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "this is not XML";
+      close_out oc;
+      match Dax.of_file path with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error (Ckpt_resilience.Error.Parse { source; _ }) ->
+          Alcotest.(check string) "source is the path" path source
+      | Error e -> Alcotest.failf "wrong error: %s" (Ckpt_resilience.Error.to_string e))
+
 let test_dax_load_save () =
   let dag = Spec.generate Spec.Genome ~seed:7 ~tasks:50 () in
   let path = Filename.temp_file "ckptwf" ".dax" in
@@ -219,4 +252,7 @@ let suite =
     Alcotest.test_case "dax roundtrip (generators)" `Quick test_dax_roundtrip_generators;
     Alcotest.test_case "dax roundtrip (pipeline)" `Quick test_dax_roundtrip_preserves_pipeline_results;
     Alcotest.test_case "dax load/save" `Quick test_dax_load_save;
+    Alcotest.test_case "dax of_string_result" `Quick test_dax_of_string_result;
+    Alcotest.test_case "dax of_file missing" `Quick test_dax_of_file_missing;
+    Alcotest.test_case "dax of_file malformed" `Quick test_dax_of_file_malformed;
   ]

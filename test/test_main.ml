@@ -24,4 +24,5 @@ let () =
       ("contention", Test_contention.suite);
       ("analysis", Test_analysis.suite);
       ("refine", Test_refine.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -1,0 +1,430 @@
+(* Tests for Ckpt_resilience: the CRC-guarded journal (round-trips,
+   corruption handling, atomicity), deterministic retry backoff, the
+   wall-clock deadline, the fault injector, and the headline property —
+   a sweep killed at a random cell and resumed from its journal
+   reproduces the uninterrupted sweep's output bitwise, without
+   recomputing journaled cells. *)
+
+module Journal = Ckpt_resilience.Journal
+module Retry = Ckpt_resilience.Retry
+module Deadline = Ckpt_resilience.Deadline
+module Faulty = Ckpt_resilience.Faulty
+module Rerror = Ckpt_resilience.Error
+module Rng = Ckpt_prob.Rng
+
+let tmp_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ckptwf_test_journal_%d_%d.log" (Unix.getpid ()) !counter)
+
+let with_tmp f =
+  let path = tmp_path () in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () -> f path)
+
+let ok_journal = function
+  | Ok j -> j
+  | Error e -> Alcotest.failf "journal open failed: %s" (Rerror.to_string e)
+
+(* --- journal --- *)
+
+let test_journal_roundtrip () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  Journal.append j ~key:"b" ~value:"row with spaces\tand a tab";
+  Journal.append j ~key:"c" ~value:"";
+  let j' = ok_journal (Journal.open_ path) in
+  Alcotest.(check int) "entries survive" 3 (Journal.length j');
+  Alcotest.(check (option string)) "a" (Some "1") (Journal.find j' "a");
+  Alcotest.(check (option string)) "tab value" (Some "row with spaces\tand a tab")
+    (Journal.find j' "b");
+  Alcotest.(check (option string)) "empty value" (Some "") (Journal.find j' "c");
+  Alcotest.(check (option string)) "absent" None (Journal.find j' "zzz");
+  Alcotest.(check bool) "no recovery needed" false (Journal.recovered_tail j');
+  Alcotest.(check (list (pair string string)))
+    "append order" [ ("a", "1"); ("b", "row with spaces\tand a tab"); ("c", "") ]
+    (Journal.entries j')
+
+let test_journal_first_binding_wins () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"k" ~value:"first";
+  Journal.append j ~key:"k" ~value:"second";
+  let j' = ok_journal (Journal.open_ path) in
+  Alcotest.(check (option string)) "first wins" (Some "first") (Journal.find j' "k")
+
+let test_journal_fresh_discards () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"old" ~value:"1";
+  let j' = ok_journal (Journal.open_ ~fresh:true path) in
+  Alcotest.(check int) "fresh is empty" 0 (Journal.length j');
+  Journal.append j' ~key:"new" ~value:"2";
+  let j'' = ok_journal (Journal.open_ path) in
+  Alcotest.(check (option string)) "old gone" None (Journal.find j'' "old");
+  Alcotest.(check (option string)) "new kept" (Some "2") (Journal.find j'' "new")
+
+let test_journal_torn_tail_recovered () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  Journal.append j ~key:"b" ~value:"2";
+  (* simulate a crash mid-write of a third entry: torn trailing line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "deadbeef\tc\ttrunc";
+  (* no newline, wrong CRC *)
+  close_out oc;
+  let j' = ok_journal (Journal.open_ path) in
+  Alcotest.(check int) "intact prefix kept" 2 (Journal.length j');
+  Alcotest.(check bool) "tail drop reported" true (Journal.recovered_tail j')
+
+let test_journal_mid_corruption_rejected () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  Journal.append j ~key:"b" ~value:"2";
+  (* flip a byte inside the FIRST line: not a torn tail, real damage *)
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let corrupted = Bytes.of_string content in
+  Bytes.set corrupted (String.index content '\t' + 1) '\255';
+  let oc = open_out_bin path in
+  output_bytes oc corrupted;
+  close_out oc;
+  match Journal.open_ path with
+  | Error (Rerror.Journal_corrupt { line = 1; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+  | Ok _ -> Alcotest.fail "corrupted journal accepted"
+
+let test_journal_atomic_no_temp_left () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  Alcotest.(check bool) "temp renamed away" false (Sys.file_exists (path ^ ".tmp"))
+
+let test_journal_injected_crash_preserves_previous () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  (* second append dies before the physical write: the on-disk journal
+     must still hold exactly the first entry *)
+  let faulty = Faulty.after 0 in
+  let j2 = ok_journal (Journal.open_ ~inject:(Faulty.guard faulty "journal write") path) in
+  (try
+     Journal.append j2 ~key:"b" ~value:"2";
+     Alcotest.fail "injection did not fire"
+   with Faulty.Injected _ -> ());
+  let j' = ok_journal (Journal.open_ path) in
+  Alcotest.(check (list (pair string string))) "old state intact" [ ("a", "1") ]
+    (Journal.entries j')
+
+let test_journal_rejects_newline_key () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  (try
+     Journal.append j ~key:"bad\nkey" ~value:"v";
+     Alcotest.fail "newline key accepted"
+   with Rerror.E (Rerror.Io _) -> ());
+  try
+    Journal.append j ~key:"tab\tkey" ~value:"v";
+    Alcotest.fail "tab key accepted"
+  with Rerror.E (Rerror.Io _) -> ()
+
+let test_crc32_known_vector () =
+  (* IEEE CRC-32 of "123456789" is 0xCBF43926 *)
+  Alcotest.(check int32) "check vector" 0xCBF43926l (Journal.crc32 "123456789");
+  Alcotest.(check int32) "empty" 0l (Journal.crc32 "")
+
+(* --- retry --- *)
+
+let test_backoff_deterministic () =
+  let policy = { Retry.default with max_attempts = 6 } in
+  let s1 = Retry.schedule ~rng:(Rng.create 42) policy in
+  let s2 = Retry.schedule ~rng:(Rng.create 42) policy in
+  let s3 = Retry.schedule ~rng:(Rng.create 43) policy in
+  Alcotest.(check (array (float 0.))) "same seed, same schedule" s1 s2;
+  Alcotest.(check bool) "different seed, different jitter" true (s1 <> s3);
+  Alcotest.(check int) "length" 5 (Array.length s1)
+
+let test_backoff_shape () =
+  let policy =
+    { Retry.max_attempts = 8; base_delay = 0.1; multiplier = 2.; max_delay = 1.; jitter = 0. }
+  in
+  let s = Retry.schedule policy in
+  Alcotest.(check (float 1e-9)) "first" 0.1 s.(0);
+  Alcotest.(check (float 1e-9)) "doubles" 0.2 s.(1);
+  Alcotest.(check (float 1e-9)) "capped" 1. s.(6);
+  let policy_j = { policy with jitter = 0.25 } in
+  Array.iteri
+    (fun k d ->
+      let nominal = Float.min 1. (0.1 *. (2. ** float_of_int k)) in
+      if d < 0.75 *. nominal -. 1e-9 || d > 1.25 *. nominal +. 1e-9 then
+        Alcotest.failf "jittered delay %g outside +-25%% of %g" d nominal)
+    (Retry.schedule ~rng:(Rng.create 7) policy_j)
+
+let fast = { Retry.default with base_delay = 0.; max_delay = 0. }
+
+let test_retry_recovers () =
+  (* a transient fault that kills the first two attempts and clears *)
+  let faulty = Faulty.after 0 in
+  let attempts = ref 0 in
+  let result =
+    Retry.with_retries ~policy:fast (fun ~attempt ->
+        incr attempts;
+        if !attempts >= 3 then Faulty.disarm faulty;
+        Faulty.inject faulty "op";
+        attempt)
+  in
+  (match result with
+  | Ok a -> Alcotest.(check int) "succeeded on 3rd try" 3 a
+  | Error e -> Alcotest.failf "unexpected failure: %s" (Rerror.to_string e));
+  Alcotest.(check int) "attempt count" 3 !attempts
+
+let test_retry_exhausts () =
+  let faulty = Faulty.after 0 in
+  match
+    Retry.with_retries ~policy:{ fast with max_attempts = 3 } (fun ~attempt:_ ->
+        Faulty.inject faulty "op")
+  with
+  | Ok () -> Alcotest.fail "should have exhausted"
+  | Error (Rerror.Retries_exhausted { attempts; _ }) ->
+      Alcotest.(check int) "attempts" 3 attempts
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+
+let test_retry_propagates_fatal () =
+  match
+    Retry.with_retries ~policy:fast (fun ~attempt:_ -> invalid_arg "not transient")
+  with
+  | exception Invalid_argument _ -> ()
+  | Ok () -> Alcotest.fail "returned Ok"
+  | Error _ -> Alcotest.fail "fatal error retried"
+
+let test_retry_sleeps_schedule () =
+  let slept = ref [] in
+  let policy =
+    { Retry.max_attempts = 3; base_delay = 0.5; multiplier = 3.; max_delay = 10.; jitter = 0. }
+  in
+  let faulty = Faulty.after 0 in
+  (match
+     Retry.with_retries ~policy ~sleep:(fun d -> slept := d :: !slept)
+       (fun ~attempt:_ -> Faulty.inject faulty "op")
+   with
+  | Ok () -> Alcotest.fail "should exhaust"
+  | Error _ -> ());
+  Alcotest.(check (list (float 1e-9))) "slept the schedule" [ 0.5; 1.5 ] (List.rev !slept)
+
+(* --- deadline --- *)
+
+let test_deadline_never () =
+  Alcotest.(check bool) "never not expired" false (Deadline.expired Deadline.never);
+  Alcotest.(check (float 0.)) "infinite remaining" infinity
+    (Deadline.remaining Deadline.never);
+  Deadline.check Deadline.never ~completed:0
+
+let test_deadline_fake_clock () =
+  let now = ref 100. in
+  let d = Deadline.make ~clock:(fun () -> !now) ~seconds:5. () in
+  Alcotest.(check bool) "fresh" false (Deadline.expired d);
+  Alcotest.(check (float 1e-9)) "remaining" 5. (Deadline.remaining d);
+  now := 104.9;
+  Alcotest.(check bool) "almost" false (Deadline.expired d);
+  now := 105.;
+  Alcotest.(check bool) "expired at boundary" true (Deadline.expired d);
+  Alcotest.(check (float 0.)) "no negative remaining" 0. (Deadline.remaining d);
+  match Deadline.check d ~completed:17 with
+  | exception Rerror.E (Rerror.Deadline_exceeded { budget; completed }) ->
+      Alcotest.(check (float 1e-9)) "budget" 5. budget;
+      Alcotest.(check int) "completed" 17 completed
+  | () -> Alcotest.fail "check did not raise"
+
+let test_montecarlo_deadline_cutoff () =
+  let dag = Ckpt_workflows.Spec.generate Ckpt_workflows.Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Ckpt_core.Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Ckpt_core.Pipeline.plan setup Ckpt_core.Strategy.Ckpt_some in
+  let pd = Option.get plan.Ckpt_core.Strategy.prob_dag in
+  (* a clock that jumps past the budget after a few reads: the sampler
+     must stop at a partial, non-zero count *)
+  let reads = ref 0 in
+  let clock () =
+    incr reads;
+    if !reads > 3 then 1000. else 0.
+  in
+  let deadline = Deadline.make ~clock ~seconds:1. () in
+  let stats = Ckpt_eval.Montecarlo.estimate_with_stats ~trials:100_000 ~deadline pd in
+  let count = Ckpt_prob.Stats.count stats in
+  Alcotest.(check bool) "cut off early" true (count < 100_000);
+  Alcotest.(check bool) "progress checkpointed" true (count > 0);
+  Alcotest.(check bool) "mean finite" true (Float.is_finite (Ckpt_prob.Stats.mean stats))
+
+let test_runner_deadline_cutoff () =
+  let dag = Ckpt_workflows.Spec.generate Ckpt_workflows.Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Ckpt_core.Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Ckpt_core.Pipeline.plan setup Ckpt_core.Strategy.Ckpt_some in
+  let reads = ref 0 in
+  let clock () =
+    incr reads;
+    if !reads > 5 then 1000. else 0.
+  in
+  let deadline = Deadline.make ~clock ~seconds:1. () in
+  let sample = Ckpt_sim.Runner.sample_makespans ~trials:10_000 ~deadline plan in
+  Alcotest.(check bool) "cut off early" true (Array.length sample < 10_000);
+  Alcotest.(check bool) "at least one trial" true (Array.length sample >= 1)
+
+(* --- fault injector --- *)
+
+let test_faulty_after_deterministic () =
+  let f = Faulty.after 3 in
+  Faulty.inject f "a";
+  Faulty.inject f "b";
+  Faulty.inject f "c";
+  (try
+     Faulty.inject f "d";
+     Alcotest.fail "4th call survived"
+   with Faulty.Injected "d" -> ());
+  Alcotest.(check int) "calls" 4 (Faulty.calls f);
+  Alcotest.(check int) "injections" 1 (Faulty.injections f);
+  Faulty.disarm f;
+  Faulty.inject f "e"
+
+let test_faulty_probabilistic_deterministic () =
+  let run seed =
+    let f = Faulty.probabilistic ~prob:0.3 ~seed () in
+    List.init 100 (fun i ->
+        match Faulty.inject f (string_of_int i) with () -> false | exception Faulty.Injected _ -> true)
+  in
+  Alcotest.(check (list bool)) "same seed, same crashes" (run 5) (run 5);
+  let crashes = List.filter Fun.id (run 5) in
+  Alcotest.(check bool) "some crashes at prob 0.3" true (List.length crashes > 5)
+
+let test_runner_injected_retry_reproduces () =
+  let dag = Ckpt_workflows.Spec.generate Ckpt_workflows.Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Ckpt_core.Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Ckpt_core.Pipeline.plan setup Ckpt_core.Strategy.Ckpt_some in
+  let undisturbed = Ckpt_sim.Runner.sample_makespans ~trials:50 plan in
+  let faulty = Faulty.probabilistic ~prob:0.2 ~seed:9 () in
+  let injected =
+    Ckpt_sim.Runner.sample_makespans ~trials:50
+      ~inject:(fun ~trial:_ -> Faulty.inject faulty "engine step")
+      ~retry:{ Retry.default with base_delay = 0.; max_delay = 0.; max_attempts = 50 }
+      plan
+  in
+  Alcotest.(check bool) "faults were injected" true (Faulty.injections faulty > 0);
+  Alcotest.(check (array (float 0.))) "retried run reproduces samples" undisturbed injected
+
+(* --- the headline property: crash at a random cell, resume, compare --- *)
+
+(* A miniature sweep shaped like the CLI's: cells are keyed, computed
+   rows are journaled before being emitted, and a resumed run replays
+   journaled rows verbatim. [compute_log] counts real computations. *)
+let journaled_sweep ~path ~resume ~faulty ~compute_log cells compute =
+  let j = ok_journal (Journal.open_ ~fresh:(not resume) path) in
+  List.map
+    (fun cell ->
+      let key = Printf.sprintf "cell|%d" cell in
+      match Journal.find j key with
+      | Some stored -> stored
+      | None ->
+          Faulty.inject faulty "sweep cell";
+          incr compute_log;
+          let row = compute cell in
+          Journal.append j ~key ~value:row;
+          row)
+    cells
+
+let prop_crash_resume_identical =
+  QCheck.Test.make ~name:"journaled sweep: crash at random cell + resume == uninterrupted"
+    ~count:60
+    QCheck.(pair (int_range 1 20) (int_range 0 25))
+    (fun (n_cells, crash_at) ->
+      with_tmp @@ fun path ->
+      let cells = List.init n_cells Fun.id in
+      (* a deterministic, mildly expensive row function *)
+      let compute cell =
+        Printf.sprintf "row %d -> %.6f" cell (sin (float_of_int cell) *. 1000.)
+      in
+      let computed = ref 0 in
+      let uninterrupted =
+        journaled_sweep ~path:(path ^ ".ref") ~resume:false ~faulty:(Faulty.never ())
+          ~compute_log:computed cells compute
+      in
+      Sys.remove (path ^ ".ref");
+      (* first run: killed before computing cell [crash_at] (if within
+         range; otherwise it completes) *)
+      let crashed =
+        match
+          journaled_sweep ~path ~resume:false ~faulty:(Faulty.after crash_at)
+            ~compute_log:(ref 0) cells compute
+        with
+        | _ -> false
+        | exception Faulty.Injected _ -> true
+      in
+      (* resumed run: must not recompute journaled cells and must emit
+         exactly the uninterrupted output *)
+      let recomputed = ref 0 in
+      let resumed =
+        journaled_sweep ~path ~resume:true ~faulty:(Faulty.never ())
+          ~compute_log:recomputed cells compute
+      in
+      let expected_recomputed = if crashed then n_cells - min crash_at n_cells else 0 in
+      resumed = uninterrupted && !recomputed = expected_recomputed)
+
+let prop_journal_reload_roundtrip =
+  QCheck.Test.make ~name:"journal reload preserves entries" ~count:50
+    QCheck.(small_list (pair (int_range 0 1000) small_printable_string))
+    (fun kvs ->
+      (* keys must be tab/newline free: derive from the int *)
+      with_tmp @@ fun path ->
+      let sanitize v =
+        String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) v
+      in
+      let j = ok_journal (Journal.open_ path) in
+      let written =
+        List.mapi
+          (fun i (k, v) ->
+            let key = Printf.sprintf "k%d-%d" i k in
+            let value = sanitize v in
+            Journal.append j ~key ~value;
+            (key, value))
+          kvs
+      in
+      let j' = ok_journal (Journal.open_ path) in
+      Journal.entries j' = written)
+
+let suite =
+  [
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal first binding wins" `Quick test_journal_first_binding_wins;
+    Alcotest.test_case "journal fresh discards" `Quick test_journal_fresh_discards;
+    Alcotest.test_case "journal torn tail recovered" `Quick test_journal_torn_tail_recovered;
+    Alcotest.test_case "journal mid corruption rejected" `Quick
+      test_journal_mid_corruption_rejected;
+    Alcotest.test_case "journal atomic (no temp left)" `Quick test_journal_atomic_no_temp_left;
+    Alcotest.test_case "journal crash preserves previous" `Quick
+      test_journal_injected_crash_preserves_previous;
+    Alcotest.test_case "journal rejects bad keys" `Quick test_journal_rejects_newline_key;
+    Alcotest.test_case "crc32 known vector" `Quick test_crc32_known_vector;
+    Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+    Alcotest.test_case "backoff shape" `Quick test_backoff_shape;
+    Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+    Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
+    Alcotest.test_case "retry propagates fatal" `Quick test_retry_propagates_fatal;
+    Alcotest.test_case "retry sleeps schedule" `Quick test_retry_sleeps_schedule;
+    Alcotest.test_case "deadline never" `Quick test_deadline_never;
+    Alcotest.test_case "deadline fake clock" `Quick test_deadline_fake_clock;
+    Alcotest.test_case "montecarlo deadline cutoff" `Quick test_montecarlo_deadline_cutoff;
+    Alcotest.test_case "runner deadline cutoff" `Quick test_runner_deadline_cutoff;
+    Alcotest.test_case "faulty after-N deterministic" `Quick test_faulty_after_deterministic;
+    Alcotest.test_case "faulty probabilistic deterministic" `Quick
+      test_faulty_probabilistic_deterministic;
+    Alcotest.test_case "runner injected+retried reproduces" `Quick
+      test_runner_injected_retry_reproduces;
+    QCheck_alcotest.to_alcotest prop_crash_resume_identical;
+    QCheck_alcotest.to_alcotest prop_journal_reload_roundtrip;
+  ]

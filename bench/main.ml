@@ -15,7 +15,11 @@
       estimator-accuracy table.
 
    Run with: dune exec bench/main.exe
-   (pass --quick for a single representative row set per figure)
+   (pass --quick for a single representative row set per figure;
+   --jobs N fans figure cells and Monte-Carlo trials over N worker
+   domains, 0 meaning all available, without changing any output;
+   --json FILE writes the Monte-Carlo throughput record to FILE;
+   --mc-only runs just that benchmark and exits)
 
    The figure series and the accuracy table — the long-running parts —
    are crash-tolerant: with --journal FILE every completed cell is
@@ -39,6 +43,7 @@ module Evaluator = Ckpt_eval.Evaluator
 module Runner = Ckpt_sim.Runner
 module Journal = Ckpt_resilience.Journal
 module Rerror = Ckpt_resilience.Error
+module Pool = Ckpt_parallel.Pool
 
 (* [cell journal key line] replays a journaled line or computes,
    journals and returns a fresh one — the unit of crash tolerance. *)
@@ -168,11 +173,12 @@ let ccrs_for = function
   | Spec.Genome -> logspace 1e-4 1e-2 7
   | Spec.Montage | Spec.Ligo | Spec.Cybershake | Spec.Sipht -> logspace 1e-3 1. 7
 
-let figure_series ?journal fig kind =
+let figure_series ?journal ?(jobs = 1) fig kind =
   Printf.printf "== Figure %s: %s — relative expected makespan vs CCR ==\n" fig
     (String.uppercase_ascii (Spec.name kind));
   Printf.printf "%-8s %5s %4s %7s %8s | %8s %9s %6s\n" "workflow" "n" "p" "pfail" "ccr"
     "relALL" "relNONE" "ckpts";
+  let journal_mutex = Mutex.create () in
   List.iter
     (fun (tasks, procs) ->
       (* the workflow and its M-SPG are rebuilt only when some cell of
@@ -200,37 +206,65 @@ let figure_series ?journal fig kind =
               (let _, _, _, mspg = Lazy.force prepared in
                Allocate.run mspg ~processors:p)
           in
-          List.iter
-            (fun pfail ->
-              List.iter
-                (fun ccr ->
-                  let key =
-                    Printf.sprintf "bench|fig=%s|wf=%s|tasks=%d|p=%d|pfail=%g|ccr=%.17g"
-                      fig (Spec.name kind) tasks p pfail ccr
-                  in
-                  let line =
-                    cell journal key (fun () ->
-                        let dag, n, mean_weight, _ = Lazy.force prepared in
-                        let total_data = Dag.total_data dag in
-                        let total_weight = Dag.total_weight dag in
-                        let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
-                        let bandwidth =
-                          Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight
-                        in
-                        let platform = Platform.make ~processors:p ~lambda ~bandwidth in
-                        let schedule = Lazy.force schedule in
-                        let plan k = Strategy.plan k ~raw:dag ~schedule ~platform in
-                        let some = plan Strategy.Ckpt_some in
-                        let em_some = Strategy.expected_makespan some in
-                        let em_all = Strategy.expected_makespan (plan Strategy.Ckpt_all) in
-                        let em_none = Strategy.expected_makespan (plan Strategy.Ckpt_none) in
-                        Printf.sprintf "%-8s %5d %4d %7g %8.5f | %8.4f %9.4f %6d"
-                          (Spec.name kind) n p pfail ccr (em_all /. em_some)
-                          (em_none /. em_some) some.Strategy.checkpoint_count)
-                  in
-                  print_endline line)
-                (ccrs_for kind))
-            pfails)
+          (* one (pfail, ccr) grid cell per array slot, journal looked
+             up sequentially; only the missing cells are computed, fanned
+             over [jobs] domains, and rows print in grid order at the
+             end — so stdout does not depend on [jobs] *)
+          let cells =
+            Array.of_list
+              (List.concat_map
+                 (fun pfail -> List.map (fun ccr -> (pfail, ccr)) (ccrs_for kind))
+                 pfails)
+          in
+          let key_of (pfail, ccr) =
+            Printf.sprintf "bench|fig=%s|wf=%s|tasks=%d|p=%d|pfail=%g|ccr=%.17g" fig
+              (Spec.name kind) tasks p pfail ccr
+          in
+          let stored =
+            Array.map
+              (fun c -> Option.bind journal (fun j -> Journal.find j (key_of c)))
+              cells
+          in
+          let compute (pfail, ccr) =
+            let dag, n, mean_weight, _ = Lazy.force prepared in
+            let total_data = Dag.total_data dag in
+            let total_weight = Dag.total_weight dag in
+            let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+            let bandwidth = Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight in
+            let platform = Platform.make ~processors:p ~lambda ~bandwidth in
+            let schedule = Lazy.force schedule in
+            let plan k = Strategy.plan k ~raw:dag ~schedule ~platform in
+            let some = plan Strategy.Ckpt_some in
+            let em_some = Strategy.expected_makespan some in
+            let em_all = Strategy.expected_makespan (plan Strategy.Ckpt_all) in
+            let em_none = Strategy.expected_makespan (plan Strategy.Ckpt_none) in
+            Printf.sprintf "%-8s %5d %4d %7g %8.5f | %8.4f %9.4f %6d" (Spec.name kind) n
+              p pfail ccr (em_all /. em_some) (em_none /. em_some)
+              some.Strategy.checkpoint_count
+          in
+          let rows =
+            if Array.for_all Option.is_some stored then Array.map Option.get stored
+            else begin
+              (* force the shared lazies before entering the parallel
+                 region: concurrent Lazy.force is not domain-safe *)
+              ignore (Lazy.force prepared);
+              ignore (Lazy.force schedule);
+              Pool.map ~jobs (Array.length cells) (fun i ->
+                  match stored.(i) with
+                  | Some line -> line
+                  | None ->
+                      let line = compute cells.(i) in
+                      Option.iter
+                        (fun j ->
+                          Mutex.lock journal_mutex;
+                          Fun.protect
+                            ~finally:(fun () -> Mutex.unlock journal_mutex)
+                            (fun () -> Journal.append j ~key:(key_of cells.(i)) ~value:line))
+                        journal;
+                      line)
+            end
+          in
+          Array.iter print_endline rows)
         procs)
     paper_grid;
   print_newline ()
@@ -379,22 +413,76 @@ let contention_ablation () =
     [ 0.01; 0.1; 0.5 ];
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Monte-Carlo throughput benchmark                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end sampling rate of the MONTECARLO estimator on the paper's
+   largest workflow (GENOME, n = 1000 tasks) — the figure the compiled
+   CSR + bulk-stream sampling work is measured by. With --json FILE the
+   numbers are also written as a machine-readable record (the tracked
+   baseline lives in BENCH_mc.json at the repository root). *)
+let mc_throughput ?json ~jobs () =
+  Printf.printf "== Monte-Carlo throughput (GENOME, CKPTALL prob-DAG) ==\n";
+  let trials = 10_000 in
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:1000 () in
+  let setup = Pipeline.prepare ~dag ~processors:61 ~pfail:0.001 ~ccr:0.01 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_all in
+  let pd = Option.get plan.Strategy.prob_dag in
+  let n = Ckpt_eval.Prob_dag.n_nodes pd in
+  (* warm-up: compile the CSR outside the timed region *)
+  ignore (Ckpt_eval.Montecarlo.estimate ~trials:100 ~jobs pd);
+  let t0 = Unix.gettimeofday () in
+  let mean = Ckpt_eval.Montecarlo.estimate ~trials ~jobs pd in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rate = float_of_int trials /. wall in
+  Printf.printf "  workflow=genome n=%d trials=%d jobs=%d mean=%.4f wall=%.3fs trials/sec=%.0f\n\n"
+    n trials jobs mean wall rate;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"montecarlo-throughput\",\n  \"workflow\": \"genome\",\n\
+        \  \"n\": %d,\n  \"trials\": %d,\n  \"jobs\": %d,\n  \"wall_seconds\": %.6f,\n\
+        \  \"trials_per_sec\": %.0f\n}\n"
+        n trials jobs wall rate;
+      close_out oc)
+    json
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let resume = Array.exists (fun a -> a = "--resume") Sys.argv in
-  let journal_path =
+  let mc_only = Array.exists (fun a -> a = "--mc-only") Sys.argv in
+  let value_of name =
     let n = Array.length Sys.argv in
     let rec find i =
       if i >= n then None
-      else if Sys.argv.(i) = "--journal" && i + 1 < n then Some Sys.argv.(i + 1)
+      else if Sys.argv.(i) = name && i + 1 < n then Some Sys.argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
+  let jobs =
+    match value_of "--jobs" with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some 0 -> Pool.available_jobs ()
+        | Some j when j > 0 -> j
+        | _ ->
+            prerr_endline "bench: --jobs wants a non-negative integer";
+            exit 2)
+  in
+  let json = value_of "--json" in
+  let journal_path = value_of "--journal" in
   (if resume && journal_path = None then begin
      prerr_endline "bench: --resume requires --journal FILE";
      exit 2
    end);
+  if mc_only then begin
+    mc_throughput ?json ~jobs ();
+    exit 0
+  end;
   let journal =
     match journal_path with
     | None -> None
@@ -406,6 +494,7 @@ let () =
             exit (Rerror.exit_code e))
   in
   run_benchmarks ();
+  mc_throughput ?json ~jobs ();
   accuracy_table ?journal ();
   linearization_ablation ();
   policy_ablation ();
@@ -427,7 +516,7 @@ let () =
         print_newline ())
       [ ("5", Spec.Genome); ("6", Spec.Montage); ("7", Spec.Ligo) ]
   else begin
-    figure_series ?journal "5" Spec.Genome;
-    figure_series ?journal "6" Spec.Montage;
-    figure_series ?journal "7" Spec.Ligo
+    figure_series ?journal ~jobs "5" Spec.Genome;
+    figure_series ?journal ~jobs "6" Spec.Montage;
+    figure_series ?journal ~jobs "7" Spec.Ligo
   end

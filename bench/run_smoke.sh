@@ -45,6 +45,37 @@ if ! diff -u "$TMP/reference.csv" "$TMP/resumed.csv"; then
   exit 1
 fi
 
+echo "smoke: parallel sweep matches the sequential output byte for byte"
+$CKPTWF sweep $SWEEP --jobs 4 > "$TMP/parallel.csv"
+if ! diff -u "$TMP/reference.csv" "$TMP/parallel.csv"; then
+  echo "smoke: FAIL sweep output depends on --jobs" >&2
+  exit 1
+fi
+
+echo "smoke: parallel sweep with injected crash, then parallel resume"
+status=0
+$CKPTWF sweep $SWEEP --jobs 2 --journal "$TMP/par.journal" --fail-after 2 \
+  > /dev/null 2> /dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+  echo "smoke: FAIL injected parallel crash should exit 1, got $status" >&2
+  exit 1
+fi
+if [ ! -s "$TMP/par.journal" ]; then
+  echo "smoke: FAIL journal is empty after the parallel crash" >&2
+  exit 1
+fi
+$CKPTWF sweep $SWEEP --jobs 4 --journal "$TMP/par.journal" --resume \
+  > "$TMP/par-resumed.csv" 2> "$TMP/par-resumed.err"
+grep -q "cell(s) reused" "$TMP/par-resumed.err" || {
+  echo "smoke: FAIL parallel resume did not reuse journaled cells:" >&2
+  cat "$TMP/par-resumed.err" >&2
+  exit 1
+}
+if ! diff -u "$TMP/reference.csv" "$TMP/par-resumed.csv"; then
+  echo "smoke: FAIL parallel resumed sweep differs from the uninterrupted run" >&2
+  exit 1
+fi
+
 echo "smoke: malformed DAX exits 2 with a one-line diagnostic"
 printf 'this is not a DAX file' > "$TMP/garbage.dax"
 status=0

@@ -20,6 +20,7 @@ module Journal = Ckpt_resilience.Journal
 module Retry = Ckpt_resilience.Retry
 module Deadline = Ckpt_resilience.Deadline
 module Faulty = Ckpt_resilience.Faulty
+module Pool = Ckpt_parallel.Pool
 
 (* --- error boundary ---
 
@@ -122,6 +123,23 @@ let deadline_arg =
         ~doc:
           "Wall-clock budget: Monte-Carlo sampling is cut off at the samples completed \
            when the budget expires instead of running to the full trial count.")
+
+let jobs_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | Some 0 -> Ok (Ckpt_parallel.Pool.available_jobs ())
+    | Some _ -> Error (`Msg "expected a non-negative worker count")
+    | None -> Error (`Msg (Printf.sprintf "invalid worker count %S" s))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Format.pp_print_int)) 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for Monte-Carlo sampling, simulation trials and sweep cells. \
+           Results are bitwise independent of $(docv); 0 means one worker per available \
+           core. Default 1 (fully sequential).")
 
 (* the workflow under study: a DAX file when given, else synthetic;
    always validated before any scheduling touches it *)
@@ -238,7 +256,7 @@ let evaluate_cmd =
 
 (* --- simulate --- *)
 
-let simulate_run dax workflow tasks seed processors pfail ccr trials deadline =
+let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jobs =
   protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
@@ -249,7 +267,7 @@ let simulate_run dax workflow tasks seed processors pfail ccr trials deadline =
     (fun kind ->
       let plan = Pipeline.plan setup kind in
       let est = Strategy.expected_makespan plan in
-      let stats = Runner.simulate ~trials ~deadline plan in
+      let stats = Runner.simulate ~trials ~deadline ~jobs plan in
       Format.printf "  %-10s estimate %10.2f | simulated %10.2f +- %.2f (min %.2f max %.2f)@."
         (Strategy.kind_name kind) est (Stats.mean stats) (Stats.ci95_halfwidth stats)
         (Stats.min stats) (Stats.max stats);
@@ -263,7 +281,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Failure-injected simulation versus the analytical estimate.")
     Term.(
       const simulate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg)
+      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg $ jobs_arg)
 
 (* --- sweep (the figure series) --- *)
 
@@ -298,7 +316,7 @@ let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr =
     (Dag.name dag) (Dag.n_tasks dag) seed processors pfail (Evaluator.name method_) csv ccr
 
 let sweep_run dax workflow tasks seed processors pfail method_ csv journal resume
-    fail_after =
+    fail_after jobs =
   protect @@ fun () ->
   if resume && journal = None then
     die
@@ -325,28 +343,43 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
   else
     Format.printf "%-8s %6s %10s %10s %10s %8s %8s %6s@." "wf" "ccr" "EM(some)" "EM(all)"
       "EM(none)" "relALL" "relNONE" "ckpts";
-  let reused = ref 0 and computed = ref 0 in
-  List.iter
-    (fun ccr ->
-      let key = sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr in
-      let row =
-        match Option.bind journal (fun j -> Journal.find j key) with
-        | Some stored ->
-            incr reused;
-            stored
-        | None ->
-            Faulty.inject faulty "sweep cell";
-            let row = sweep_row ~csv ~dag ~processors ~pfail ~method_ ccr in
-            Option.iter (fun j -> journal_append j ~key ~value:row) journal;
-            incr computed;
-            row
-      in
-      print_endline row)
-    (default_ccrs workflow);
+  let ccrs = Array.of_list (default_ccrs workflow) in
+  let n_cells = Array.length ccrs in
+  (* journal lookups stay sequential on the caller; only missing cells
+     are computed, possibly by several worker domains. Journal appends
+     and fault-injection bookkeeping are serialised through one mutex;
+     output rows are printed in cell order afterwards, so the bytes on
+     stdout do not depend on --jobs. *)
+  let stored =
+    Array.map
+      (fun ccr ->
+        let key = sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr in
+        (key, Option.bind journal (fun j -> Journal.find j key)))
+      ccrs
+  in
+  let mutex = Mutex.create () in
+  let locked f =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+  in
+  let rows =
+    Pool.map ~jobs n_cells (fun i ->
+        match stored.(i) with
+        | _, Some row -> row
+        | key, None ->
+            locked (fun () -> Faulty.inject faulty "sweep cell");
+            let row = sweep_row ~csv ~dag ~processors ~pfail ~method_ ccrs.(i) in
+            Option.iter (fun j -> locked (fun () -> journal_append j ~key ~value:row)) journal;
+            row)
+  in
+  Array.iter print_endline rows;
+  let reused =
+    Array.fold_left (fun acc (_, s) -> if s = None then acc else acc + 1) 0 stored
+  in
   Option.iter
     (fun j ->
       Printf.eprintf "ckptwf: journal %s: %d cell(s) reused, %d computed\n%!"
-        (Journal.path j) !reused !computed)
+        (Journal.path j) reused (n_cells - reused))
     journal
 
 let sweep_cmd =
@@ -385,11 +418,11 @@ let sweep_cmd =
           7).")
     Term.(
       const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ method_arg $ csv $ journal $ resume $ fail_after)
+      $ pfail_arg $ method_arg $ csv $ journal $ resume $ fail_after $ jobs_arg)
 
 (* --- accuracy (Section VI-B) --- *)
 
-let accuracy_run dax workflow tasks seed processors pfail ccr trials deadline =
+let accuracy_run dax workflow tasks seed processors pfail ccr trials deadline jobs =
   protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
@@ -398,7 +431,9 @@ let accuracy_run dax workflow tasks seed processors pfail ccr trials deadline =
   let ground_truth, mc_count =
     match plan.Strategy.prob_dag with
     | Some pd ->
-        let stats = Ckpt_eval.Montecarlo.estimate_with_stats ~trials ~seed:1 ~deadline pd in
+        let stats =
+          Ckpt_eval.Montecarlo.estimate_with_stats ~trials ~seed:1 ~deadline ~jobs pd
+        in
         (Stats.mean stats, Stats.count stats)
     | None ->
         ( Strategy.expected_makespan ~method_:(Evaluator.Montecarlo { trials; seed = 1 })
@@ -438,7 +473,7 @@ let accuracy_cmd =
        ~doc:"Estimator accuracy versus a large-trial Monte Carlo ground truth (Section VI-B).")
     Term.(
       const accuracy_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials $ deadline_arg)
+      $ pfail_arg $ ccr_arg $ trials $ deadline_arg $ jobs_arg)
 
 (* --- gantt --- *)
 
@@ -521,14 +556,15 @@ let contention_cmd =
 
 (* --- quantiles --- *)
 
-let quantiles_run dax workflow tasks seed processors pfail ccr strategy trials deadline =
+let quantiles_run dax workflow tasks seed processors pfail ccr strategy trials deadline
+    jobs =
   protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let plan = Pipeline.plan setup strategy in
   let qs = [ 0.5; 0.9; 0.99 ] in
   let deadline = Deadline.of_seconds deadline in
-  let sample = Runner.sample_makespans ~trials ~deadline plan in
+  let sample = Runner.sample_makespans ~trials ~deadline ~jobs plan in
   Format.printf "workflow=%s strategy=%s trials=%d@." (Dag.name dag)
     (Strategy.kind_name strategy) trials;
   if Array.length sample < trials then
@@ -558,7 +594,7 @@ let quantiles_cmd =
           distribution (extension).")
     Term.(
       const quantiles_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg $ deadline_arg)
+      $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg $ deadline_arg $ jobs_arg)
 
 (* --- export --- *)
 

@@ -1,6 +1,10 @@
 #!/bin/sh
 # Repo-wide check: build, unit/property tests, then the end-to-end
 # crash/resume smoke test.  This is what CI (and a reviewer) should run.
+#
+# The performance-critical libraries (prob, parallel, evaluation,
+# simulation) carry (flags (:standard -warn-error +a)) in their dune
+# stanzas, so any new compiler warning in them fails the build step.
 set -eu
 cd "$(dirname "$0")"
 
@@ -12,5 +16,14 @@ dune runtest
 
 echo "== bench/run_smoke.sh =="
 sh bench/run_smoke.sh
+
+echo "== sweep output is independent of --jobs =="
+CKPTWF=_build/default/bin/ckptwf.exe
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ckptwf-check.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+SWEEP="--workflow genome --tasks 50 --seed 7 --processors 5 --method pathapprox --csv"
+$CKPTWF sweep $SWEEP --jobs 1 > "$TMP/jobs1.csv"
+$CKPTWF sweep $SWEEP --jobs 4 > "$TMP/jobs4.csv"
+diff -u "$TMP/jobs1.csv" "$TMP/jobs4.csv"
 
 echo "== all checks passed =="

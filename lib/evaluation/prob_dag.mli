@@ -8,7 +8,15 @@
     [pfail = λ S] (Eq. 2). The makespan is the longest path (sum of
     node durations along a path, maximised over paths); computing its
     expectation exactly is #P-complete, hence the estimators in
-    {!Montecarlo}, {!Dodin}, {!Sculli}, {!Pathapprox}. *)
+    {!Montecarlo}, {!Dodin}, {!Sculli}, {!Pathapprox}.
+
+    The type {!t} is a mutable builder. Behind it sits a {!compiled}
+    form — flat CSR successor/predecessor arrays, node fields in
+    unboxed float arrays, the topological order computed once — that
+    every traversal ({!topological_order}, {!longest_path_with},
+    {!sample}, ...) goes through; it is (re)built lazily after
+    mutations. Compiling also deduplicates parallel edges, so
+    {!add_edge} is O(1) instead of scanning the successor list. *)
 
 type node = { base : float; degraded : float; pfail : float }
 
@@ -21,14 +29,19 @@ val add_node : t -> base:float -> degraded:float -> pfail:float -> int
     [0 <= pfail <= 1]. *)
 
 val add_edge : t -> int -> int -> unit
-(** Duplicate edges are silently ignored (they are semantically
-    idempotent for longest paths). @raise Invalid_argument on unknown
-    endpoints or self-loops. *)
+(** O(1); duplicate edges are removed at compile time (they are
+    semantically idempotent for longest paths). @raise Invalid_argument
+    on unknown endpoints or self-loops. *)
 
 val n_nodes : t -> int
 val node : t -> int -> node
+
 val succs : t -> int -> int list
+(** Successors, sorted ascending and deduplicated. *)
+
 val preds : t -> int -> int list
+(** Predecessors, sorted ascending and deduplicated. *)
+
 val topological_order : t -> int array
 (** @raise Invalid_argument on cycles. *)
 
@@ -42,7 +55,35 @@ val deterministic_makespan : t -> float
 (** Longest path with every node at its [base] value. *)
 
 val sample : t -> Ckpt_prob.Rng.t -> float
-(** Draw one makespan realisation (independent node states). *)
+(** Draw one makespan realisation (independent node states). [rng]
+    seeds a {!Ckpt_prob.Rng.stream} (advancing [rng] by one draw); node
+    states are then drawn from it in node-id order — one
+    [stream_uniform] compared against [pfail] per node with
+    [pfail > 0]. Uses a scratch buffer cached inside [t]: convenient
+    and allocation-free from a single domain, but NOT safe to call on
+    the same [t] from several domains — parallel callers compile once
+    and give each domain its own {!sampler}. *)
 
 val dist_of_node : t -> int -> Ckpt_prob.Dist.t
 (** The node's two-point duration distribution. *)
+
+(** {2 Compiled form} *)
+
+type compiled
+(** Immutable frozen graph. Safe to share read-only across domains. *)
+
+val compile : t -> compiled
+(** Freeze the builder (memoised; invalidated by {!add_node} /
+    {!add_edge}). Cheap to call repeatedly on an unchanged graph. *)
+
+type sampler
+(** A compiled graph plus per-domain scratch buffers: sampling through
+    one allocates nothing in steady state. A sampler must not be shared
+    between domains; derive one per worker from the shared
+    {!compiled}. *)
+
+val sampler : compiled -> sampler
+(** @raise Invalid_argument on a cyclic graph. *)
+
+val sample_with : sampler -> Ckpt_prob.Rng.t -> float
+(** Same draw semantics as {!sample} (node-id order), zero allocation. *)

@@ -1,0 +1,37 @@
+(** Minimal hand-rolled domain pool for OCaml 5 multicore.
+
+    A parallel region runs a worker body on [jobs] domains — the caller
+    plus [jobs - 1] freshly spawned ones — and joins them all before
+    returning, re-raising the first worker exception. With [jobs = 1]
+    everything runs inline on the caller, with no domain machinery in
+    the way, so sequential behaviour is exactly the pre-parallel code
+    path.
+
+    The pool makes no determinism promises by itself: workers race for
+    work. Determinism is the {e caller's} job and is achieved in this
+    repository by deriving all randomness from the work-item index
+    ({!Ckpt_prob.Rng.for_trial}) and reducing partial results in a
+    fixed order — see {!Ckpt_eval.Montecarlo}. *)
+
+val available_jobs : unit -> int
+(** The runtime's recommended domain count (at least 1) — a sensible
+    default for a [--jobs] flag. *)
+
+val run : jobs:(int) -> (worker:int -> unit) -> unit
+(** [run ~jobs body] executes [body ~worker] on [jobs] domains, with
+    [worker] ranging over [0 .. jobs-1] ([0] is the calling domain).
+    Returns once every domain finished; if any body raised, the first
+    captured exception is re-raised with its backtrace.
+
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val map : jobs:(int) -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [Array.init n f] computed by up to [jobs]
+    domains claiming indices dynamically; the result array is in index
+    order regardless of scheduling. [f] must therefore be safe to call
+    concurrently from several domains (with [jobs = 1] it is called
+    sequentially, in order, exactly like [Array.init]). When some call
+    to [f] raises, workers stop claiming new indices and the first
+    exception is re-raised.
+
+    @raise Invalid_argument when [jobs < 1] or [n < 0]. *)

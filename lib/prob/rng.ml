@@ -28,6 +28,15 @@ let of_seed64 seed =
 let create seed = of_seed64 (Int64.of_int seed)
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let for_trial ~seed trial =
+  if trial < 0 then invalid_arg "Rng.for_trial: negative trial index";
+  (* splitmix64 is the bijective mix of a counter: feeding [mix seed +
+     trial] through it gives decorrelated streams for consecutive
+     trials while staying a pure function of (seed, trial) — the
+     foundation of jobs-invariant parallel sampling. *)
+  let base, _ = splitmix64 (Int64.of_int seed) in
+  of_seed64 (Int64.add base (Int64.of_int trial))
+
 let bits64 t =
   let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
   let tmp = Int64.shift_left t.s1 17 in
@@ -38,6 +47,26 @@ let bits64 t =
   t.s2 <- Int64.logxor t.s2 tmp;
   t.s3 <- rotl t.s3 45;
   result
+
+(* Bulk-draw stream: splitmix re-derived over the native 63-bit int so
+   the per-draw mix runs entirely on immediate values — no boxed int64
+   round trips, which dominate [bits64]'s cost when millions of draws
+   are needed per second. The constants are the splitmix64 ones reduced
+   mod 2^63 (still odd, so every multiply stays a bijection); [lsr] and
+   [*] implement the logical shifts and truncated products of 63-bit
+   arithmetic directly. *)
+type stream = { mutable cursor : int }
+
+let stream t = { cursor = Int64.to_int (bits64 t) }
+
+let stream_bits53 st =
+  let s = st.cursor + 0x1E3779B97F4A7C15 in
+  st.cursor <- s;
+  let z = (s lxor (s lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land 0x1F_FFFF_FFFF_FFFF
+
+let stream_uniform st = float_of_int (stream_bits53 st) *. 0x1p-53
 
 let split t =
   (* Seed a fresh generator from two parent outputs mixed through

@@ -17,6 +17,36 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val for_trial : seed:int -> int -> t
+(** [for_trial ~seed trial] is the generator for the [trial]-th unit of
+    work of an experiment seeded with [seed] — a pure function of
+    [(seed, trial)], so any scheduling of trials over any number of
+    worker domains draws exactly the same per-trial streams. Derived by
+    running splitmix64 over [mix seed + trial] (counter-based, the
+    construction splitmix64 was designed for).
+
+    @raise Invalid_argument on a negative trial index. *)
+
+type stream
+(** Fast bulk-draw stream for inner sampling loops. A [stream] is a
+    counter-based splitmix generator over the native 63-bit int, so a
+    draw performs no boxed [int64] arithmetic (and no allocation at
+    all) — an order of magnitude cheaper than {!uniform} when a Monte
+    Carlo trial needs one draw per DAG node. *)
+
+val stream : t -> stream
+(** [stream t] derives a fresh bulk stream from [t], advancing [t] by
+    one {!bits64} draw — a pure function of [t]'s state. *)
+
+val stream_bits53 : stream -> int
+(** Next draw: 53 uniform bits in [\[0, 2{^53})]. [b < ceil (p *. 0x1p53)]
+    is exactly equivalent to [stream_uniform < p] for [p] in [\[0, 1\]]
+    (both scalings by a power of two are exact), which lets hot loops
+    compare against a precomputed integer threshold. *)
+
+val stream_uniform : stream -> float
+(** [stream_bits53] mapped to [\[0, 1)]: [float_of_int b *. 0x1p-53]. *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t], advancing [t]. The
     derived stream is statistically independent of the parent's

@@ -16,6 +16,32 @@ let add t x =
   if x < t.min then t.min <- x;
   if x > t.max then t.max <- x
 
+(* Chan et al.'s parallel Welford combine: merges the sufficient
+   statistics of two disjoint samples. The float operations are fixed,
+   so folding the same partials in the same order is bitwise
+   reproducible — which is how the parallel Monte-Carlo estimator stays
+   invariant in the number of worker domains. *)
+let merge_into t other =
+  if other.n > 0 then
+    if t.n = 0 then begin
+      t.n <- other.n;
+      t.mean <- other.mean;
+      t.m2 <- other.m2;
+      t.min <- other.min;
+      t.max <- other.max
+    end
+    else begin
+      let na = float_of_int t.n and nb = float_of_int other.n in
+      let n = t.n + other.n in
+      let nf = float_of_int n in
+      let delta = other.mean -. t.mean in
+      t.mean <- t.mean +. (delta *. nb /. nf);
+      t.m2 <- t.m2 +. other.m2 +. (delta *. delta *. na *. nb /. nf);
+      t.n <- n;
+      if other.min < t.min then t.min <- other.min;
+      if other.max > t.max then t.max <- other.max
+    end
+
 let count t = t.n
 let mean t = t.mean
 let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)

@@ -6,6 +6,14 @@ type t
 
 val create : unit -> t
 val add : t -> float -> unit
+
+val merge_into : t -> t -> unit
+(** [merge_into acc other] folds [other]'s summary into [acc] as if
+    [acc] had also observed [other]'s sample (Chan's parallel variant
+    of Welford's update). [other] is unchanged. Folding the same
+    partials in the same order is bitwise deterministic, which makes
+    chunk-merged parallel estimates independent of the worker count. *)
+
 val count : t -> int
 val mean : t -> float
 val variance : t -> float

@@ -10,6 +10,7 @@ module Stats = Ckpt_prob.Stats
 module Deadline = Ckpt_resilience.Deadline
 module Retry = Ckpt_resilience.Retry
 module Error = Ckpt_resilience.Error
+module Pool = Ckpt_parallel.Pool
 
 let segs_of_plan (plan : Strategy.plan) =
   match plan.Strategy.prob_dag with
@@ -25,26 +26,39 @@ let segs_of_plan (plan : Strategy.plan) =
           })
         plan.Strategy.segments
 
+(* Work-distribution chunk: the unit of dynamic claiming by worker
+   domains and of deadline checking (one clock read per chunk). Trials
+   within a chunk are computed from per-trial generators, so the chunk
+   partitioning never affects the drawn samples. *)
+let chunk_trials = 128
+
 let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
-    ?(inject = fun ~trial:_ -> ()) ?retry (plan : Strategy.plan) =
+    ?(inject = fun ~trial:_ -> ()) ?retry ?(jobs = 1) (plan : Strategy.plan) =
   if trials < 1 then invalid_arg "Runner.simulate: trials < 1";
+  if jobs < 1 then invalid_arg "Runner.simulate: jobs < 1";
   let platform = plan.Strategy.platform in
-  let master = Rng.create seed in
-  let one_trial =
+  (* [make_one_trial ()] builds a per-worker trial function with its
+     own preallocated failure-trace table (one slot per processor,
+     reset between trials) — no per-trial Hashtbl allocation, and no
+     state shared between worker domains *)
+  let make_one_trial =
     match plan.Strategy.prob_dag with
     | Some _ ->
         let segs = segs_of_plan plan in
-        fun trial_rng ->
-          let traces = Hashtbl.create 16 in
-          let trace_of p =
-            match Hashtbl.find_opt traces p with
-            | Some t -> t
-            | None ->
-                let t = Failure.create trial_rng ~lambda:(Platform.rate_of platform p) in
-                Hashtbl.replace traces p t;
-                t
-          in
-          Engine.makespan segs trace_of
+        let nprocs = platform.Platform.processors in
+        fun () ->
+          let traces = Array.make nprocs None in
+          fun trial_rng ->
+            Array.fill traces 0 nprocs None;
+            let trace_of p =
+              match traces.(p) with
+              | Some t -> t
+              | None ->
+                  let t = Failure.create trial_rng ~lambda:(Platform.rate_of platform p) in
+                  traces.(p) <- Some t;
+                  t
+            in
+            Engine.makespan segs trace_of
     | None ->
         let wpar = plan.Strategy.wpar in
         (* restart semantics: the aggregate failure process over the
@@ -56,41 +70,60 @@ let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
         let rate =
           Hashtbl.fold (fun p () acc -> acc +. Platform.rate_of platform p) used 0.
         in
-        fun trial_rng -> Engine.restart_rate_makespan ~wpar ~rate trial_rng
+        fun () trial_rng -> Engine.restart_rate_makespan ~wpar ~rate trial_rng
   in
-  let rev_samples = ref [] in
-  let completed = ref 0 in
-  (try
-     for k = 0 to trials - 1 do
-       (* deadline cut-off between trials, always keeping at least one
-          completed sample so statistics stay well-defined *)
-       if k > 0 && Deadline.expired deadline then raise Exit;
-       (* the trial's randomness is fixed before any attempt, so a
-          retried (fault-injected) trial reproduces the exact makespan
-          an undisturbed run would have drawn *)
-       let base = Rng.split master in
-       let attempt ~attempt:_ =
-         inject ~trial:k;
-         one_trial (Rng.copy base)
-       in
-       let v =
-         match retry with
-         | None -> attempt ~attempt:1
-         | Some policy -> (
-             match
-               Retry.with_retries ~policy ~rng:(Rng.create (seed + k)) attempt
-             with
-             | Ok v -> v
-             | Result.Error e -> Error.raise_ e)
-       in
-       rev_samples := v :: !rev_samples;
-       incr completed
-     done
-   with Exit -> ());
-  Array.of_list (List.rev !rev_samples)
+  let nchunks = (trials + chunk_trials - 1) / chunk_trials in
+  let results = Array.make nchunks None in
+  let next = Atomic.make 0 in
+  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+      let one_trial = make_one_trial () in
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        (* deadline cut-off between chunks, always keeping at least one
+           completed chunk so statistics stay well-defined *)
+        if c < nchunks && (c = 0 || not (Deadline.expired deadline)) then begin
+          let lo = c * chunk_trials in
+          let hi = min trials (lo + chunk_trials) in
+          let out = Array.make (hi - lo) 0. in
+          for k = lo to hi - 1 do
+            (* the trial's randomness is a pure function of (seed, k),
+               fixed before any attempt: a retried (fault-injected)
+               trial reproduces the exact makespan an undisturbed run
+               would have drawn, and so does any worker that ends up
+               computing trial k *)
+            let base = Rng.for_trial ~seed k in
+            let attempt ~attempt:_ =
+              inject ~trial:k;
+              one_trial (Rng.copy base)
+            in
+            let v =
+              match retry with
+              | None -> attempt ~attempt:1
+              | Some policy -> (
+                  match
+                    Retry.with_retries ~policy ~rng:(Rng.create (seed + k)) attempt
+                  with
+                  | Ok v -> v
+                  | Result.Error e -> Error.raise_ e)
+            in
+            out.(k - lo) <- v
+          done;
+          results.(c) <- Some out;
+          loop ()
+        end
+      in
+      loop ());
+  (* the completed prefix, in trial order: deterministic for any [jobs]
+     (chunks finished beyond a deadline-induced gap are discarded) *)
+  let rec prefix i acc =
+    if i < nchunks then
+      match results.(i) with Some a -> prefix (i + 1) (a :: acc) | None -> acc
+    else acc
+  in
+  Array.concat (List.rev (prefix 0 []))
 
-let simulate ?trials ?seed ?deadline ?inject ?retry plan =
-  Stats.of_array (sample_makespans ?trials ?seed ?deadline ?inject ?retry plan)
+let simulate ?trials ?seed ?deadline ?inject ?retry ?jobs plan =
+  Stats.of_array (sample_makespans ?trials ?seed ?deadline ?inject ?retry ?jobs plan)
 
-let simulated_expected_makespan ?trials ?seed plan =
-  Stats.mean (simulate ?trials ?seed plan)
+let simulated_expected_makespan ?trials ?seed ?jobs plan =
+  Stats.mean (simulate ?trials ?seed ?jobs plan)

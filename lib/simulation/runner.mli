@@ -26,15 +26,16 @@ val simulate :
   ?deadline:Ckpt_resilience.Deadline.t ->
   ?inject:(trial:int -> unit) ->
   ?retry:Ckpt_resilience.Retry.policy ->
+  ?jobs:int ->
   Ckpt_core.Strategy.plan ->
   Ckpt_prob.Stats.t
 (** [trials] defaults to 1000. CKPTALL/CKPTSOME run through
     {!Engine.makespan}; CKPTNONE uses the restart-from-scratch
     semantics on its failure-free parallel time. See
-    {!sample_makespans} for [deadline] / [inject] / [retry]. *)
+    {!sample_makespans} for [deadline] / [inject] / [retry] / [jobs]. *)
 
 val simulated_expected_makespan :
-  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> float
+  ?trials:int -> ?seed:int -> ?jobs:int -> Ckpt_core.Strategy.plan -> float
 
 val sample_makespans :
   ?trials:int ->
@@ -42,17 +43,25 @@ val sample_makespans :
   ?deadline:Ckpt_resilience.Deadline.t ->
   ?inject:(trial:int -> unit) ->
   ?retry:Ckpt_resilience.Retry.policy ->
+  ?jobs:int ->
   Ckpt_core.Strategy.plan ->
   float array
 (** The raw makespan sample (same semantics as {!simulate}) — for
     quantiles and distribution comparisons.
 
-    [deadline]: checked between trials; on expiry the completed prefix
-    (never empty) is returned. [inject ~trial] runs before each trial
-    attempt and may raise to simulate a fail-stop error. Without
-    [retry] such an exception propagates; with [retry] the trial is
-    re-attempted under the policy (jitter seeded from [seed] and the
-    trial index), and exhaustion raises [Error.E (Retries_exhausted)].
-    Each trial's failure traces are drawn from a per-trial generator
-    split off before any attempt, so retried trials reproduce the
-    undisturbed run's samples exactly. *)
+    Each trial's randomness is a pure function of [(seed, trial)]
+    ({!Ckpt_prob.Rng.for_trial}), fixed before any attempt: retried
+    (fault-injected) trials reproduce the undisturbed run's samples
+    exactly, and the returned array is bitwise identical for any
+    [jobs] value (default 1: fully sequential). Each worker domain
+    keeps a preallocated per-processor failure-trace table, reset
+    between trials.
+
+    [deadline]: checked between 128-trial chunks; on expiry the
+    completed prefix (never empty) is returned. [inject ~trial] runs
+    before each trial attempt and may raise to simulate a fail-stop
+    error; with [jobs > 1] the hook must be thread-safe and fires in
+    nondeterministic trial order. Without [retry] such an exception
+    propagates; with [retry] the trial is re-attempted under the
+    policy (jitter seeded from [seed] and the trial index), and
+    exhaustion raises [Error.E (Retries_exhausted)]. *)

@@ -25,4 +25,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("refine", Test_refine.suite);
       ("resilience", Test_resilience.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -414,6 +414,50 @@ let contention_ablation () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Degraded mode: permanent processor loss                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Static-schedule-with-restart vs online schedule repair under
+   permanent processor deaths (extension; ckptwf degrade exposes the
+   same comparison from the CLI). Trials fan over [jobs] domains
+   without changing the sampled values, and each pdeath cell is
+   journaled, so a killed run resumes with identical output. *)
+let degraded_mode_table ?journal ?(jobs = 1) () =
+  let module Degrade = Ckpt_sim.Degrade in
+  Printf.printf "== Degraded mode: repair vs restart (genome n=50, p=5, 1 loss) ==\n";
+  Printf.printf "%8s | %12s %12s %8s %8s %8s\n" "pdeath" "EM(repair)" "EM(restart)" "gain"
+    "losses" "replans";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.1 () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let trials = 120 in
+  List.iter
+    (fun pdeath ->
+      let key =
+        Printf.sprintf "bench|degrade|wf=genome|n=50|p=5|trials=%d|pdeath=%.17g" trials
+          pdeath
+      in
+      print_endline
+        (cell journal key (fun () ->
+             let lambda_death =
+               Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
+             in
+             let config =
+               { Degrade.lambda_death; max_losses = 1; kind = Strategy.Ckpt_some }
+             in
+             let summary mode =
+               Degrade.summarize (Degrade.sample ~trials ~seed:13 ~jobs ~mode config plan)
+             in
+             let repair = summary Degrade.Repair in
+             let restart = summary Degrade.Restart in
+             Printf.sprintf "%8.3f | %12.2f %12.2f %7.3fx %8.2f %8.2f" pdeath
+               repair.Degrade.mean_makespan restart.Degrade.mean_makespan
+               (restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan)
+               repair.Degrade.mean_losses repair.Degrade.mean_replans)))
+    [ 0.05; 0.1; 0.2; 0.5 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Monte-Carlo throughput benchmark                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,6 +544,7 @@ let () =
   policy_ablation ();
   refinement_ablation ();
   contention_ablation ();
+  degraded_mode_table ?journal ~jobs ();
   if quick then
     List.iter
       (fun (fig, kind) ->

@@ -596,6 +596,174 @@ let quantiles_cmd =
       const quantiles_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ trials_arg $ deadline_arg $ jobs_arg)
 
+(* --- degrade (permanent processor loss) --- *)
+
+module Degrade = Ckpt_sim.Degrade
+module Platform = Ckpt_platform.Platform
+
+let default_pdeaths = [ 0.01; 0.05; 0.1; 0.2; 0.5 ]
+
+(* One degraded-mode cell: paired repair-vs-restart samples at one
+   death probability. The rendered line is what gets journaled, so a
+   resumed sweep replays it verbatim. *)
+let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs
+    (plan : Strategy.plan) pdeath =
+  let lambda_death =
+    Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
+  in
+  let config = { Degrade.lambda_death; max_losses; kind } in
+  let summary mode = Degrade.summarize (Degrade.sample ~trials ~seed ~jobs ~mode config plan) in
+  let repair = summary Degrade.Repair in
+  let restart = summary Degrade.Restart in
+  let gain = restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan in
+  if csv then
+    Printf.sprintf "%s,%d,%d,%s,%d,%d,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d"
+      (Dag.name dag) (Dag.n_tasks dag) processors (Strategy.kind_name kind) max_losses
+      trials pdeath repair.Degrade.mean_makespan restart.Degrade.mean_makespan gain
+      repair.Degrade.mean_losses repair.Degrade.mean_replans repair.Degrade.mean_restarts
+      repair.Degrade.stranded restart.Degrade.stranded
+  else
+    Printf.sprintf "%-8s %6.3f %11.2f %11.2f %7.3fx %7.2f %8.2f %9.2f %5d" (Dag.name dag)
+      pdeath repair.Degrade.mean_makespan restart.Degrade.mean_makespan gain
+      repair.Degrade.mean_losses repair.Degrade.mean_replans repair.Degrade.mean_restarts
+      repair.Degrade.stranded
+
+let degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind ~max_losses ~trials
+    pdeath =
+  Printf.sprintf
+    "degrade|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|losses=%d|trials=%d|csv=%b|pdeath=%.17g"
+    (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
+    max_losses trials csv pdeath
+
+let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths max_losses
+    trials csv journal resume fail_after jobs =
+  protect @@ fun () ->
+  if strategy = Strategy.Ckpt_none then
+    die
+      (Rerror.Io
+         {
+           path = "--strategy";
+           message = "CKPTNONE saves nothing a survivor could reuse; pick a checkpointing strategy";
+         });
+  if resume && journal = None then
+    die
+      (Rerror.Io
+         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
+  let dag = source dax workflow tasks seed in
+  let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
+  let journal =
+    match journal with
+    | None -> None
+    | Some path -> (
+        match Journal.open_ ~fresh:(not resume) path with
+        | Ok j -> Some j
+        | Error e -> Rerror.raise_ e)
+  in
+  let journal_append j ~key ~value =
+    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
+    | Ok () -> ()
+    | Error e -> Rerror.raise_ e
+  in
+  if csv then
+    print_endline
+      "workflow,tasks,processors,strategy,losses,trials,pdeath,em_repair,em_restart,gain,mean_losses,mean_replans,mean_restarts,stranded_repair,stranded_restart"
+  else
+    Format.printf "%-8s %6s %11s %11s %8s %7s %8s %9s %5s@." "wf" "pdeath" "EM(repair)"
+      "EM(restart)" "gain" "losses" "replans" "restarts" "strnd";
+  let pdeaths =
+    Array.of_list (match pdeaths with [] -> default_pdeaths | ps -> ps)
+  in
+  (* the schedule and checkpoint plan do not depend on pdeath: build
+     them once; only missing cells are computed. Cells run in sequence
+     — the parallelism lives inside Degrade.sample, whose result is
+     bitwise independent of --jobs, so the bytes on stdout are too. *)
+  let plan = lazy (Pipeline.plan (Pipeline.prepare ~dag ~processors ~pfail ~ccr ()) strategy) in
+  let rows =
+    Array.map
+      (fun pdeath ->
+        let key =
+          degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy
+            ~max_losses ~trials pdeath
+        in
+        match Option.bind journal (fun j -> Journal.find j key) with
+        | Some row -> (row, true)
+        | None ->
+            Faulty.inject faulty "degrade cell";
+            let row =
+              degrade_row ~csv ~dag ~processors ~kind:strategy ~max_losses ~trials ~seed
+                ~jobs (Lazy.force plan) pdeath
+            in
+            Option.iter (fun j -> journal_append j ~key ~value:row) journal;
+            (row, false))
+      pdeaths
+  in
+  Array.iter (fun (row, _) -> print_endline row) rows;
+  Option.iter
+    (fun j ->
+      let reused = Array.fold_left (fun acc (_, r) -> if r then acc + 1 else acc) 0 rows in
+      Printf.eprintf "ckptwf: journal %s: %d cell(s) reused, %d computed\n%!"
+        (Journal.path j) reused (Array.length rows - reused))
+    journal
+
+let degrade_cmd =
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
+  let pdeaths =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "pdeath" ] ~docv:"P"
+          ~doc:
+            "Probability that a processor is permanently lost within the failure-free \
+             parallel time (sets the death rate; repeatable). Default sweep: 0.01 0.05 \
+             0.1 0.2 0.5.")
+  in
+  let max_losses =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "losses" ] ~docv:"K"
+          ~doc:"Permanent losses that can actually strike one execution (the rest censored).")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Degraded-mode trials per cell.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed cells to $(docv) (CRC-guarded, atomically updated) so a \
+             crashed sweep can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the journal: cells already recorded are replayed verbatim instead \
+             of recomputed, so the output matches an uninterrupted run exactly.")
+  in
+  let fail_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fail-after" ] ~docv:"K"
+          ~doc:
+            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
+             computing the ($(docv)+1)-th non-journaled cell.")
+  in
+  Cmd.v
+    (Cmd.info "degrade"
+       ~doc:
+         "Survive permanent processor loss: expected makespans of online schedule repair \
+          versus restart-from-scratch over a sweep of death probabilities (extension).")
+    Term.(
+      const degrade_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ strategy_arg $ pdeaths $ max_losses $ trials $ csv $ journal
+      $ resume $ fail_after $ jobs_arg)
+
 (* --- export --- *)
 
 let export_run workflow tasks seed output =
@@ -628,6 +796,6 @@ let main_cmd =
           (--fail-after), 2 malformed or invalid input, 3 exhausted retry/deadline budget, \
           124 command-line misuse.")
     [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
-      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd ]
+      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

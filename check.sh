@@ -26,4 +26,41 @@ $CKPTWF sweep $SWEEP --jobs 1 > "$TMP/jobs1.csv"
 $CKPTWF sweep $SWEEP --jobs 4 > "$TMP/jobs4.csv"
 diff -u "$TMP/jobs1.csv" "$TMP/jobs4.csv"
 
+echo "== malformed DAX exits 2 with a one-line diagnostic, every subcommand =="
+printf '<adag>\n  <job id="ID1" runtime="not-a-number"/>\n</adag>\n' > "$TMP/bad.dax"
+for sub in generate schedule evaluate simulate sweep accuracy gantt contention quantiles degrade; do
+    status=0
+    $CKPTWF "$sub" --dax "$TMP/bad.dax" > /dev/null 2> "$TMP/bad.err" || status=$?
+    if [ "$status" -ne 2 ]; then
+        echo "FAIL: $sub on malformed DAX exited $status, want 2" >&2
+        exit 1
+    fi
+    if [ "$(wc -l < "$TMP/bad.err")" -ne 1 ]; then
+        echo "FAIL: $sub on malformed DAX printed more than one diagnostic line:" >&2
+        cat "$TMP/bad.err" >&2
+        exit 1
+    fi
+done
+
+echo "== degraded mode: output independent of --jobs, crash/resume, repair wins =="
+DEGRADE="--workflow genome --tasks 50 --seed 7 --processors 5 --strategy some --trials 60 --csv"
+$CKPTWF degrade $DEGRADE --jobs 1 > "$TMP/deg1.csv"
+$CKPTWF degrade $DEGRADE --jobs 4 > "$TMP/deg4.csv"
+diff -u "$TMP/deg1.csv" "$TMP/deg4.csv"
+# crash after 2 cells (simulated fail-stop, exit 1), then resume: the
+# resumed run must reproduce the uninterrupted output bytes exactly
+status=0
+$CKPTWF degrade $DEGRADE --jobs 4 --journal "$TMP/deg.journal" --fail-after 2 \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: injected degrade crash exited $status, want 1" >&2
+    exit 1
+fi
+$CKPTWF degrade $DEGRADE --jobs 4 --journal "$TMP/deg.journal" --resume \
+    > "$TMP/degres.csv" 2> /dev/null
+diff -u "$TMP/deg1.csv" "$TMP/degres.csv"
+# online repair must beat restart-from-scratch in expectation on every row
+awk -F, 'NR > 1 { if ($8 + 0 > $9 + 0) { print "FAIL: repair " $8 " worse than restart " $9 " at pdeath " $7; exit 1 } }' \
+    "$TMP/deg1.csv"
+
 echo "== all checks passed =="

@@ -1,0 +1,31 @@
+module Rng = Ckpt_prob.Rng
+
+let draw rng ~processors ~lambda_death ~max_losses =
+  if processors < 1 then invalid_arg "Mortality.draw: processors < 1";
+  if lambda_death < 0. then invalid_arg "Mortality.draw: negative rate";
+  if max_losses < 0 then invalid_arg "Mortality.draw: negative max_losses";
+  if lambda_death = 0. || max_losses = 0 then Array.make processors infinity
+  else begin
+    let deaths =
+      Array.init processors (fun _ -> Rng.exponential rng ~rate:lambda_death)
+    in
+    if max_losses >= processors then deaths
+    else begin
+      (* censor to the [max_losses] earliest instants, ties by id *)
+      let order = Array.init processors (fun p -> (deaths.(p), p)) in
+      Array.sort compare order;
+      let censored = Array.make processors infinity in
+      for k = 0 to max_losses - 1 do
+        let d, p = order.(k) in
+        censored.(p) <- d
+      done;
+      censored
+    end
+  end
+
+let survivors deaths ~after =
+  let alive = ref [] in
+  for p = Array.length deaths - 1 downto 0 do
+    if deaths.(p) > after then alive := p :: !alive
+  done;
+  !alive

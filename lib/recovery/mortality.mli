@@ -1,0 +1,34 @@
+(** Permanent-failure (processor-death) model.
+
+    Beyond the paper's transient fail-stop errors, each processor can
+    die {e permanently}: it draws an exponential death instant at rate
+    [lambda_death] and never repairs. In-memory work on a dead
+    processor is lost; checkpointed outputs survive on stable storage.
+
+    Expected makespans stay finite by bounding the number of deaths
+    that actually occur: only the [max_losses] earliest drawn instants
+    take effect (operations replace machines after that), the rest are
+    pushed to [infinity]. With unbounded deaths, every trial would
+    strand with positive probability and the expectation would be
+    infinite. *)
+
+val draw :
+  Ckpt_prob.Rng.t ->
+  processors:int ->
+  lambda_death:float ->
+  max_losses:int ->
+  float array
+(** [draw rng ~processors ~lambda_death ~max_losses] returns one death
+    instant per processor, drawn in processor order (so the schedule of
+    draws is a pure function of the generator state), then censored to
+    the [max_losses] earliest (ties broken by processor id). A rate of
+    [0.] yields all-[infinity].
+
+    @raise Invalid_argument if [processors < 1], [lambda_death < 0.] or
+    [max_losses < 0]. *)
+
+val survivors : float array -> after:float -> int list
+(** Processors whose death instant lies strictly beyond [after], in
+    ascending id order — the processor set available to a replan
+    started at instant [after]. Includes processors that died {e idle}:
+    a machine lost while it had no work is equally unavailable later. *)

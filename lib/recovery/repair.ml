@@ -1,0 +1,38 @@
+module Dag = Ckpt_dag.Dag
+module Recognize = Ckpt_mspg.Recognize
+module Platform = Ckpt_platform.Platform
+module Allocate = Ckpt_core.Allocate
+module Strategy = Ckpt_core.Strategy
+
+type t = {
+  plan : Strategy.plan;
+  task_of : int array;
+  phys : int array;
+  dummy_edges : int;
+}
+
+let replan ~kind ~dag ~done_ ~survivors ~platform =
+  match survivors with
+  | [] -> Error "no surviving processors"
+  | _ -> (
+      try
+        let residual, task_of = Residual.build ~dag ~done_ in
+        let mspg, dummy_edges =
+          match Recognize.of_dag residual with
+          | Ok m -> (m, 0)
+          | Error _ -> (
+              match Recognize.of_dag_completed residual with
+              | Ok (m, k) -> (m, k)
+              | Error msg -> failwith msg)
+        in
+        let phys = Array.of_list survivors in
+        let rates = Array.map (Platform.rate_of platform) phys in
+        let sub_platform =
+          Platform.make_heterogeneous ~rates ~bandwidth:platform.Platform.bandwidth
+        in
+        let schedule = Allocate.run mspg ~processors:(Array.length phys) in
+        let plan = Strategy.plan kind ~raw:residual ~schedule ~platform:sub_platform in
+        Ok { plan; task_of; phys; dummy_edges }
+      with
+      | Failure msg -> Error msg
+      | Invalid_argument msg -> Error msg)

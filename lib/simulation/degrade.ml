@@ -1,0 +1,173 @@
+module Strategy = Ckpt_core.Strategy
+module Schedule = Ckpt_core.Schedule
+module Superchain = Ckpt_core.Superchain
+module Placement = Ckpt_core.Placement
+module Platform = Ckpt_platform.Platform
+module Failure = Ckpt_platform.Failure
+module Rng = Ckpt_prob.Rng
+module Mortality = Ckpt_recovery.Mortality
+module Repair = Ckpt_recovery.Repair
+module Pool = Ckpt_parallel.Pool
+module Dag = Ckpt_dag.Dag
+
+type mode = Repair | Restart
+
+let mode_name = function Repair -> "repair" | Restart -> "restart"
+
+type config = { lambda_death : float; max_losses : int; kind : Strategy.kind }
+
+type trial = { makespan : float; losses : int; replans : int; restarts : int }
+
+(* For each segment of a plan, the task ids it covers (in the plan's
+   own id space). *)
+let seg_tasks_of (plan : Strategy.plan) =
+  Array.map
+    (fun (seg : Placement.segment) ->
+      let sc = plan.Strategy.schedule.Schedule.superchains.(seg.Placement.chain) in
+      Array.init
+        (seg.Placement.last - seg.Placement.first + 1)
+        (fun k -> Superchain.task_at sc (seg.Placement.first + k)))
+    plan.Strategy.segments
+
+type prepared = {
+  plan : Strategy.plan;
+  init_segs : Engine.seg array;
+  init_seg_tasks : int array array;
+}
+
+let prepare (plan : Strategy.plan) =
+  if plan.Strategy.prob_dag = None then
+    invalid_arg "Degrade.prepare: a CKPTNONE plan has no checkpoints to recover from";
+  { plan; init_segs = Runner.segs_of_plan plan; init_seg_tasks = seg_tasks_of plan }
+
+let run_trial ~mode config prepared rng =
+  if config.max_losses < 0 then invalid_arg "Degrade.run_trial: negative max_losses";
+  (if config.kind = Strategy.Ckpt_none then
+     invalid_arg "Degrade.run_trial: CKPTNONE cannot be a replan policy");
+  let plan = prepared.plan in
+  let platform = plan.Strategy.platform in
+  let nprocs = platform.Platform.processors in
+  let raw = plan.Strategy.raw_dag in
+  let n = Dag.n_tasks raw in
+  (* fixed per-trial randomness, in a mode-independent order: deaths
+     first, then one trace generator per processor — Repair and Restart
+     trials with the same rng see identical worlds *)
+  let deaths =
+    Mortality.draw rng ~processors:nprocs ~lambda_death:config.lambda_death
+      ~max_losses:config.max_losses
+  in
+  let trace_rngs = Array.init nprocs (fun _ -> Rng.split rng) in
+  let traces = Array.make nprocs None in
+  let trace_of p =
+    match traces.(p) with
+    | Some t -> t
+    | None ->
+        let t = Failure.create trace_rngs.(p) ~lambda:(Platform.rate_of platform p) in
+        traces.(p) <- Some t;
+        t
+  in
+  let death p = deaths.(p) in
+  let done_ = Array.make n false in
+  (* current plan state: engine segments (on physical processor ids)
+     and the original task ids each segment checkpoints *)
+  let rec go ~clock ~segs ~seg_tasks ~losses ~replans ~restarts =
+    match Engine.execute_until_death ~start:clock segs trace_of ~death with
+    | Engine.Finished (_, finish) -> { makespan = finish; losses; replans; restarts }
+    | Engine.Interrupted { dead = _; at; completed } ->
+        let losses = losses + 1 in
+        Array.iteri
+          (fun i ok -> if ok then Array.iter (fun t -> done_.(t) <- true) seg_tasks.(i))
+          completed;
+        let survivors = Mortality.survivors deaths ~after:at in
+        if survivors = [] then { makespan = infinity; losses; replans; restarts }
+        else begin
+          let continue_with (r : Repair.t) ~replans ~restarts =
+            let segs =
+              Array.map
+                (fun (s : Engine.seg) ->
+                  { s with Engine.processor = r.Repair.phys.(s.Engine.processor) })
+                (Runner.segs_of_plan r.Repair.plan)
+            in
+            let seg_tasks =
+              Array.map
+                (Array.map (fun t -> r.Repair.task_of.(t)))
+                (seg_tasks_of r.Repair.plan)
+            in
+            go ~clock:at ~segs ~seg_tasks ~losses ~replans ~restarts
+          in
+          let from_scratch ~replans ~restarts =
+            Array.fill done_ 0 n false;
+            match
+              Repair.replan ~kind:config.kind ~dag:raw ~done_ ~survivors ~platform
+            with
+            | Ok r -> continue_with r ~replans ~restarts:(restarts + 1)
+            | Error msg ->
+                (* the full workflow was plannable at trial start on any
+                   processor count, so this is unreachable for plans
+                   built through the pipeline *)
+                invalid_arg ("Degrade.run_trial: restart replan failed: " ^ msg)
+          in
+          match mode with
+          | Restart -> from_scratch ~replans ~restarts
+          | Repair -> (
+              match
+                Repair.replan ~kind:config.kind ~dag:raw ~done_ ~survivors ~platform
+              with
+              | Ok r -> continue_with r ~replans:(replans + 1) ~restarts
+              | Error _ -> from_scratch ~replans ~restarts)
+        end
+  in
+  go ~clock:0. ~segs:prepared.init_segs ~seg_tasks:prepared.init_seg_tasks ~losses:0
+    ~replans:0 ~restarts:0
+
+(* Work-distribution chunk (see Runner): trials are claimed chunkwise
+   by worker domains but derive their randomness from the trial index
+   alone, so the partitioning never affects the drawn samples. *)
+let chunk_trials = 16
+
+let sample ?(trials = 200) ?(seed = 11) ?(jobs = 1) ~mode config plan =
+  if trials < 1 then invalid_arg "Degrade.sample: trials < 1";
+  if jobs < 1 then invalid_arg "Degrade.sample: jobs < 1";
+  let prepared = prepare plan in
+  let nchunks = (trials + chunk_trials - 1) / chunk_trials in
+  let results = Array.make nchunks None in
+  let next = Atomic.make 0 in
+  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          let lo = c * chunk_trials in
+          let hi = min trials (lo + chunk_trials) in
+          results.(c) <-
+            Some
+              (Array.init (hi - lo) (fun k ->
+                   run_trial ~mode config prepared (Rng.for_trial ~seed (lo + k))));
+          loop ()
+        end
+      in
+      loop ());
+  Array.concat
+    (Array.to_list (Array.map (function Some a -> a | None -> assert false) results))
+
+type summary = {
+  trials : int;
+  mean_makespan : float;
+  mean_losses : float;
+  mean_replans : float;
+  mean_restarts : float;
+  stranded : int;
+}
+
+let summarize trials =
+  let n = Array.length trials in
+  if n = 0 then invalid_arg "Degrade.summarize: empty sample";
+  let fn = float_of_int n in
+  let sum f = Array.fold_left (fun acc t -> acc +. f t) 0. trials in
+  {
+    trials = n;
+    mean_makespan = sum (fun t -> t.makespan) /. fn;
+    mean_losses = sum (fun t -> float_of_int t.losses) /. fn;
+    mean_replans = sum (fun t -> float_of_int t.replans) /. fn;
+    mean_restarts = sum (fun t -> float_of_int t.restarts) /. fn;
+    stranded = Array.fold_left (fun acc t -> if t.makespan = infinity then acc + 1 else acc) 0 trials;
+  }

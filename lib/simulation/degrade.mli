@@ -1,0 +1,81 @@
+(** Degraded-mode execution: survive permanent processor loss.
+
+    Each trial interleaves simulation and replanning: the current plan
+    executes against transient failure traces {e and} permanent death
+    instants ({!Ckpt_recovery.Mortality}); at the first disruptive
+    death the tasks of every checkpoint-committed segment are marked
+    done, and the residual workflow is replanned on the survivors
+    ({!Ckpt_recovery.Repair}) — Algorithm 1 and the Algorithm 2 DP
+    re-run on the smaller platform, migration charged as re-reads of
+    checkpointed data. Execution resumes at the loss instant with the
+    repaired plan; up to [max_losses] losses can strike one trial. When
+    replanning is impossible the trial falls back to restarting the
+    whole workflow from scratch on the survivors; when nobody survives
+    the trial is stranded (makespan [infinity]).
+
+    {!Restart} mode is the baseline the repair is measured against: a
+    static schedule cannot adapt, so each loss discards {e all}
+    progress and restarts the workflow from scratch on the survivors.
+    Both modes consume identical per-trial randomness (deaths drawn
+    first, then one trace generator split per processor, in processor
+    order), so repair-vs-restart comparisons are paired.
+
+    Determinism contract: a trial's randomness is a pure function of
+    [(seed, trial)] and results are reassembled in trial order, so
+    {!sample} returns bitwise identical arrays for any [jobs] value. *)
+
+module Strategy = Ckpt_core.Strategy
+
+type mode =
+  | Repair  (** online repair: keep checkpointed progress across losses *)
+  | Restart  (** baseline: every loss restarts the workflow from scratch *)
+
+val mode_name : mode -> string
+
+type config = {
+  lambda_death : float;  (** per-processor permanent-failure rate *)
+  max_losses : int;  (** deaths that actually occur, the rest censored *)
+  kind : Strategy.kind;  (** checkpoint policy applied at each replan *)
+}
+
+type trial = {
+  makespan : float;  (** [infinity] when the trial strands *)
+  losses : int;  (** disruptive permanent losses suffered *)
+  replans : int;  (** successful residual replans (online repair) *)
+  restarts : int;  (** restart-from-scratch replans (baseline / fallback) *)
+}
+
+type prepared
+(** A plan frozen for degraded-mode trials: the initial segment DAG and
+    segment-to-task map are materialised once, so worker domains share
+    them read-only. *)
+
+val prepare : Strategy.plan -> prepared
+(** @raise Invalid_argument on a CKPTNONE plan (no checkpoints to
+    recover from) or a CKPTNONE replan policy. *)
+
+val run_trial : mode:mode -> config -> prepared -> Ckpt_prob.Rng.t -> trial
+(** One degraded-mode execution against fresh randomness. *)
+
+val sample :
+  ?trials:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  mode:mode ->
+  config ->
+  Strategy.plan ->
+  trial array
+(** [trials] (default 200) degraded-mode executions, trial [k] driven
+    by [Ckpt_prob.Rng.for_trial ~seed k] (seed default 11). [jobs]
+    fans trials over worker domains without changing the result. *)
+
+type summary = {
+  trials : int;
+  mean_makespan : float;  (** [infinity] as soon as one trial strands *)
+  mean_losses : float;
+  mean_replans : float;
+  mean_restarts : float;
+  stranded : int;
+}
+
+val summarize : trial array -> summary

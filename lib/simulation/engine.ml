@@ -6,9 +6,9 @@ type seg = { processor : int; duration : float; preds : int list }
 type attempt = { attempt_start : float; attempt_end : float; failed : bool }
 type record = { seg_index : int; seg_processor : int; attempts : attempt list }
 
-let execute segs trace_of_processor =
+let execute_from ~start segs trace_of_processor =
   let n = Array.length segs in
-  let completion = Array.make n 0. in
+  let completion = Array.make n start in
   let records = Array.make n { seg_index = 0; seg_processor = 0; attempts = [] } in
   let proc_free = Hashtbl.create 16 in
   let traces = Hashtbl.create 16 in
@@ -20,7 +20,7 @@ let execute segs trace_of_processor =
         Hashtbl.replace traces p t;
         t
   in
-  let finish = ref 0. in
+  let finish = ref start in
   for i = 0 to n - 1 do
     let seg = segs.(i) in
     let ready =
@@ -28,9 +28,9 @@ let execute segs trace_of_processor =
         (fun acc p ->
           if p >= i then invalid_arg "Engine.makespan: segments not topologically ordered";
           Float.max acc completion.(p))
-        0. seg.preds
+        start seg.preds
     in
-    let free = Option.value ~default:0. (Hashtbl.find_opt proc_free seg.processor) in
+    let free = Option.value ~default:start (Hashtbl.find_opt proc_free seg.processor) in
     let start = Float.max ready free in
     (* retry the segment until an attempt fits before the next failure *)
     let tr = trace seg.processor in
@@ -52,9 +52,56 @@ let execute segs trace_of_processor =
     Hashtbl.replace proc_free seg.processor done_at;
     if done_at > !finish then finish := done_at
   done;
-  (records, !finish)
+  (records, completion, !finish)
+
+let execute segs trace_of_processor =
+  let records, _, finish = execute_from ~start:0. segs trace_of_processor in
+  (records, finish)
 
 let makespan segs trace_of_processor = snd (execute segs trace_of_processor)
+
+type outcome =
+  | Finished of record array * float
+  | Interrupted of { dead : int; at : float; completed : bool array }
+
+(* Permanent processor loss. Deaths only remove processors, so up to
+   the first death that disrupts this schedule the execution is the
+   death-free one; we therefore run the death-free execution and cut
+   it at that instant. A death at [d] on processor [p] is disruptive
+   iff some segment of [p] completes after [d] (it was mid-flight or
+   still queued when the processor died); a death on a processor whose
+   segments all finished earlier is harmless — every completed segment
+   ends in a checkpoint, so its outputs already sit on stable storage.
+   At the cut, exactly the segments with [completion <= d] count as
+   completed (checkpoint committed); in-flight work on SURVIVING
+   processors is abandoned too — the replanner decides where it
+   re-executes and charges the re-reads. *)
+let execute_until_death ?(start = 0.) segs trace_of_processor ~death =
+  Array.iter
+    (fun seg ->
+      if death seg.processor <= start then
+        invalid_arg "Engine.execute_until_death: segment on an already-dead processor")
+    segs;
+  let records, completion, finish = execute_from ~start segs trace_of_processor in
+  let death_of = Hashtbl.create 16 in
+  Array.iter
+    (fun seg ->
+      if not (Hashtbl.mem death_of seg.processor) then
+        Hashtbl.replace death_of seg.processor (death seg.processor))
+    segs;
+  let first = ref None in
+  Array.iteri
+    (fun i seg ->
+      let d = Hashtbl.find death_of seg.processor in
+      if completion.(i) > d then
+        match !first with
+        | Some (_, at) when at <= d -> ()
+        | _ -> first := Some (seg.processor, d))
+    segs;
+  match !first with
+  | None -> Finished (records, finish)
+  | Some (dead, at) ->
+      Interrupted { dead; at; completed = Array.map (fun c -> c <= at) completion }
 
 type summary = { failures : int; wasted_time : float; useful_time : float }
 

@@ -54,6 +54,35 @@ val makespan : seg array -> (int -> Ckpt_platform.Failure.t) -> float
     @raise Invalid_argument if a pred index is not smaller than the
     segment's own index. *)
 
+type outcome =
+  | Finished of record array * float
+      (** The whole segment DAG completed; the float is the makespan. *)
+  | Interrupted of { dead : int; at : float; completed : bool array }
+      (** Processor [dead] was lost permanently at instant [at] while it
+          still had work; [completed.(i)] tells whether segment [i]'s
+          checkpoint committed by then. In-flight work on surviving
+          processors is abandoned at the cut as well (the repair planner
+          reschedules it and charges the re-reads). *)
+
+val execute_until_death :
+  ?start:float ->
+  seg array ->
+  (int -> Ckpt_platform.Failure.t) ->
+  death:(int -> float) ->
+  outcome
+(** Execution under the permanent-failure model: besides its transient
+    fail-stop trace, each processor has a death instant ([infinity] =
+    never) after which it executes nothing, forever. Runs the segment
+    DAG from wall-clock [start] (default 0; every processor becomes
+    free at [start]) and stops at the first {e disruptive} death — the
+    earliest death instant of a processor that still had unfinished
+    segments. Deaths of processors whose segments all completed earlier
+    are harmless: completed segments end in a checkpoint, so their
+    outputs survive on stable storage.
+
+    @raise Invalid_argument if a segment is mapped to a processor whose
+    death instant is [<= start], or on a non-topological order. *)
+
 val restart_makespan :
   wpar:float -> processors:int -> lambda:float -> Ckpt_prob.Rng.t -> float
 (** CKPTNONE realisation: repeat attempts of length [wpar]; an

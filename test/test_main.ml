@@ -26,4 +26,5 @@ let () =
       ("refine", Test_refine.suite);
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
+      ("recovery", Test_recovery.suite);
     ]

@@ -20,6 +20,40 @@ let test_pool_map_propagates_exception () =
   | exception Failure m -> Alcotest.(check string) "message" "boom" m
   | _ -> Alcotest.fail "expected Failure"
 
+exception Boom of int
+
+(* A worker raising mid-map must join every domain before the exception
+   reaches the caller, preserve the first exception together with its
+   backtrace, and leave the pool immediately reusable. *)
+let test_pool_map_exception_joins_and_reuse () =
+  Printexc.record_backtrace true;
+  let running = Atomic.make 0 in
+  let raised =
+    try
+      ignore
+        (Pool.map ~jobs:4 64 (fun i ->
+             Atomic.incr running;
+             Fun.protect
+               ~finally:(fun () -> Atomic.decr running)
+               (fun () ->
+                 if i = 17 then raise (Boom i);
+                 Sys.opaque_identity i)));
+      false
+    with Boom 17 ->
+      let bt = Printexc.get_raw_backtrace () in
+      Alcotest.(check bool) "backtrace preserved" true (Printexc.raw_backtrace_length bt > 0);
+      true
+  in
+  Alcotest.(check bool) "the one raised exception propagated" true raised;
+  (* joined domains cannot still be inside the worker body *)
+  Alcotest.(check int) "all workers quiesced" 0 (Atomic.get running);
+  (* the pool keeps no state across regions: a failed map leaves it usable *)
+  let r = Pool.map ~jobs:4 32 (fun i -> i + 1) in
+  Alcotest.(check (array int)) "pool reusable after failure" (Array.init 32 (fun i -> i + 1)) r;
+  Alcotest.(check int) "sequential path too" 0
+    (try Pool.map ~jobs:1 4 (fun i -> if i = 2 then raise (Boom i) else i) |> Array.length
+     with Boom 2 -> 0)
+
 let test_pool_run_workers_distinct () =
   let seen = Array.make 4 false in
   Pool.run ~jobs:4 (fun ~worker -> seen.(worker) <- true);
@@ -188,6 +222,8 @@ let suite =
   [
     Alcotest.test_case "pool map identity" `Quick test_pool_map_identity;
     Alcotest.test_case "pool map propagates exception" `Quick test_pool_map_propagates_exception;
+    Alcotest.test_case "pool map exception joins + reuse" `Quick
+      test_pool_map_exception_joins_and_reuse;
     Alcotest.test_case "pool run workers distinct" `Quick test_pool_run_workers_distinct;
     QCheck_alcotest.to_alcotest prop_csr_matches_reference;
     Alcotest.test_case "duplicate edges deduplicated" `Quick test_duplicate_edges_deduplicated;

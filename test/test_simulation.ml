@@ -87,6 +87,66 @@ let test_zero_duration_segments_immune () =
   let segs = [| { Engine.processor = 0; duration = 0.; preds = [] } |] in
   check_close "no spin" 0. (Engine.makespan segs (fun _ -> Failure.create rng ~lambda))
 
+let test_lambda_zero_exact_makespan () =
+  (* λ exactly 0 (not merely tiny): every trial is the deterministic
+     longest path, bitwise *)
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let s = Pipeline.prepare ~dag ~processors:5 ~pfail:0. ~ccr:0.01 () in
+  let plan = Pipeline.plan s Strategy.Ckpt_some in
+  let pd = Option.get plan.Strategy.prob_dag in
+  let det = Ckpt_eval.Prob_dag.deterministic_makespan pd in
+  let sample = Runner.sample_makespans ~trials:5 plan in
+  Array.iter (fun m -> check_close ~eps:0. "exactly deterministic" det m) sample
+
+let test_zero_duration_segment_in_failing_chain () =
+  (* a zero-duration segment inside a chain under a dense failure trace:
+     it commits instantly at its ready time and never retries *)
+  let lambda = 1000. in
+  let segs =
+    [| { Engine.processor = 0; duration = 0.; preds = [] };
+       { Engine.processor = 0; duration = 0.; preds = [ 0 ] };
+       { Engine.processor = 1; duration = 0.; preds = [ 1 ] } |]
+  in
+  let records, m =
+    Engine.execute segs (fun _ -> Failure.create (Rng.create 8) ~lambda)
+  in
+  check_close "still instantaneous" 0. m;
+  Array.iter
+    (fun (r : Engine.record) ->
+      Alcotest.(check int) "single attempt" 1 (List.length r.Engine.attempts);
+      List.iter
+        (fun (a : Engine.attempt) ->
+          Alcotest.(check bool) "never fails" false a.Engine.failed)
+        r.Engine.attempts)
+    records
+
+let test_forced_first_attempt_failure () =
+  (* single-segment plan whose first attempt provably fails: scan seeds
+     for a trace with a failure inside the first attempt and none inside
+     the retry window, then check the makespan is exactly
+     failure instant + duration and the attempt log shows the retry *)
+  let d = 50. and lambda = 0.02 in
+  let trace seed = Failure.create (Rng.create seed) ~lambda in
+  let rec find seed =
+    if seed > 10_000 then Alcotest.fail "no suitable failure trace found"
+    else
+      let probe = trace seed in
+      let t1 = Failure.next_after probe 0. in
+      if t1 < d && Failure.next_after probe t1 > t1 +. d then seed else find (seed + 1)
+  in
+  let seed = find 0 in
+  let t1 = Failure.next_after (trace seed) 0. in
+  let segs = [| { Engine.processor = 0; duration = d; preds = [] } |] in
+  let records, m = Engine.execute segs (fun _ -> trace seed) in
+  check_close "failure instant + duration" (t1 +. d) m;
+  match records.(0).Engine.attempts with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first attempt failed" true first.Engine.failed;
+      check_close "cut at the failure" t1 first.Engine.attempt_end;
+      Alcotest.(check bool) "retry succeeded" false second.Engine.failed;
+      check_close "retry starts at the failure" t1 second.Engine.attempt_start
+  | l -> Alcotest.failf "expected exactly two attempts, got %d" (List.length l)
+
 let test_restart_semantics_failure_free () =
   let rng = Rng.create 5 in
   check_close "wpar when no failures" 123.
@@ -179,6 +239,10 @@ let suite =
     Alcotest.test_case "topological order" `Quick test_topological_order_enforced;
     Alcotest.test_case "retry statistics" `Slow test_failure_retry_statistics;
     Alcotest.test_case "zero duration" `Quick test_zero_duration_segments_immune;
+    Alcotest.test_case "lambda=0 exact makespan" `Quick test_lambda_zero_exact_makespan;
+    Alcotest.test_case "zero-duration segment in failing chain" `Quick
+      test_zero_duration_segment_in_failing_chain;
+    Alcotest.test_case "forced first-attempt failure" `Quick test_forced_first_attempt_failure;
     Alcotest.test_case "restart failure-free" `Quick test_restart_semantics_failure_free;
     Alcotest.test_case "restart statistics" `Slow test_restart_statistics;
     Alcotest.test_case "segs of plan" `Quick test_segs_of_plan_shape;

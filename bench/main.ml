@@ -493,6 +493,143 @@ let mc_throughput ?json ~jobs () =
       close_out oc)
     json
 
+(* ------------------------------------------------------------------ *)
+(* Planning throughput benchmark                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end planning rate — recognition + ALLOCATE + the Algorithm 2
+   placement DP — on the paper's largest workflow and on a larger
+   generated M-SPG, sequentially and fanned over [jobs] domains, plus
+   the degraded-mode replanning rate with its cache hit rate. This is
+   the figure the CSR recogniser + packed-DP + replan-cache work is
+   measured by; the tracked baseline lives in BENCH_plan.json at the
+   repository root. The seed (pre-CSR) planner measured 8.2 plans/sec
+   on GENOME n=999 on the reference machine. *)
+let seed_baseline_plans_per_sec = 8.2
+
+let plan_throughput ?json ~jobs () =
+  let module Degrade = Ckpt_sim.Degrade in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "== Planning throughput (recognition + ALLOCATE + placement DP) ==\n";
+  if jobs > cores then
+    Printf.printf
+      "  note: %d job(s) requested but only %d core(s) available; parallel legs\n\
+      \  measure oversubscription (domains contend for the core and every minor\n\
+      \  GC synchronises all of them), not speedup\n"
+      jobs cores;
+  let time iters f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int iters /. wall
+  in
+  let genome = Spec.generate Spec.Genome ~seed:1 ~tasks:1000 () in
+  let n_genome = Dag.n_tasks genome in
+  let full_plan ~jobs dag ~processors =
+    let setup = Pipeline.prepare ~dag ~processors ~pfail:0.001 ~ccr:0.01 () in
+    Pipeline.plan ~jobs setup Strategy.Ckpt_some
+  in
+  let genome_seq = time 10 (fun () -> full_plan ~jobs:1 genome ~processors:61) in
+  let genome_par = time 10 (fun () -> full_plan ~jobs genome ~processors:61) in
+  Printf.printf "  genome   n=%d   plans/sec seq=%.1f  par(jobs=%d)=%.1f  seed=%.1f (%.1fx)\n"
+    n_genome genome_seq jobs genome_par seed_baseline_plans_per_sec
+    (genome_seq /. seed_baseline_plans_per_sec);
+  (* a large generated M-SPG: 6 parallel branches of 600-task chains
+     (random weights/file sizes), scheduled on 6 processors so every
+     superchain carries a long placement DP — the shape where fanning
+     the per-superchain solves over domains can pay, given the cores *)
+  let random_mspg =
+    let module Mspg = Ckpt_mspg.Mspg in
+    let rng = Ckpt_prob.Rng.create 5 in
+    let counter = ref 0 in
+    let task () =
+      incr counter;
+      Mspg.Btask (Printf.sprintf "t%d" !counter, 0.5 +. Ckpt_prob.Rng.float rng 49.5)
+    in
+    let bp =
+      Mspg.Bparallel (List.init 6 (fun _ -> Mspg.Bserial (List.init 600 (fun _ -> task ()))))
+    in
+    let edge_rng = Ckpt_prob.Rng.split rng in
+    Mspg.build ~name:"large-mspg"
+      ~edge_size:(fun _ _ -> 1e5 +. Ckpt_prob.Rng.float edge_rng (1e8 -. 1e5))
+      bp
+  in
+  let random_dag = random_mspg.Ckpt_mspg.Mspg.dag in
+  let n_random = Dag.n_tasks random_dag in
+  (* the tree of a generated M-SPG is known by construction, so this
+     leg prices ALLOCATE + Algorithm 2 only (no recognition pass) *)
+  let plan_known ~jobs =
+    let n = Dag.n_tasks random_dag in
+    let mean_weight = Dag.total_weight random_dag /. float_of_int n in
+    let lambda = Platform.lambda_of_pfail ~pfail:0.001 ~mean_weight in
+    let bandwidth =
+      Platform.bandwidth_for_ccr ~ccr:0.01 ~total_data:(Dag.total_data random_dag)
+        ~total_weight:(Dag.total_weight random_dag)
+    in
+    let platform = Platform.make ~processors:6 ~lambda ~bandwidth in
+    let schedule = Allocate.run random_mspg ~processors:6 in
+    Strategy.plan ~jobs Strategy.Ckpt_some ~raw:random_dag ~schedule ~platform
+  in
+  let random_seq = time 5 (fun () -> plan_known ~jobs:1) in
+  let random_par = time 5 (fun () -> plan_known ~jobs) in
+  Printf.printf "  large    n=%d  plans/sec seq=%.1f  par(jobs=%d)=%.1f  (alloc+DP only)\n"
+    n_random random_seq jobs random_par;
+  (* degraded-mode replanning: 120-trial repair batches on the
+     standard small scenario, replan cache on *)
+  let dag50 = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup50 = Pipeline.prepare ~dag:dag50 ~processors:5 ~pfail:0.001 ~ccr:0.1 () in
+  let plan50 = Pipeline.plan setup50 Strategy.Ckpt_some in
+  let config =
+    {
+      Degrade.lambda_death =
+        Platform.lambda_of_pfail ~pfail:0.2 ~mean_weight:plan50.Strategy.wpar;
+      max_losses = 1;
+      kind = Strategy.Ckpt_some;
+    }
+  in
+  let trials = 120 in
+  let prepared = Degrade.prepare plan50 in
+  let batches =
+    time 5 (fun () ->
+        Degrade.sample_prepared ~trials ~seed:13 ~jobs:1 ~mode:Degrade.Repair config
+          prepared)
+  in
+  let hits, misses = Degrade.cache_stats prepared in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let degrade_rate = batches *. float_of_int trials in
+  Printf.printf
+    "  degrade  n=50 p=5  trials/sec=%.0f  replan cache: %d hit(s), %d miss(es) (%.0f%%)\n\n"
+    degrade_rate hits misses (100. *. hit_rate);
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"plan-throughput\",\n\
+        \  \"jobs\": %d,\n\
+        \  \"cores\": %d,\n\
+        \  \"genome_n\": %d,\n\
+        \  \"genome_plans_per_sec_seq\": %.2f,\n\
+        \  \"genome_plans_per_sec_par\": %.2f,\n\
+        \  \"random_mspg_n\": %d,\n\
+        \  \"random_plans_per_sec_seq\": %.2f,\n\
+        \  \"random_plans_per_sec_par\": %.2f,\n\
+        \  \"degrade_trials_per_sec\": %.2f,\n\
+        \  \"replan_cache_hits\": %d,\n\
+        \  \"replan_cache_misses\": %d,\n\
+        \  \"replan_cache_hit_rate\": %.4f,\n\
+        \  \"seed_baseline_plans_per_sec\": %.2f,\n\
+        \  \"speedup_vs_seed\": %.2f\n\
+         }\n"
+        jobs cores n_genome genome_seq genome_par n_random random_seq random_par degrade_rate
+        hits misses hit_rate seed_baseline_plans_per_sec
+        (genome_seq /. seed_baseline_plans_per_sec);
+      close_out oc)
+    json
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let resume = Array.exists (fun a -> a = "--resume") Sys.argv in
@@ -527,6 +664,10 @@ let () =
     mc_throughput ?json ~jobs ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "--plan-only") Sys.argv then begin
+    plan_throughput ?json ~jobs ();
+    exit 0
+  end;
   let journal =
     match journal_path with
     | None -> None
@@ -539,6 +680,7 @@ let () =
   in
   run_benchmarks ();
   mc_throughput ?json ~jobs ();
+  plan_throughput ~jobs ();
   accuracy_table ?journal ();
   linearization_ablation ();
   policy_ablation ();

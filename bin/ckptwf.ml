@@ -606,15 +606,23 @@ let default_pdeaths = [ 0.01; 0.05; 0.1; 0.2; 0.5 ]
 (* One degraded-mode cell: paired repair-vs-restart samples at one
    death probability. The rendered line is what gets journaled, so a
    resumed sweep replays it verbatim. *)
-let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs
+let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs ~cache_totals
     (plan : Strategy.plan) pdeath =
   let lambda_death =
     Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
   in
   let config = { Degrade.lambda_death; max_losses; kind } in
-  let summary mode = Degrade.summarize (Degrade.sample ~trials ~seed ~jobs ~mode config plan) in
+  (* one replan cache per cell, shared by the paired repair/restart
+     samples; results are identical with or without it *)
+  let prepared = Degrade.prepare plan in
+  let summary mode =
+    Degrade.summarize (Degrade.sample_prepared ~trials ~seed ~jobs ~mode config prepared)
+  in
   let repair = summary Degrade.Repair in
   let restart = summary Degrade.Restart in
+  (let hits, misses = Degrade.cache_stats prepared in
+   let th, tm = !cache_totals in
+   cache_totals := (th + hits, tm + misses));
   let gain = restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan in
   if csv then
     Printf.sprintf "%s,%d,%d,%s,%d,%d,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d"
@@ -678,6 +686,7 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
      — the parallelism lives inside Degrade.sample, whose result is
      bitwise independent of --jobs, so the bytes on stdout are too. *)
   let plan = lazy (Pipeline.plan (Pipeline.prepare ~dag ~processors ~pfail ~ccr ()) strategy) in
+  let cache_totals = ref (0, 0) in
   let rows =
     Array.map
       (fun pdeath ->
@@ -691,13 +700,18 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
             Faulty.inject faulty "degrade cell";
             let row =
               degrade_row ~csv ~dag ~processors ~kind:strategy ~max_losses ~trials ~seed
-                ~jobs (Lazy.force plan) pdeath
+                ~jobs ~cache_totals (Lazy.force plan) pdeath
             in
             Option.iter (fun j -> journal_append j ~key ~value:row) journal;
             (row, false))
       pdeaths
   in
   Array.iter (fun (row, _) -> print_endline row) rows;
+  (let hits, misses = !cache_totals in
+   if hits + misses > 0 then
+     Printf.eprintf "ckptwf: replan cache: %d hit(s), %d miss(es) (%.0f%% hit rate)\n%!"
+       hits misses
+       (100. *. float_of_int hits /. float_of_int (hits + misses)));
   Option.iter
     (fun j ->
       let reused = Array.fold_left (fun acc (_, r) -> if r then acc + 1 else acc) 0 rows in

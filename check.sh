@@ -63,4 +63,20 @@ diff -u "$TMP/deg1.csv" "$TMP/degres.csv"
 awk -F, 'NR > 1 { if ($8 + 0 > $9 + 0) { print "FAIL: repair " $8 " worse than restart " $9 " at pdeath " $7; exit 1 } }' \
     "$TMP/deg1.csv"
 
+echo "== degrade replan cache reports a nonzero hit rate =="
+# ckptwf prints "ckptwf: replan cache: H hit(s), M miss(es) (..%)" on
+# stderr after a degrade run; the structural cache must actually hit
+$CKPTWF degrade $DEGRADE --jobs 1 > /dev/null 2> "$TMP/degcache.err"
+hits=$(sed -n 's/.*replan cache: \([0-9][0-9]*\) hit(s).*/\1/p' "$TMP/degcache.err")
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+    echo "FAIL: degrade run reported no replan-cache hits:" >&2
+    cat "$TMP/degcache.err" >&2
+    exit 1
+fi
+
+echo "== planning-throughput bench smoke (--plan-only, exit code only) =="
+dune build bench/main.exe
+_build/default/bench/main.exe --plan-only --json "$TMP/plan.json" --jobs 2 > /dev/null
+test -s "$TMP/plan.json"
+
 echo "== all checks passed =="

@@ -27,23 +27,25 @@ let prepare ?policy ~dag ~processors ~pfail ~ccr () =
   in
   let platform = Platform.make ~processors ~lambda ~bandwidth in
   let mspg, dummy_edges =
-    match Recognize.of_dag dag with
-    | Ok m -> (m, 0)
+    (* one completing pass covers both the plain-M-SPG and the
+       completable cases (with 0 dummies the decomposition never took
+       the completion branch, so the tree is the plain recognition's —
+       reattach it to the original DAG and drop the working copy) *)
+    match Recognize.of_dag_completed dag with
+    | Ok (m, 0) -> ({ Mspg.dag; tree = m.Mspg.tree }, 0)
+    | Ok (m, d) -> (m, d)
     | Error _ -> (
-        match Recognize.of_dag_completed dag with
-        | Ok (m, d) -> (m, d)
-        | Error _ -> (
-            (* last resort: General SP graphs, whose transitive
-               reduction is an M-SPG (future work, Section VIII) *)
-            match Recognize.of_dag_gspg dag with
-            | Ok (m, _) -> (m, 0)
-            | Error msg -> invalid_arg ("Pipeline.prepare: not an M-SPG: " ^ msg)))
+        (* last resort: General SP graphs, whose transitive
+           reduction is an M-SPG (future work, Section VIII) *)
+        match Recognize.of_dag_gspg dag with
+        | Ok (m, _) -> (m, 0)
+        | Error msg -> invalid_arg ("Pipeline.prepare: not an M-SPG: " ^ msg))
   in
   let schedule = Allocate.run ?policy mspg ~processors in
   { raw = dag; mspg; dummy_edges; platform; schedule; pfail; ccr }
 
-let plan setup kind =
-  Strategy.plan kind ~raw:setup.raw ~schedule:setup.schedule ~platform:setup.platform
+let plan ?jobs setup kind =
+  Strategy.plan ?jobs kind ~raw:setup.raw ~schedule:setup.schedule ~platform:setup.platform
 
 type comparison = {
   em_some : float;

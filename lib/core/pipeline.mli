@@ -38,7 +38,9 @@ val prepare :
 (** @raise Invalid_argument if the workflow cannot be recognised (even
     with completion) or the knobs are out of range. *)
 
-val plan : setup -> Strategy.kind -> Strategy.plan
+val plan : ?jobs:int -> setup -> Strategy.kind -> Strategy.plan
+(** [jobs] fans the per-superchain placement DPs over domains
+    (default 1); the plan is identical for any value. *)
 
 type comparison = {
   em_some : float;

@@ -58,6 +58,105 @@ let segment_of platform dag sc ~first ~last =
     write = Platform.io_time platform !write_bytes;
   }
 
+(* Preallocated planning scratch, reused across the superchains of one
+   DAG: the per-row Hashtbls of the reference [cost_matrix] become
+   epoch-stamped per-file int arrays, the cost matrix a packed
+   lower-triangular float array, and the DP runs over caller scratch.
+   Every float operation happens in the same order as the reference,
+   so the costs — and hence the checkpoint sets — are
+   bitwise-identical. Not shareable across domains: parallel callers
+   use one arena each. *)
+type arena = {
+  n_files : int;
+  read_stamp : int array;
+      (* in_read membership per file: [2e] = in the running read set,
+         [2e+1] = removed from it, anything older = untouched *)
+  mutable read_epoch : int;
+  write_stamp : int array;  (* per-(j,i) escaping-file dedup *)
+  mutable write_epoch : int;
+  mutable tri : float array;
+  mutable etime : float array;
+  mutable last_ckpt : int array;
+}
+
+let arena dag =
+  let nf = Dag.n_files dag in
+  {
+    n_files = nf;
+    read_stamp = Array.make (max 1 nf) 0;
+    read_epoch = 0;
+    write_stamp = Array.make (max 1 nf) 0;
+    write_epoch = 0;
+    tri = [||];
+    etime = [||];
+    last_ckpt = [||];
+  }
+
+let ensure_capacity a n =
+  let need = Toueg.tri_size n in
+  if Array.length a.tri < need then a.tri <- Array.make need 0.;
+  if Array.length a.etime < n then begin
+    a.etime <- Array.make n 0.;
+    a.last_ckpt <- Array.make n (-1)
+  end
+
+(* Fill [a.tri] with the packed cost table of [sc] (cost of segment
+   [i..j] at [j*(j+1)/2 + i]); the descending-[i] sweep per [j] and
+   its in/out file bookkeeping mirror [cost_matrix] line for line. *)
+let fill_cost_tri a platform dag sc =
+  if a.n_files <> Dag.n_files dag then
+    invalid_arg "Placement.fill_cost_tri: arena built for another DAG";
+  let n = Superchain.n_tasks sc in
+  ensure_capacity a n;
+  let lambda = Platform.rate_of platform sc.Superchain.processor in
+  let tri = a.tri in
+  for j = 0 to n - 1 do
+    let row = j * (j + 1) / 2 in
+    let read_bytes = ref 0. and write_bytes = ref 0. and work = ref 0. in
+    a.read_epoch <- a.read_epoch + 1;
+    let in_e = 2 * a.read_epoch in
+    for i = j downto 0 do
+      let t = Superchain.task_at sc i in
+      work := !work +. Dag.weight dag t;
+      (* C grows by t's distinct files that escape [i..j] *)
+      a.write_epoch <- a.write_epoch + 1;
+      let we = a.write_epoch in
+      List.iter
+        (fun (m, (f : Dag.file)) ->
+          if consumer_outside sc ~last:j m && a.write_stamp.(f.Dag.file_id) <> we then begin
+            a.write_stamp.(f.Dag.file_id) <- we;
+            write_bytes := !write_bytes +. f.Dag.size
+          end)
+        (Dag.succs dag t);
+      (* R: files of t that earlier (larger-i) sweeps counted as
+         external are now produced inside the segment *)
+      List.iter
+        (fun (_, (f : Dag.file)) ->
+          if a.read_stamp.(f.Dag.file_id) = in_e then begin
+            a.read_stamp.(f.Dag.file_id) <- in_e + 1;
+            read_bytes := !read_bytes -. f.Dag.size
+          end)
+        (Dag.succs dag t);
+      (* R: files t consumes; their producers are before position i
+         hence outside the segment *)
+      List.iter
+        (fun (_, (f : Dag.file)) ->
+          if a.read_stamp.(f.Dag.file_id) <> in_e then begin
+            a.read_stamp.(f.Dag.file_id) <- in_e;
+            read_bytes := !read_bytes +. f.Dag.size
+          end)
+        (Dag.preds dag t);
+      List.iter (fun size -> read_bytes := !read_bytes +. size) (Dag.inputs dag t);
+      let s =
+        Platform.io_time platform !read_bytes
+        +. !work
+        +. Platform.io_time platform !write_bytes
+      in
+      tri.(row + i) <- first_order ~lambda s
+    done
+  done;
+  n
+
 let cost_matrix platform dag sc =
   let n = Superchain.n_tasks sc in
   (* heterogeneous platforms: the superchain's own processor's rate *)
@@ -109,15 +208,25 @@ let cost_matrix platform dag sc =
       done;
       row)
 
-let optimal_positions platform dag sc =
+let reference_optimal_positions platform dag sc =
   let n = Superchain.n_tasks sc in
   let matrix = cost_matrix platform dag sc in
-  Toueg.solve ~n ~cost:(fun i j -> matrix.(j).(i))
+  Toueg.reference_solve ~n ~cost:(fun i j -> matrix.(j).(i))
 
-let optimal_positions_budget platform dag sc ~budget =
+let optimal_positions ?arena:a platform dag sc =
+  let a = match a with Some a -> a | None -> arena dag in
+  let n = fill_cost_tri a platform dag sc in
+  Toueg.solve_packed ~n ~tri:a.tri ~etime:a.etime ~last_ckpt:a.last_ckpt
+
+let reference_optimal_positions_budget platform dag sc ~budget =
   let n = Superchain.n_tasks sc in
   let matrix = cost_matrix platform dag sc in
-  Toueg.solve_budget ~n ~cost:(fun i j -> matrix.(j).(i)) ~budget
+  Toueg.reference_solve_budget ~n ~cost:(fun i j -> matrix.(j).(i)) ~budget
+
+let optimal_positions_budget ?arena:a platform dag sc ~budget =
+  let a = match a with Some a -> a | None -> arena dag in
+  let n = fill_cost_tri a platform dag sc in
+  Toueg.solve_budget_packed ~n ~tri:a.tri ~budget
 
 let periodic_positions sc ~period =
   if period < 1 then invalid_arg "Placement.periodic_positions: period < 1";

@@ -44,16 +44,40 @@ val segment_of : Platform.t -> Dag.t -> Superchain.t -> first:int -> last:int ->
 val cost_matrix : Platform.t -> Dag.t -> Superchain.t -> float array array
 (** [m.(j).(i)], for [i <= j], is the expected time of segment [i..j]
     — computed in O(n * sum of degrees) by a descending-[i] sweep per
-    [j]. *)
+    [j]. Reference implementation; the planning hot path fills a
+    packed triangular array through an {!arena} instead. *)
 
-val optimal_positions : Platform.t -> Dag.t -> Superchain.t -> float * int list
+type arena
+(** Preallocated planning scratch (packed cost table, DP arrays,
+    per-file stamp arrays), reused across the superchains of one DAG.
+    Sharing an arena across domains is a race — parallel planners use
+    one arena each. *)
+
+val arena : Dag.t -> arena
+(** Fresh scratch sized for [dag]'s file set; segment tables grow on
+    demand to the longest superchain planned through it. *)
+
+val optimal_positions :
+  ?arena:arena -> Platform.t -> Dag.t -> Superchain.t -> float * int list
 (** Algorithm 2: optimal expected superchain time and the sorted
-    checkpoint positions (the last position always included). *)
+    checkpoint positions (the last position always included).
+    Bitwise-identical to {!reference_optimal_positions}; passing
+    [?arena] (built from the same DAG) reuses scratch across calls. *)
+
+val reference_optimal_positions :
+  Platform.t -> Dag.t -> Superchain.t -> float * int list
+(** The pinned list/Hashtbl reference path ({!cost_matrix} +
+    {!Toueg.reference_solve}) the equivalence tests compare
+    {!optimal_positions} against. *)
 
 val optimal_positions_budget :
-  Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
+  ?arena:arena -> Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
 (** Budget-constrained Algorithm 2 (extension): at most [budget]
     checkpoints in this superchain, the forced final one included. *)
+
+val reference_optimal_positions_budget :
+  Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
+(** The pinned reference path for {!optimal_positions_budget}. *)
 
 val periodic_positions : Superchain.t -> period:int -> int list
 (** Checkpoint after every [period]-th task plus the mandatory final

@@ -4,22 +4,21 @@ let run dag graphs p =
   let n = List.length graphs in
   if n = 0 then invalid_arg "Propmap.run: no graphs";
   if p < 1 then invalid_arg "Propmap.run: p < 1";
-  let sorted =
-    List.stable_sort
-      (fun g1 g2 -> compare (Mspg.tree_weight dag g2) (Mspg.tree_weight dag g1))
-      graphs
-  in
+  (* weigh each graph once: tree_weight is a full tree walk and the
+     sort would otherwise recompute it per comparison *)
+  let weighted = List.map (fun g -> (g, Mspg.tree_weight dag g)) graphs in
+  let sorted = List.stable_sort (fun (_, w1) (_, w2) -> compare w2 w1) weighted in
   if n >= p then begin
     (* greedy multiway partitioning into p single-processor groups *)
     let bins = Array.make p ([], 0.) in
     List.iter
-      (fun g ->
+      (fun (g, gw) ->
         let j = ref 0 in
         for q = 1 to p - 1 do
           if snd bins.(q) < snd bins.(!j) then j := q
         done;
         let members, w = bins.(!j) in
-        bins.(!j) <- (g :: members, w +. Mspg.tree_weight dag g))
+        bins.(!j) <- (g :: members, w +. gw))
       sorted;
     Array.to_list bins
     |> List.filter_map (fun (members, _) ->
@@ -28,7 +27,8 @@ let run dag graphs p =
            | l -> Some (Mspg.parallel (List.rev l), 1))
   end
   else begin
-    let weights = Array.of_list (List.map (Mspg.tree_weight dag) sorted) in
+    let weights = Array.of_list (List.map snd sorted) in
+    let sorted = List.map fst sorted in
     let proc_nums = Array.make n 1 in
     let w = Array.copy weights in
     for _ = 1 to p - n do

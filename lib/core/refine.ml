@@ -19,6 +19,7 @@ let rebuild (plan : Strategy.plan) positions =
   Strategy.plan_of_positions ~kind:plan.Strategy.kind ~raw:plan.Strategy.raw_dag
     ~schedule:plan.Strategy.schedule ~platform:plan.Strategy.platform
     ~positions:(fun (sc : Superchain.t) -> Superchain_map.find sc.Superchain.id positions)
+    ()
 
 let toggle l p = if List.mem p l then List.filter (fun x -> x <> p) l else List.sort compare (p :: l)
 

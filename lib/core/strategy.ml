@@ -97,18 +97,20 @@ let build_prob_dag ~dep_dag ~schedule ~platform ~segments ~segment_of_task =
   done;
   pd
 
-let plan_of_positions ~kind ~raw ~schedule ~platform ~positions =
+let plan_of_positions ?(jobs = 1) ~kind ~raw ~schedule ~platform ~positions () =
   let dag = schedule.Schedule.dag in
   if Dag.n_tasks raw <> Dag.n_tasks dag then
     invalid_arg "Strategy.plan: raw and scheduled DAGs disagree on tasks";
   let wpar = parallel_time ~raw ~schedule ~platform in
-  let segments = ref [] in
-  Array.iter
-    (fun (sc : Superchain.t) ->
-      segments :=
-        !segments @ Placement.segments_of_positions platform dag sc ~positions:(positions sc))
-    schedule.Schedule.superchains;
-  let segments = Array.of_list !segments in
+  (* independent per-superchain solves, reduced in superchain order:
+     the result is the same for any [jobs] *)
+  let chains = schedule.Schedule.superchains in
+  let per_chain =
+    Ckpt_parallel.Pool.map ~jobs (Array.length chains) (fun c ->
+        let sc = chains.(c) in
+        Placement.segments_of_positions platform dag sc ~positions:(positions sc))
+  in
+  let segments = Array.of_list (List.concat (Array.to_list per_chain)) in
   let segment_of_task = Array.make (Dag.n_tasks dag) (-1) in
   Array.iteri
     (fun idx (seg : Placement.segment) ->
@@ -137,7 +139,7 @@ let plan_of_positions ~kind ~raw ~schedule ~platform ~positions =
     checkpoint_count = Array.length segments;
   }
 
-let plan kind ~raw ~schedule ~platform =
+let plan ?(jobs = 1) kind ~raw ~schedule ~platform =
   let dag = schedule.Schedule.dag in
   match kind with
   | Ckpt_none ->
@@ -156,15 +158,19 @@ let plan kind ~raw ~schedule ~platform =
         checkpoint_count = 0;
       }
   | Ckpt_all | Ckpt_some | Ckpt_every _ | Ckpt_budget _ ->
+      (* sequential runs reuse one arena across superchains; parallel
+         workers each build their own (sharing would race) *)
+      let shared = if jobs = 1 then Some (Placement.arena dag) else None in
       let positions (sc : Superchain.t) =
         match kind with
         | Ckpt_all -> Placement.every_position sc
         | Ckpt_every period -> Placement.periodic_positions sc ~period
         | Ckpt_budget budget ->
-            snd (Placement.optimal_positions_budget platform dag sc ~budget)
-        | Ckpt_some | Ckpt_none -> snd (Placement.optimal_positions platform dag sc)
+            snd (Placement.optimal_positions_budget ?arena:shared platform dag sc ~budget)
+        | Ckpt_some | Ckpt_none ->
+            snd (Placement.optimal_positions ?arena:shared platform dag sc)
       in
-      plan_of_positions ~kind ~raw ~schedule ~platform ~positions
+      plan_of_positions ~jobs ~kind ~raw ~schedule ~platform ~positions ()
 
 let expected_makespan ?(method_ = Evaluator.Pathapprox) plan =
   match plan.prob_dag with

@@ -47,16 +47,21 @@ type plan = private {
   checkpoint_count : int;
 }
 
-val plan : kind -> raw:Dag.t -> schedule:Schedule.t -> platform:Platform.t -> plan
+val plan :
+  ?jobs:int -> kind -> raw:Dag.t -> schedule:Schedule.t -> platform:Platform.t -> plan
 (** [schedule] must schedule a DAG whose task set matches [raw] task
-    for task (the dummy-completed copy, or [raw] itself). *)
+    for task (the dummy-completed copy, or [raw] itself). [jobs]
+    (default 1) fans the independent per-superchain placement DPs over
+    that many domains; the plan is identical for any value. *)
 
 val plan_of_positions :
+  ?jobs:int ->
   kind:kind ->
   raw:Dag.t ->
   schedule:Schedule.t ->
   platform:Platform.t ->
   positions:(Superchain.t -> int list) ->
+  unit ->
   plan
 (** Build a plan from explicit checkpoint positions per superchain
     (sorted, each ending at the superchain's last position). [kind]

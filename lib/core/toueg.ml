@@ -1,4 +1,10 @@
-let solve ~n ~cost =
+(* Reference implementations first: these are the pinned closure-cost
+   originals the QCheck equivalence suite checks the packed rewrites
+   against. The packed variants below perform the same float
+   comparisons in the same order, so they return bitwise-identical
+   values and identical checkpoint sets. *)
+
+let reference_solve ~n ~cost =
   if n < 1 then invalid_arg "Toueg.solve: n < 1";
   let etime = Array.make n infinity in
   let last_ckpt = Array.make n (-1) in
@@ -16,18 +22,9 @@ let solve ~n ~cost =
   let rec backtrack j acc = if j < 0 then acc else backtrack last_ckpt.(j) (j :: acc) in
   (etime.(n - 1), backtrack (n - 1) [])
 
-let first_order ~lambda s =
-  let pfail = Float.min 1. (lambda *. s) in
-  ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
+let solve = reference_solve
 
-let chain_cost ~lambda ~read ~weight ~write i j =
-  let w = ref 0. in
-  for k = i to j do
-    w := !w +. weight k
-  done;
-  first_order ~lambda (read i +. !w +. write j)
-
-let solve_budget ~n ~cost ~budget =
+let reference_solve_budget ~n ~cost ~budget =
   if n < 1 then invalid_arg "Toueg.solve_budget: n < 1";
   if budget < 1 then invalid_arg "Toueg.solve_budget: budget < 1";
   let budget = min budget n in
@@ -58,6 +55,97 @@ let solve_budget ~n ~cost ~budget =
   in
   (etime.(budget - 1).(n - 1), backtrack (budget - 1) (n - 1) [])
 
+let solve_budget = reference_solve_budget
+
+(* Packed lower-triangular cost layout: the cost of segment [i..j]
+   (inclusive, i <= j) lives at [tri.(j * (j + 1) / 2 + i)]. *)
+let tri_size n = n * (n + 1) / 2
+
+let solve_packed ~n ~tri ~etime ~last_ckpt =
+  if n < 1 then invalid_arg "Toueg.solve_packed: n < 1";
+  if Array.length tri < tri_size n then invalid_arg "Toueg.solve_packed: tri too short";
+  if Array.length etime < n || Array.length last_ckpt < n then
+    invalid_arg "Toueg.solve_packed: scratch too short";
+  for j = 0 to n - 1 do
+    let row = j * (j + 1) / 2 in
+    etime.(j) <- tri.(row);
+    last_ckpt.(j) <- -1;
+    for i = 0 to j - 1 do
+      let candidate = etime.(i) +. tri.(row + i + 1) in
+      if candidate < etime.(j) then begin
+        etime.(j) <- candidate;
+        last_ckpt.(j) <- i
+      end
+    done
+  done;
+  let rec backtrack j acc = if j < 0 then acc else backtrack last_ckpt.(j) (j :: acc) in
+  (etime.(n - 1), backtrack (n - 1) [])
+
+let solve_budget_packed ~n ~tri ~budget =
+  if n < 1 then invalid_arg "Toueg.solve_budget_packed: n < 1";
+  if budget < 1 then invalid_arg "Toueg.solve_budget_packed: budget < 1";
+  if Array.length tri < tri_size n then
+    invalid_arg "Toueg.solve_budget_packed: tri too short";
+  let budget = min budget n in
+  (* flat budget-major layout: slot (b, j) at b*n + j *)
+  let etime = Array.make (budget * n) infinity in
+  let last_ckpt = Array.make (budget * n) (-1) in
+  for b = 0 to budget - 1 do
+    let brow = b * n in
+    for j = 0 to n - 1 do
+      let row = j * (j + 1) / 2 in
+      etime.(brow + j) <- tri.(row);
+      last_ckpt.(brow + j) <- -1;
+      if b > 0 then
+        for i = 0 to j - 1 do
+          let candidate = etime.(brow - n + i) +. tri.(row + i + 1) in
+          if candidate < etime.(brow + j) then begin
+            etime.(brow + j) <- candidate;
+            last_ckpt.(brow + j) <- i
+          end
+        done
+    done
+  done;
+  let rec backtrack b j acc =
+    if j < 0 then acc
+    else begin
+      let i = last_ckpt.((b * n) + j) in
+      backtrack (max 0 (b - 1)) i (j :: acc)
+    end
+  in
+  (etime.(((budget - 1) * n) + n - 1), backtrack (budget - 1) (n - 1) [])
+
+let first_order ~lambda s =
+  let pfail = Float.min 1. (lambda *. s) in
+  ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
+
+let chain_cost ~lambda ~read ~weight ~write i j =
+  let w = ref 0. in
+  for k = i to j do
+    w := !w +. weight k
+  done;
+  first_order ~lambda (read i +. !w +. write j)
+
+let solve_chain ~n ~lambda ~read ~weight ~write =
+  if n < 1 then invalid_arg "Toueg.solve_chain: n < 1";
+  (* prefix-summed segment work: W(i,j) = pw.(j+1) - pw.(i), so the
+     whole packed cost table fills in O(n^2) instead of the O(n^3) of
+     [solve] over [chain_cost] (which re-sums every segment) *)
+  let pw = Array.make (n + 1) 0. in
+  for k = 0 to n - 1 do
+    pw.(k + 1) <- pw.(k) +. weight k
+  done;
+  let tri = Array.make (tri_size n) 0. in
+  for j = 0 to n - 1 do
+    let row = j * (j + 1) / 2 in
+    let wj = write j in
+    for i = 0 to j do
+      tri.(row + i) <- first_order ~lambda (read i +. (pw.(j + 1) -. pw.(i)) +. wj)
+    done
+  done;
+  let etime = Array.make n infinity and last_ckpt = Array.make n (-1) in
+  solve_packed ~n ~tri ~etime ~last_ckpt
+
 let brute_force ~n ~cost =
   if n < 1 then invalid_arg "Toueg.brute_force: n < 1";
   if n > 20 then invalid_arg "Toueg.brute_force: too large";
@@ -76,11 +164,13 @@ let brute_force ~n ~cost =
     done;
     if !total < !best then begin
       best := !total;
-      let set = ref [] in
+      (* seed with the implicit final checkpoint and prepend downward:
+         O(n) per improvement instead of the former O(n^2) list append *)
+      let set = ref [ n - 1 ] in
       for k = n - 2 downto 0 do
         if mask land (1 lsl k) <> 0 then set := k :: !set
       done;
-      best_set := !set @ [ n - 1 ]
+      best_set := !set
     end
   done;
   (!best, !best_set)

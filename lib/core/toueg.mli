@@ -21,6 +21,52 @@ val solve : n:int -> cost:(int -> int -> float) -> float * int list
 
     @raise Invalid_argument if [n < 1]. *)
 
+val reference_solve : n:int -> cost:(int -> int -> float) -> float * int list
+(** The pinned reference implementation of {!solve} (they are the same
+    function today); the equivalence tests compare the packed rewrite
+    below against this entry point. *)
+
+(** {1 Packed variants}
+
+    The planning hot path stores segment costs in a packed
+    lower-triangular float array — the cost of segment [i..j] at index
+    [j*(j+1)/2 + i] — and runs the DP straight over it, with no cost
+    closure and no per-row boxing. The comparison sequence is
+    identical to {!reference_solve} reading the same costs, so values
+    and checkpoint sets are bitwise-identical. *)
+
+val tri_size : int -> int
+(** Slots needed for a packed [n]-task cost table: [n*(n+1)/2]. *)
+
+val solve_packed :
+  n:int ->
+  tri:float array ->
+  etime:float array ->
+  last_ckpt:int array ->
+  float * int list
+(** Allocation-free {!solve} over a packed cost table; [etime] and
+    [last_ckpt] are caller-provided scratch of length at least [n].
+
+    @raise Invalid_argument if [n < 1] or an array is too short. *)
+
+val solve_budget_packed :
+  n:int -> tri:float array -> budget:int -> float * int list
+(** {!solve_budget} over a packed cost table (flat budget-major DP
+    matrices, no per-row boxing). *)
+
+val solve_chain :
+  n:int ->
+  lambda:float ->
+  read:(int -> float) ->
+  weight:(int -> float) ->
+  write:(int -> float) ->
+  float * int list
+(** Linear-chain placement with prefix-summed segment work: fills the
+    packed cost table in O(n²) total — versus the O(n³) of {!solve}
+    over {!chain_cost}, which re-sums every segment — then runs
+    {!solve_packed}. Costs may differ from {!chain_cost} by float
+    rounding (prefix-sum differences reassociate the additions). *)
+
 val chain_cost :
   lambda:float ->
   read:(int -> float) ->
@@ -43,6 +89,10 @@ val solve_budget :
     (ETime(i, b-1) + cost (i+1) j))], O(n² · budget).
 
     @raise Invalid_argument if [n < 1] or [budget < 1]. *)
+
+val reference_solve_budget :
+  n:int -> cost:(int -> int -> float) -> budget:int -> float * int list
+(** The pinned reference implementation of {!solve_budget}. *)
 
 val brute_force : n:int -> cost:(int -> int -> float) -> float * int list
 (** Exhaustive search over the [2^(n-1)] checkpoint subsets — for

@@ -79,6 +79,7 @@ let file t id =
   t.file_tbl.(id)
 
 let files t = Array.sub t.file_tbl 0 t.n_files
+let n_files t = t.n_files
 
 let has_edge t src dst =
   check_task t src "has_edge";
@@ -434,8 +435,8 @@ let induced t ids =
   let ids = List.sort_uniq compare ids in
   List.iter (fun id -> check_task t id "induced") ids;
   let old_of_new = Array.of_list ids in
-  let new_of_old = Hashtbl.create (Array.length old_of_new) in
-  Array.iteri (fun nid oid -> Hashtbl.replace new_of_old oid nid) old_of_new;
+  let new_of_old = Array.make (max 1 t.n) (-1) in
+  Array.iteri (fun nid oid -> new_of_old.(oid) <- nid) old_of_new;
   let sub = create ~name:(t.dag_name ^ "/induced") () in
   Array.iter
     (fun oid ->
@@ -443,24 +444,24 @@ let induced t ids =
       ignore (add_task sub ~name:info.Task.name ~weight:info.Task.weight))
     old_of_new;
   (* recreate files lazily, preserving sharing inside the subgraph *)
-  let file_map = Hashtbl.create 16 in
+  let file_map = Array.make (max 1 t.n_files) (-1) in
   Array.iter
     (fun oid ->
-      let nsrc = Hashtbl.find new_of_old oid in
+      let nsrc = new_of_old.(oid) in
       List.iter
         (fun (odst, fid) ->
-          match Hashtbl.find_opt new_of_old odst with
-          | None -> ()
-          | Some ndst ->
-              let nfid =
-                match Hashtbl.find_opt file_map fid with
-                | Some nf -> nf
-                | None ->
-                    let nf = add_file sub ~producer:nsrc ~size:t.file_tbl.(fid).size in
-                    Hashtbl.replace file_map fid nf;
-                    nf
-              in
-              add_edge sub ~file:nfid nsrc ndst 0.)
+          let ndst = new_of_old.(odst) in
+          if ndst >= 0 then begin
+            let nfid =
+              if file_map.(fid) >= 0 then file_map.(fid)
+              else begin
+                let nf = add_file sub ~producer:nsrc ~size:t.file_tbl.(fid).size in
+                file_map.(fid) <- nf;
+                nf
+              end
+            in
+            add_edge sub ~file:nfid nsrc ndst 0.
+          end)
         t.nodes.(oid).out_edges)
     old_of_new;
   (sub, old_of_new)

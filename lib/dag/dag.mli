@@ -63,6 +63,7 @@ val total_weight : t -> float
 
 val file : t -> int -> file
 val files : t -> file array
+val n_files : t -> int
 val total_data : t -> float
 (** Sum of all file sizes, each file counted once. *)
 

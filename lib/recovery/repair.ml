@@ -18,12 +18,12 @@ let replan ~kind ~dag ~done_ ~survivors ~platform =
       try
         let residual, task_of = Residual.build ~dag ~done_ in
         let mspg, dummy_edges =
-          match Recognize.of_dag residual with
-          | Ok m -> (m, 0)
-          | Error _ -> (
-              match Recognize.of_dag_completed residual with
-              | Ok (m, k) -> (m, k)
-              | Error msg -> failwith msg)
+          (* one completing pass: with 0 dummies the tree is the plain
+             recognition's, reattached to the uncopied residual *)
+          match Recognize.of_dag_completed residual with
+          | Ok (m, 0) -> ({ Ckpt_mspg.Mspg.dag = residual; tree = m.Ckpt_mspg.Mspg.tree }, 0)
+          | Ok (m, k) -> (m, k)
+          | Error msg -> failwith msg
         in
         let phys = Array.of_list survivors in
         let rates = Array.map (Platform.rate_of platform) phys in

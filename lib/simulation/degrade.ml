@@ -33,12 +33,98 @@ type prepared = {
   plan : Strategy.plan;
   init_segs : Engine.seg array;
   init_seg_tasks : int array array;
+  (* structural replan cache: Repair.replan is a pure function of
+     (kind, survivor set, committed-checkpoint frontier) for a fixed
+     plan, so its physically-mapped result is memoised under that key.
+     Values are shared read-only across worker domains (the engine
+     never mutates segments); the table is mutex-protected, and a
+     racing recomputation of the same key is harmless because both
+     domains produce the identical value. *)
+  cache : (string, (Engine.seg array * int array array, string) result) Hashtbl.t;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  use_cache : bool;
 }
 
-let prepare (plan : Strategy.plan) =
+let prepare ?(cache = true) (plan : Strategy.plan) =
   if plan.Strategy.prob_dag = None then
     invalid_arg "Degrade.prepare: a CKPTNONE plan has no checkpoints to recover from";
-  { plan; init_segs = Runner.segs_of_plan plan; init_seg_tasks = seg_tasks_of plan }
+  {
+    plan;
+    init_segs = Runner.segs_of_plan plan;
+    init_seg_tasks = seg_tasks_of plan;
+    cache = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    use_cache = cache;
+  }
+
+let cache_stats prepared = (Atomic.get prepared.hits, Atomic.get prepared.misses)
+
+(* kind + survivor list + done_ bitset, packed into a flat string *)
+let replan_key ~kind ~survivors ~done_ =
+  let buf = Buffer.create (32 + (Array.length done_ / 8)) in
+  Buffer.add_string buf (Strategy.kind_name kind);
+  Buffer.add_char buf '|';
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int p);
+      Buffer.add_char buf ',')
+    survivors;
+  Buffer.add_char buf '|';
+  let byte = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then byte := !byte lor (1 lsl (i land 7));
+      if i land 7 = 7 then begin
+        Buffer.add_char buf (Char.chr !byte);
+        byte := 0
+      end)
+    done_;
+  if Array.length done_ land 7 <> 0 then Buffer.add_char buf (Char.chr !byte);
+  Buffer.contents buf
+
+(* Replan the residual workflow and map the result onto physical
+   processor / original task ids — the value the cache stores. *)
+let compute_replan prepared ~kind ~survivors ~done_ =
+  let plan = prepared.plan in
+  match
+    Repair.replan ~kind ~dag:plan.Strategy.raw_dag ~done_ ~survivors
+      ~platform:plan.Strategy.platform
+  with
+  | Error msg -> Error msg
+  | Ok r ->
+      let segs =
+        Array.map
+          (fun (s : Engine.seg) ->
+            { s with Engine.processor = r.Repair.phys.(s.Engine.processor) })
+          (Runner.segs_of_plan r.Repair.plan)
+      in
+      let seg_tasks =
+        Array.map (Array.map (fun t -> r.Repair.task_of.(t))) (seg_tasks_of r.Repair.plan)
+      in
+      Ok (segs, seg_tasks)
+
+let replan_cached prepared ~kind ~survivors ~done_ =
+  if not prepared.use_cache then compute_replan prepared ~kind ~survivors ~done_
+  else begin
+    let key = replan_key ~kind ~survivors ~done_ in
+    let cached =
+      Mutex.protect prepared.lock (fun () -> Hashtbl.find_opt prepared.cache key)
+    in
+    match cached with
+    | Some v ->
+        Atomic.incr prepared.hits;
+        v
+    | None ->
+        Atomic.incr prepared.misses;
+        let v = compute_replan prepared ~kind ~survivors ~done_ in
+        Mutex.protect prepared.lock (fun () ->
+            if not (Hashtbl.mem prepared.cache key) then Hashtbl.add prepared.cache key v);
+        v
+  end
 
 let run_trial ~mode config prepared rng =
   if config.max_losses < 0 then invalid_arg "Degrade.run_trial: negative max_losses";
@@ -81,26 +167,13 @@ let run_trial ~mode config prepared rng =
         let survivors = Mortality.survivors deaths ~after:at in
         if survivors = [] then { makespan = infinity; losses; replans; restarts }
         else begin
-          let continue_with (r : Repair.t) ~replans ~restarts =
-            let segs =
-              Array.map
-                (fun (s : Engine.seg) ->
-                  { s with Engine.processor = r.Repair.phys.(s.Engine.processor) })
-                (Runner.segs_of_plan r.Repair.plan)
-            in
-            let seg_tasks =
-              Array.map
-                (Array.map (fun t -> r.Repair.task_of.(t)))
-                (seg_tasks_of r.Repair.plan)
-            in
+          let continue_with (segs, seg_tasks) ~replans ~restarts =
             go ~clock:at ~segs ~seg_tasks ~losses ~replans ~restarts
           in
           let from_scratch ~replans ~restarts =
             Array.fill done_ 0 n false;
-            match
-              Repair.replan ~kind:config.kind ~dag:raw ~done_ ~survivors ~platform
-            with
-            | Ok r -> continue_with r ~replans ~restarts:(restarts + 1)
+            match replan_cached prepared ~kind:config.kind ~survivors ~done_ with
+            | Ok v -> continue_with v ~replans ~restarts:(restarts + 1)
             | Error msg ->
                 (* the full workflow was plannable at trial start on any
                    processor count, so this is unreachable for plans
@@ -110,10 +183,8 @@ let run_trial ~mode config prepared rng =
           match mode with
           | Restart -> from_scratch ~replans ~restarts
           | Repair -> (
-              match
-                Repair.replan ~kind:config.kind ~dag:raw ~done_ ~survivors ~platform
-              with
-              | Ok r -> continue_with r ~replans:(replans + 1) ~restarts
+              match replan_cached prepared ~kind:config.kind ~survivors ~done_ with
+              | Ok v -> continue_with v ~replans:(replans + 1) ~restarts
               | Error _ -> from_scratch ~replans ~restarts)
         end
   in
@@ -125,10 +196,9 @@ let run_trial ~mode config prepared rng =
    alone, so the partitioning never affects the drawn samples. *)
 let chunk_trials = 16
 
-let sample ?(trials = 200) ?(seed = 11) ?(jobs = 1) ~mode config plan =
+let sample_prepared ?(trials = 200) ?(seed = 11) ?(jobs = 1) ~mode config prepared =
   if trials < 1 then invalid_arg "Degrade.sample: trials < 1";
   if jobs < 1 then invalid_arg "Degrade.sample: jobs < 1";
-  let prepared = prepare plan in
   let nchunks = (trials + chunk_trials - 1) / chunk_trials in
   let results = Array.make nchunks None in
   let next = Atomic.make 0 in
@@ -148,6 +218,9 @@ let sample ?(trials = 200) ?(seed = 11) ?(jobs = 1) ~mode config plan =
       loop ());
   Array.concat
     (Array.to_list (Array.map (function Some a -> a | None -> assert false) results))
+
+let sample ?trials ?seed ?jobs ~mode config plan =
+  sample_prepared ?trials ?seed ?jobs ~mode config (prepare plan)
 
 type summary = {
   trials : int;

@@ -48,11 +48,24 @@ type trial = {
 type prepared
 (** A plan frozen for degraded-mode trials: the initial segment DAG and
     segment-to-task map are materialised once, so worker domains share
-    them read-only. *)
+    them read-only. Also carries the structural replan cache: replans
+    are memoised under the key [(kind, survivor set,
+    committed-checkpoint frontier)] — {!Ckpt_recovery.Repair.replan} is
+    a pure function of that triple for a fixed plan, so trials hitting
+    the same degradation state (common for Restart, whose frontier is
+    always empty) reuse the physically-mapped plan instead of
+    re-running recognition, ALLOCATE and the placement DP. Cached
+    values are shared read-only across worker domains; results are
+    bitwise identical with the cache on or off, at any [jobs]. *)
 
-val prepare : Strategy.plan -> prepared
-(** @raise Invalid_argument on a CKPTNONE plan (no checkpoints to
+val prepare : ?cache:bool -> Strategy.plan -> prepared
+(** [cache] (default [true]) toggles the replan cache.
+
+    @raise Invalid_argument on a CKPTNONE plan (no checkpoints to
     recover from) or a CKPTNONE replan policy. *)
+
+val cache_stats : prepared -> int * int
+(** [(hits, misses)] of the replan cache so far (0, 0 when disabled). *)
 
 val run_trial : mode:mode -> config -> prepared -> Ckpt_prob.Rng.t -> trial
 (** One degraded-mode execution against fresh randomness. *)
@@ -68,6 +81,17 @@ val sample :
 (** [trials] (default 200) degraded-mode executions, trial [k] driven
     by [Ckpt_prob.Rng.for_trial ~seed k] (seed default 11). [jobs]
     fans trials over worker domains without changing the result. *)
+
+val sample_prepared :
+  ?trials:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  mode:mode ->
+  config ->
+  prepared ->
+  trial array
+(** {!sample} over an existing {!prepared}, so the caller can reuse one
+    replan cache across batches and read {!cache_stats} afterwards. *)
 
 type summary = {
   trials : int;

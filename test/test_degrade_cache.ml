@@ -1,0 +1,92 @@
+(* The structural replan cache in Ckpt_sim.Degrade: hit/miss counters,
+   and the contract that caching is invisible — trial arrays bitwise
+   identical with the cache on or off, at any [jobs]. *)
+
+module Spec = Ckpt_workflows.Spec
+module Pipeline = Ckpt_core.Pipeline
+module Strategy = Ckpt_core.Strategy
+module Degrade = Ckpt_sim.Degrade
+
+let genome_plan ?(tasks = 50) ?(processors = 5) () =
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks () in
+  let setup = Pipeline.prepare ~dag ~processors ~pfail:0.001 ~ccr:0.1 () in
+  Pipeline.plan setup Strategy.Ckpt_some
+
+let deadly_config plan =
+  (* high enough death rate that most trials replan at least once *)
+  {
+    Degrade.lambda_death = 2. /. plan.Strategy.wpar;
+    max_losses = 1;
+    kind = Strategy.Ckpt_some;
+  }
+
+let test_counters_accumulate () =
+  let plan = genome_plan () in
+  let config = deadly_config plan in
+  let prepared = Degrade.prepare plan in
+  Alcotest.(check (pair int int)) "fresh cache" (0, 0) (Degrade.cache_stats prepared);
+  let _ = Degrade.sample_prepared ~trials:40 ~seed:13 ~mode:Degrade.Repair config prepared in
+  let hits, misses = Degrade.cache_stats prepared in
+  Alcotest.(check bool) "replans happened" true (hits + misses > 0);
+  Alcotest.(check bool) "at least one miss fills the cache" true (misses > 0);
+  (* the same trials again: every replan state was seen, so only hits *)
+  let _ = Degrade.sample_prepared ~trials:40 ~seed:13 ~mode:Degrade.Repair config prepared in
+  let hits2, misses2 = Degrade.cache_stats prepared in
+  Alcotest.(check int) "no new misses on replay" misses misses2;
+  Alcotest.(check bool) "replay hits" true (hits2 > hits)
+
+let test_disabled_cache_counts_nothing () =
+  let plan = genome_plan () in
+  let config = deadly_config plan in
+  let prepared = Degrade.prepare ~cache:false plan in
+  let _ = Degrade.sample_prepared ~trials:30 ~seed:13 ~mode:Degrade.Repair config prepared in
+  Alcotest.(check (pair int int)) "disabled cache stays empty" (0, 0)
+    (Degrade.cache_stats prepared)
+
+let test_cached_equals_uncached () =
+  let plan = genome_plan () in
+  let config = deadly_config plan in
+  List.iter
+    (fun mode ->
+      let on = Degrade.prepare plan in
+      let off = Degrade.prepare ~cache:false plan in
+      let a = Degrade.sample_prepared ~trials:40 ~seed:13 ~mode config on in
+      let b = Degrade.sample_prepared ~trials:40 ~seed:13 ~mode config off in
+      Alcotest.(check bool)
+        (Degrade.mode_name mode ^ ": cache on = cache off, bitwise")
+        true (a = b))
+    [ Degrade.Repair; Degrade.Restart ]
+
+let test_cached_jobs_invariant () =
+  let plan = genome_plan () in
+  let config = deadly_config plan in
+  let prepared = Degrade.prepare plan in
+  let seq = Degrade.sample_prepared ~trials:40 ~seed:13 ~jobs:1 ~mode:Degrade.Repair config prepared in
+  let par = Degrade.sample_prepared ~trials:40 ~seed:13 ~jobs:4 ~mode:Degrade.Repair config prepared in
+  Alcotest.(check bool) "jobs=1 = jobs=4 on a shared cache, bitwise" true (seq = par)
+
+let test_restart_reuses_single_entry () =
+  (* Restart always replans from an empty frontier: for a fixed
+     survivor set there is exactly one cache entry, so misses are
+     bounded by the number of distinct survivor sets (<= processors
+     with max_losses = 1) *)
+  let plan = genome_plan () in
+  let config = deadly_config plan in
+  let prepared = Degrade.prepare plan in
+  let _ = Degrade.sample_prepared ~trials:60 ~seed:13 ~mode:Degrade.Restart config prepared in
+  let hits, misses = Degrade.cache_stats prepared in
+  Alcotest.(check bool) "replans happened" true (hits + misses > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "misses (%d) bounded by survivor sets" misses)
+    true
+    (misses <= plan.Strategy.platform.Ckpt_platform.Platform.processors)
+
+let suite =
+  [
+    Alcotest.test_case "counters accumulate" `Quick test_counters_accumulate;
+    Alcotest.test_case "disabled cache counts nothing" `Quick test_disabled_cache_counts_nothing;
+    Alcotest.test_case "cache on = cache off" `Quick test_cached_equals_uncached;
+    Alcotest.test_case "cached jobs invariant" `Quick test_cached_jobs_invariant;
+    Alcotest.test_case "restart reuses one entry per survivor set" `Quick
+      test_restart_reuses_single_entry;
+  ]

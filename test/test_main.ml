@@ -27,4 +27,6 @@ let () =
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
       ("recovery", Test_recovery.suite);
+      ("plan-equiv", Test_plan_equiv.suite);
+      ("degrade-cache", Test_degrade_cache.suite);
     ]

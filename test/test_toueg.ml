@@ -169,6 +169,28 @@ let test_budget_matches_constrained_brute_force () =
     Alcotest.(check bool) "budget respected" true (List.length dp_positions <= budget)
   done
 
+let test_brute_force_pinned_set () =
+  (* n=5 where the only two cheap segments are [0..1] and [2..4]: the
+     unique optimum is the checkpoint set {1, 4}. Pins the exact
+     returned list — ascending, ending at n-1 — through the linear
+     set-accumulation path. *)
+  let cost i j = if (i, j) = (0, 1) || (i, j) = (2, 4) then 1. else 10. in
+  let value, positions = Toueg.brute_force ~n:5 ~cost in
+  check_close "value" 2. value;
+  Alcotest.(check (list int)) "pinned set" [ 1; 4 ] positions;
+  (* strictly superadditive costs: every position checkpointed, in
+     ascending order *)
+  let quad i j =
+    let len = float_of_int (j - i + 1) in
+    (len *. len) +. 0.01
+  in
+  let _, all = Toueg.brute_force ~n:5 ~cost:quad in
+  Alcotest.(check (list int)) "ascending singletons" [ 0; 1; 2; 3; 4 ] all;
+  (* prohibitive checkpoints: only the mandatory final one *)
+  let fixed i j = float_of_int (j - i + 1) +. 100. in
+  let _, final = Toueg.brute_force ~n:5 ~cost:fixed in
+  Alcotest.(check (list int)) "final only" [ 4 ] final
+
 let test_brute_force_guard () =
   Alcotest.(check bool) "rejects n>20" true
     (match Toueg.brute_force ~n:25 ~cost:(fun _ _ -> 1.) with
@@ -191,5 +213,6 @@ let suite =
     Alcotest.test_case "budget 1 = single segment" `Quick test_budget_one_is_single_segment;
     Alcotest.test_case "budget monotone" `Quick test_budget_monotone;
     Alcotest.test_case "budget vs brute force" `Quick test_budget_matches_constrained_brute_force;
+    Alcotest.test_case "brute force pinned set" `Quick test_brute_force_pinned_set;
     Alcotest.test_case "brute force guard" `Quick test_brute_force_guard;
   ]

@@ -443,7 +443,8 @@ let degraded_mode_table ?journal ?(jobs = 1) () =
                Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
              in
              let config =
-               { Degrade.lambda_death; max_losses = 1; kind = Strategy.Ckpt_some }
+               { Degrade.lambda_death; max_losses = 1; kind = Strategy.Ckpt_some;
+                 storage = Ckpt_storage.Storage.default }
              in
              let summary mode =
                Degrade.summarize (Degrade.sample ~trials ~seed:13 ~jobs ~mode config plan)
@@ -455,6 +456,48 @@ let degraded_mode_table ?journal ?(jobs = 1) () =
                (restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan)
                repair.Degrade.mean_losses repair.Degrade.mean_replans)))
     [ 0.05; 0.1; 0.2; 0.5 ];
+  print_newline ()
+
+(* Unreliable stable storage: expected makespan under latent checkpoint
+   corruption, for replication factors k = 1 and k = 2 (extension;
+   ckptwf storm exposes the full sweep from the CLI). Each cell is
+   journaled and trials fan over [jobs] domains without changing the
+   sampled values. *)
+let storage_crossover_table ?journal ?(jobs = 1) () =
+  let module Storage = Ckpt_storage.Storage in
+  Printf.printf "== Unreliable storage: replication crossover (genome n=50, p=5) ==\n";
+  Printf.printf "%12s | %12s %12s %10s\n" "corrupt_prob" "EM(k=1)" "EM(k=2)" "ratio";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let setup = Pipeline.prepare ~dag ~processors:5 ~pfail:0.001 ~ccr:0.1 () in
+  let trials = 200 in
+  let plan_k = Hashtbl.create 2 in
+  let plan_for k =
+    match Hashtbl.find_opt plan_k k with
+    | Some p -> p
+    | None ->
+        let p = Pipeline.plan ~replicas:k setup Strategy.Ckpt_some in
+        Hashtbl.add plan_k k p;
+        p
+  in
+  let em ~replicas ~corrupt_prob =
+    let storage = { Storage.default with Storage.corrupt_prob; replicas } in
+    let sample = Runner.sample_storage ~trials ~seed:13 ~jobs ~storage (plan_for replicas) in
+    Array.fold_left (fun acc t -> acc +. t.Runner.makespan) 0. sample
+    /. float_of_int (Array.length sample)
+  in
+  List.iter
+    (fun corrupt_prob ->
+      let key =
+        Printf.sprintf "bench|storm|wf=genome|n=50|p=5|trials=%d|cp=%.17g" trials
+          corrupt_prob
+      in
+      print_endline
+        (cell journal key (fun () ->
+             let em1 = em ~replicas:1 ~corrupt_prob in
+             let em2 = em ~replicas:2 ~corrupt_prob in
+             Printf.sprintf "%12.3f | %12.2f %12.2f %9.3fx" corrupt_prob em1 em2
+               (em1 /. em2))))
+    [ 0.; 0.02; 0.05; 0.1; 0.2 ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -588,6 +631,7 @@ let plan_throughput ?json ~jobs () =
         Platform.lambda_of_pfail ~pfail:0.2 ~mean_weight:plan50.Strategy.wpar;
       max_losses = 1;
       kind = Strategy.Ckpt_some;
+      storage = Ckpt_storage.Storage.default;
     }
   in
   let trials = 120 in
@@ -678,6 +722,12 @@ let () =
             Printf.eprintf "bench: %s\n" (Rerror.to_string e);
             exit (Rerror.exit_code e))
   in
+  Option.iter
+    (fun j ->
+      if Journal.recovered_tail j then
+        Printf.eprintf "bench: journal %s: dropped a truncated trailing entry (recovered)\n%!"
+          (Journal.path j))
+    journal;
   run_benchmarks ();
   mc_throughput ?json ~jobs ();
   plan_throughput ~jobs ();
@@ -687,6 +737,7 @@ let () =
   refinement_ablation ();
   contention_ablation ();
   degraded_mode_table ?journal ~jobs ();
+  storage_crossover_table ?journal ~jobs ();
   if quick then
     List.iter
       (fun (fig, kind) ->

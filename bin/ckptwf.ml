@@ -21,6 +21,7 @@ module Retry = Ckpt_resilience.Retry
 module Deadline = Ckpt_resilience.Deadline
 module Faulty = Ckpt_resilience.Faulty
 module Pool = Ckpt_parallel.Pool
+module Storage = Ckpt_storage.Storage
 
 (* --- error boundary ---
 
@@ -141,6 +142,97 @@ let jobs_arg =
            Results are bitwise independent of $(docv); 0 means one worker per available \
            core. Default 1 (fully sequential).")
 
+(* --- storage fault-model flags (shared by simulate / degrade / storm) --- *)
+
+let nonneg_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v >= 0. -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "expected a non-negative %s" what))
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let replicas_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "replicas" ] ~docv:"K"
+        ~doc:
+          "Checkpoint replication factor: every commit writes $(docv) independent copies \
+           (the planner prices it at K*C in the placement DP) and a recovery read \
+           succeeds while any copy is still valid.")
+
+let storage_lambda_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "rate") 0.
+    & info [ "storage-lambda" ] ~docv:"RATE"
+        ~doc:
+          "Latent-corruption rate of each stored replica per second on disk (0 = stable \
+           storage never rots).")
+
+let corrupt_prob_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "probability") 0.
+    & info [ "corrupt-prob" ] ~docv:"P"
+        ~doc:
+          "Probability that a replica is latently corrupt from the moment it is \
+           committed, revealed only by a recovery read.")
+
+let commit_fail_prob_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "probability") 0.
+    & info [ "commit-fail-prob" ] ~docv:"P"
+        ~doc:
+          "Probability that a checkpoint commit fails detectably; failed commits are \
+           retried under the default backoff policy and an exhausted cycle re-executes \
+           the producing segment.")
+
+let outage_rate_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "rate") 0.
+    & info [ "outage-rate" ] ~docv:"RATE"
+        ~doc:"Storage outage starts per second (0 = always reachable).")
+
+let outage_mean_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "duration") 0.
+    & info [ "outage-mean" ] ~docv:"SECONDS" ~doc:"Mean duration of one storage outage.")
+
+let storage_term =
+  let make commit_fail_prob corrupt_prob storage_lambda outage_rate outage_mean replicas =
+    {
+      Storage.default with
+      Storage.commit_fail_prob;
+      corrupt_prob;
+      storage_lambda;
+      outage_rate;
+      outage_mean;
+      replicas;
+    }
+  in
+  Term.(
+    const make $ commit_fail_prob_arg $ corrupt_prob_arg $ storage_lambda_arg
+    $ outage_rate_arg $ outage_mean_arg $ replicas_arg)
+
+let check_storage cfg =
+  try Storage.validate cfg
+  with Invalid_argument message -> die (Rerror.Io { path = "--storage flags"; message })
+
+(* one-line notice when a resumed journal dropped a torn trailing line *)
+let tail_notice journal =
+  Option.iter
+    (fun j ->
+      if Journal.recovered_tail j then
+        Printf.eprintf "ckptwf: journal %s: dropped a truncated trailing entry (recovered)\n%!"
+          (Journal.path j))
+    journal
+
 (* the workflow under study: a DAX file when given, else synthetic;
    always validated before any scheduling touches it *)
 let source dax workflow tasks seed =
@@ -256,16 +348,19 @@ let evaluate_cmd =
 
 (* --- simulate --- *)
 
-let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jobs =
+let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jobs storage
+    =
   protect @@ fun () ->
+  check_storage storage;
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let deadline = Deadline.of_seconds deadline in
+  let storage_on = not (Storage.reliable storage) in
   Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
     (Dag.n_tasks dag) processors pfail ccr trials;
   List.iter
     (fun kind ->
-      let plan = Pipeline.plan setup kind in
+      let plan = Pipeline.plan ~replicas:storage.Storage.replicas setup kind in
       let est = Strategy.expected_makespan plan in
       let stats = Runner.simulate ~trials ~deadline ~jobs plan in
       Format.printf "  %-10s estimate %10.2f | simulated %10.2f +- %.2f (min %.2f max %.2f)@."
@@ -273,7 +368,20 @@ let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jo
         (Stats.min stats) (Stats.max stats);
       if Stats.count stats < trials then
         Format.printf "  %-10s deadline hit: %d/%d trials completed@."
-          (Strategy.kind_name kind) (Stats.count stats) trials)
+          (Strategy.kind_name kind) (Stats.count stats) trials;
+      if storage_on && kind <> Strategy.Ckpt_none then begin
+        let sample = Runner.sample_storage ~trials ~jobs ~storage plan in
+        let n = float_of_int (Array.length sample) in
+        let mean f = Array.fold_left (fun acc t -> acc +. f t) 0. sample /. n in
+        Format.printf
+          "  %-10s unreliable storage: EM %10.2f | commit retries %.2f | corrupt reads \
+           %.2f | rollbacks %.2f per trial@."
+          (Strategy.kind_name kind)
+          (mean (fun t -> t.Runner.makespan))
+          (mean (fun t -> float_of_int t.Runner.commit_retries))
+          (mean (fun t -> float_of_int t.Runner.corrupt_reads))
+          (mean (fun t -> float_of_int t.Runner.rollbacks))
+      end)
     [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ]
 
 let simulate_cmd =
@@ -281,7 +389,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Failure-injected simulation versus the analytical estimate.")
     Term.(
       const simulate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg $ jobs_arg)
+      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg $ jobs_arg $ storage_term)
 
 (* --- sweep (the figure series) --- *)
 
@@ -332,6 +440,7 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
         | Ok j -> Some j
         | Error e -> Rerror.raise_ e)
   in
+  tail_notice journal;
   (* journal appends are retried under the default backoff policy: a
      transient filesystem hiccup must not lose a computed cell *)
   let journal_append j ~key ~value =
@@ -607,11 +716,11 @@ let default_pdeaths = [ 0.01; 0.05; 0.1; 0.2; 0.5 ]
    death probability. The rendered line is what gets journaled, so a
    resumed sweep replays it verbatim. *)
 let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs ~cache_totals
-    (plan : Strategy.plan) pdeath =
+    ~storage_config (plan : Strategy.plan) pdeath =
   let lambda_death =
     Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
   in
-  let config = { Degrade.lambda_death; max_losses; kind } in
+  let config = { Degrade.lambda_death; max_losses; kind; storage = storage_config } in
   (* one replan cache per cell, shared by the paired repair/restart
      samples; results are identical with or without it *)
   let prepared = Degrade.prepare plan in
@@ -624,28 +733,48 @@ let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs ~cac
    let th, tm = !cache_totals in
    cache_totals := (th + hits, tm + misses));
   let gain = restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan in
+  (* the storage columns appear only when the fault model is on, so the
+     default configuration's rows are bitwise the pre-storage ones *)
+  let storage_cols =
+    if Storage.reliable storage_config then ""
+    else
+      Printf.sprintf ",%.4f,%.4f" repair.Degrade.mean_rollbacks
+        repair.Degrade.mean_invalidated
+  in
   if csv then
-    Printf.sprintf "%s,%d,%d,%s,%d,%d,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d"
+    Printf.sprintf "%s,%d,%d,%s,%d,%d,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d%s"
       (Dag.name dag) (Dag.n_tasks dag) processors (Strategy.kind_name kind) max_losses
       trials pdeath repair.Degrade.mean_makespan restart.Degrade.mean_makespan gain
       repair.Degrade.mean_losses repair.Degrade.mean_replans repair.Degrade.mean_restarts
-      repair.Degrade.stranded restart.Degrade.stranded
+      repair.Degrade.stranded restart.Degrade.stranded storage_cols
   else
-    Printf.sprintf "%-8s %6.3f %11.2f %11.2f %7.3fx %7.2f %8.2f %9.2f %5d" (Dag.name dag)
+    Printf.sprintf "%-8s %6.3f %11.2f %11.2f %7.3fx %7.2f %8.2f %9.2f %5d%s" (Dag.name dag)
       pdeath repair.Degrade.mean_makespan restart.Degrade.mean_makespan gain
       repair.Degrade.mean_losses repair.Degrade.mean_replans repair.Degrade.mean_restarts
       repair.Degrade.stranded
+      (if storage_cols = "" then ""
+       else
+         Printf.sprintf " rb %.2f inval %.2f" repair.Degrade.mean_rollbacks
+           repair.Degrade.mean_invalidated)
+
+let storage_key (c : Storage.config) =
+  if Storage.reliable c && c.Storage.replicas = 1 then ""
+  else
+    Printf.sprintf "|cf=%.17g|cp=%.17g|sl=%.17g|or=%.17g|om=%.17g|k=%d"
+      c.Storage.commit_fail_prob c.Storage.corrupt_prob c.Storage.storage_lambda
+      c.Storage.outage_rate c.Storage.outage_mean c.Storage.replicas
 
 let degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind ~max_losses ~trials
-    pdeath =
+    ~storage_config pdeath =
   Printf.sprintf
-    "degrade|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|losses=%d|trials=%d|csv=%b|pdeath=%.17g"
+    "degrade|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|losses=%d|trials=%d|csv=%b%s|pdeath=%.17g"
     (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
-    max_losses trials csv pdeath
+    max_losses trials csv (storage_key storage_config) pdeath
 
 let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths max_losses
-    trials csv journal resume fail_after jobs =
+    trials csv journal resume fail_after jobs storage =
   protect @@ fun () ->
+  check_storage storage;
   if strategy = Strategy.Ckpt_none then
     die
       (Rerror.Io
@@ -667,6 +796,7 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
         | Ok j -> Some j
         | Error e -> Rerror.raise_ e)
   in
+  tail_notice journal;
   let journal_append j ~key ~value =
     match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
     | Ok () -> ()
@@ -674,7 +804,8 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
   in
   if csv then
     print_endline
-      "workflow,tasks,processors,strategy,losses,trials,pdeath,em_repair,em_restart,gain,mean_losses,mean_replans,mean_restarts,stranded_repair,stranded_restart"
+      ("workflow,tasks,processors,strategy,losses,trials,pdeath,em_repair,em_restart,gain,mean_losses,mean_replans,mean_restarts,stranded_repair,stranded_restart"
+      ^ if Storage.reliable storage then "" else ",mean_rollbacks,mean_invalidated")
   else
     Format.printf "%-8s %6s %11s %11s %8s %7s %8s %9s %5s@." "wf" "pdeath" "EM(repair)"
       "EM(restart)" "gain" "losses" "replans" "restarts" "strnd";
@@ -685,14 +816,19 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
      them once; only missing cells are computed. Cells run in sequence
      — the parallelism lives inside Degrade.sample, whose result is
      bitwise independent of --jobs, so the bytes on stdout are too. *)
-  let plan = lazy (Pipeline.plan (Pipeline.prepare ~dag ~processors ~pfail ~ccr ()) strategy) in
+  let plan =
+    lazy
+      (Pipeline.plan ~replicas:storage.Storage.replicas
+         (Pipeline.prepare ~dag ~processors ~pfail ~ccr ())
+         strategy)
+  in
   let cache_totals = ref (0, 0) in
   let rows =
     Array.map
       (fun pdeath ->
         let key =
           degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy
-            ~max_losses ~trials pdeath
+            ~max_losses ~trials ~storage_config:storage pdeath
         in
         match Option.bind journal (fun j -> Journal.find j key) with
         | Some row -> (row, true)
@@ -700,7 +836,7 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
             Faulty.inject faulty "degrade cell";
             let row =
               degrade_row ~csv ~dag ~processors ~kind:strategy ~max_losses ~trials ~seed
-                ~jobs ~cache_totals (Lazy.force plan) pdeath
+                ~jobs ~cache_totals ~storage_config:storage (Lazy.force plan) pdeath
             in
             Option.iter (fun j -> journal_append j ~key ~value:row) journal;
             (row, false))
@@ -776,7 +912,212 @@ let degrade_cmd =
     Term.(
       const degrade_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ pdeaths $ max_losses $ trials $ csv $ journal
-      $ resume $ fail_after $ jobs_arg)
+      $ resume $ fail_after $ jobs_arg $ storage_term)
+
+(* --- storm (unreliable stable storage: replication crossover) --- *)
+
+let storm_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind ~trials ~storage_lambda
+    ~commit_fail_prob ~outage_rate ~outage_mean ~replicas corrupt_prob =
+  Printf.sprintf
+    "storm|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|trials=%d|sl=%.17g|cf=%.17g|or=%.17g|om=%.17g|k=%d|cp=%.17g"
+    (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
+    trials storage_lambda commit_fail_prob outage_rate outage_mean replicas corrupt_prob
+
+let storm_header =
+  "workflow,tasks,processors,strategy,replicas,storage_lambda,corrupt_prob,commit_fail_prob,trials,em,mean_commit_retries,mean_corrupt_reads,mean_rollbacks,ckpts"
+
+(* expected makespan of a rendered storm row (column 10) — works on
+   journaled rows too, so the crossover report survives resumes *)
+let storm_row_em row =
+  match String.split_on_char ',' row with
+  | _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: em :: _ -> float_of_string em
+  | _ -> invalid_arg ("storm: unparsable row: " ^ row)
+
+let storm_run dax workflow tasks seed processors pfail ccr strategy trials corrupt_probs
+    replicas_list storage_lambda commit_fail_prob outage_rate outage_mean journal resume
+    fail_after jobs =
+  protect @@ fun () ->
+  if strategy = Strategy.Ckpt_none then
+    die
+      (Rerror.Io
+         { path = "--strategy"; message = "CKPTNONE commits nothing; pick a checkpointing strategy" });
+  if resume && journal = None then
+    die
+      (Rerror.Io
+         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
+  let base =
+    { Storage.default with Storage.storage_lambda; commit_fail_prob; outage_rate; outage_mean }
+  in
+  check_storage base;
+  let corrupt_probs =
+    match corrupt_probs with [] -> [ 0.; 0.02; 0.05; 0.1; 0.2 ] | ps -> ps
+  in
+  let replicas_list = match replicas_list with [] -> [ 1; 2; 3 ] | ks -> ks in
+  List.iter (fun k -> check_storage { base with Storage.replicas = k }) replicas_list;
+  List.iter
+    (fun cp -> check_storage { base with Storage.corrupt_prob = cp })
+    corrupt_probs;
+  let dag = source dax workflow tasks seed in
+  let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
+  let journal =
+    match journal with
+    | None -> None
+    | Some path -> (
+        match Journal.open_ ~fresh:(not resume) path with
+        | Ok j -> Some j
+        | Error e -> Rerror.raise_ e)
+  in
+  tail_notice journal;
+  let journal_append j ~key ~value =
+    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
+    | Ok () -> ()
+    | Error e -> Rerror.raise_ e
+  in
+  print_endline storm_header;
+  let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
+  (* one plan per replication factor: k enters the placement DP as a
+     k*C commit cost, so the checkpoint positions themselves shift *)
+  let plans = Hashtbl.create 4 in
+  let plan_for k =
+    match Hashtbl.find_opt plans k with
+    | Some p -> p
+    | None ->
+        let p = Pipeline.plan ~replicas:k setup strategy in
+        Hashtbl.add plans k p;
+        p
+  in
+  let cells =
+    List.concat_map (fun k -> List.map (fun cp -> (k, cp)) corrupt_probs) replicas_list
+  in
+  (* cells run in sequence — the parallelism lives inside
+     Runner.sample_storage, whose result is bitwise independent of
+     --jobs, so the bytes on stdout are too *)
+  let rows =
+    List.map
+      (fun (k, cp) ->
+        let key =
+          storm_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy ~trials
+            ~storage_lambda ~commit_fail_prob ~outage_rate ~outage_mean ~replicas:k cp
+        in
+        match Option.bind journal (fun j -> Journal.find j key) with
+        | Some row -> ((k, cp), row, true)
+        | None ->
+            Faulty.inject faulty "storm cell";
+            let plan = plan_for k in
+            let cfg = { base with Storage.corrupt_prob = cp; replicas = k } in
+            let sample = Runner.sample_storage ~trials ~seed ~jobs ~storage:cfg plan in
+            let n = float_of_int (Array.length sample) in
+            let mean f = Array.fold_left (fun acc t -> acc +. f t) 0. sample /. n in
+            let row =
+              Printf.sprintf "%s,%d,%d,%s,%d,%g,%g,%g,%d,%.4f,%.4f,%.4f,%.4f,%d"
+                (Dag.name dag) (Dag.n_tasks dag) processors (Strategy.kind_name strategy)
+                k storage_lambda cp commit_fail_prob trials
+                (mean (fun t -> t.Runner.makespan))
+                (mean (fun t -> float_of_int t.Runner.commit_retries))
+                (mean (fun t -> float_of_int t.Runner.corrupt_reads))
+                (mean (fun t -> float_of_int t.Runner.rollbacks))
+                plan.Strategy.checkpoint_count
+            in
+            Option.iter (fun j -> journal_append j ~key ~value:row) journal;
+            ((k, cp), row, false))
+      cells
+  in
+  List.iter (fun (_, row, _) -> print_endline row) rows;
+  (* crossover report: the smallest corruption probability at which a
+     k-replicated commit beats the unreplicated baseline in expected
+     makespan — replication pays k*C on every commit but saves whole
+     rollback cascades on recovery *)
+  let em cell =
+    List.find_map (fun (c, row, _) -> if c = cell then Some (storm_row_em row) else None) rows
+  in
+  if List.mem 1 replicas_list then
+    List.iter
+      (fun k ->
+        if k <> 1 then
+          match
+            List.find_opt
+              (fun cp ->
+                match (em (k, cp), em (1, cp)) with
+                | Some a, Some b -> a < b
+                | _ -> false)
+              corrupt_probs
+          with
+          | Some cp ->
+              Printf.eprintf
+                "ckptwf: storm: replicas=%d first beats replicas=1 at corrupt-prob %g\n%!"
+                k cp
+          | None ->
+              Printf.eprintf
+                "ckptwf: storm: replicas=%d never beats replicas=1 in this sweep\n%!" k)
+      replicas_list;
+  Option.iter
+    (fun j ->
+      let reused =
+        List.fold_left (fun acc (_, _, r) -> if r then acc + 1 else acc) 0 rows
+      in
+      Printf.eprintf "ckptwf: journal %s: %d cell(s) reused, %d computed\n%!"
+        (Journal.path j) reused (List.length rows - reused))
+    journal
+
+let storm_cmd =
+  let corrupt_probs =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "corrupt-prob" ] ~docv:"P"
+          ~doc:
+            "Per-replica latent-corruption probability (repeatable; default sweep: 0 0.02 \
+             0.05 0.1 0.2).")
+  in
+  let replicas_list =
+    Arg.(
+      value
+      & opt_all int []
+      & info [ "replicas" ] ~docv:"K"
+          ~doc:"Replication factor to sweep (repeatable; default: 1 2 3).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 300 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials per cell.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed cells to $(docv) (CRC-guarded, atomically updated) so a \
+             crashed storm can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the journal: cells already recorded are replayed verbatim instead \
+             of recomputed, so the output matches an uninterrupted run exactly.")
+  in
+  let fail_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fail-after" ] ~docv:"K"
+          ~doc:
+            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
+             computing the ($(docv)+1)-th non-journaled cell.")
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Unreliable stable storage: sweep checkpoint replication factor against latent \
+          corruption and report the expected-makespan crossover where k-replicated \
+          commits start beating unreplicated ones (extension).")
+    Term.(
+      const storm_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ strategy_arg $ trials $ corrupt_probs $ replicas_list
+      $ storage_lambda_arg $ commit_fail_prob_arg $ outage_rate_arg $ outage_mean_arg
+      $ journal $ resume $ fail_after $ jobs_arg)
 
 (* --- export --- *)
 
@@ -810,6 +1151,6 @@ let main_cmd =
           (--fail-after), 2 malformed or invalid input, 3 exhausted retry/deadline budget, \
           124 command-line misuse.")
     [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
-      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd ]
+      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd; storm_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -28,7 +28,7 @@ diff -u "$TMP/jobs1.csv" "$TMP/jobs4.csv"
 
 echo "== malformed DAX exits 2 with a one-line diagnostic, every subcommand =="
 printf '<adag>\n  <job id="ID1" runtime="not-a-number"/>\n</adag>\n' > "$TMP/bad.dax"
-for sub in generate schedule evaluate simulate sweep accuracy gantt contention quantiles degrade; do
+for sub in generate schedule evaluate simulate sweep accuracy gantt contention quantiles degrade storm; do
     status=0
     $CKPTWF "$sub" --dax "$TMP/bad.dax" > /dev/null 2> "$TMP/bad.err" || status=$?
     if [ "$status" -ne 2 ]; then
@@ -73,6 +73,88 @@ if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
     cat "$TMP/degcache.err" >&2
     exit 1
 fi
+
+echo "== journal survives truncation at an arbitrary byte offset mid-cell =="
+# crash a journaled sweep mid-run, then chop the journal at a byte
+# offset that tears its last line; the CRC guard must drop the torn
+# tail (one stderr notice) and the resumed sweep must still reproduce
+# the uninterrupted output bytes exactly
+status=0
+$CKPTWF sweep $SWEEP --journal "$TMP/trunc.journal" --fail-after 3 \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: injected sweep crash exited $status, want 1" >&2
+    exit 1
+fi
+size=$(wc -c < "$TMP/trunc.journal")
+truncate -s $((size - 7)) "$TMP/trunc.journal" 2>/dev/null \
+    || dd if="$TMP/trunc.journal" of="$TMP/trunc.journal.cut" bs=1 count=$((size - 7)) 2>/dev/null
+[ -f "$TMP/trunc.journal.cut" ] && mv "$TMP/trunc.journal.cut" "$TMP/trunc.journal"
+$CKPTWF sweep $SWEEP --journal "$TMP/trunc.journal" --resume \
+    > "$TMP/truncres.csv" 2> "$TMP/truncres.err"
+diff -u "$TMP/jobs1.csv" "$TMP/truncres.csv"
+if ! grep -q "truncated trailing entry" "$TMP/truncres.err"; then
+    echo "FAIL: resumed sweep did not report the recovered torn tail:" >&2
+    cat "$TMP/truncres.err" >&2
+    exit 1
+fi
+
+echo "== journal format-version mismatch fails fast with exit 3 =="
+# strip the version header: the file now reads as an unversioned
+# (format 1) journal, and --resume must refuse it with one line
+tail -n +2 "$TMP/trunc.journal" > "$TMP/old.journal"
+status=0
+$CKPTWF sweep $SWEEP --journal "$TMP/old.journal" --resume \
+    > /dev/null 2> "$TMP/old.err" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: version-mismatched resume exited $status, want 3" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$TMP/old.err")" -ne 1 ]; then
+    echo "FAIL: version mismatch printed more than one diagnostic line:" >&2
+    cat "$TMP/old.err" >&2
+    exit 1
+fi
+
+echo "== storm: unreliable storage, --jobs invariance, crash/resume, k=2 beats k=1 =="
+STORM="--workflow genome --tasks 40 --seed 7 --processors 5 --strategy all --trials 120 --commit-fail-prob 0.05"
+STORM_CSV="${STORM_CSV:-$TMP/storm.csv}"
+$CKPTWF storm $STORM --jobs 1 > "$STORM_CSV" 2> "$TMP/storm.err"
+$CKPTWF storm $STORM --jobs 4 > "$TMP/storm4.csv" 2> /dev/null
+diff -u "$STORM_CSV" "$TMP/storm4.csv"
+# the sweep's whole point: at high corruption, duplicated checkpoint
+# commits (k=2) must yield a lower expected makespan than k=1
+awk -F, '
+    NR > 1 && $7 + 0 == 0.2 { em[$5] = $10 + 0 }
+    END {
+        if (!(1 in em) || !(2 in em)) { print "FAIL: missing k=1/k=2 rows"; exit 1 }
+        if (em[2] >= em[1]) { print "FAIL: k=2 EM " em[2] " not below k=1 EM " em[1]; exit 1 }
+    }' "$STORM_CSV"
+grep -q "first beats replicas=1" "$TMP/storm.err" || {
+    echo "FAIL: storm printed no crossover report:" >&2
+    cat "$TMP/storm.err" >&2
+    exit 1
+}
+# crash after 4 cells, resume, byte-identical output
+status=0
+$CKPTWF storm $STORM --journal "$TMP/storm.journal" --fail-after 4 \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: injected storm crash exited $status, want 1" >&2
+    exit 1
+fi
+$CKPTWF storm $STORM --journal "$TMP/storm.journal" --resume \
+    > "$TMP/stormres.csv" 2> /dev/null
+diff -u "$STORM_CSV" "$TMP/stormres.csv"
+
+echo "== storage faults off reproduce the fault-free CLI output bitwise =="
+SIM="--workflow genome --tasks 40 --seed 7 --processors 5 --trials 80"
+$CKPTWF simulate $SIM > "$TMP/sim_plain.txt"
+$CKPTWF simulate $SIM --storage-lambda 0 --corrupt-prob 0 --commit-fail-prob 0 --replicas 1 \
+    > "$TMP/sim_storage_off.txt"
+diff -u "$TMP/sim_plain.txt" "$TMP/sim_storage_off.txt"
+$CKPTWF degrade $DEGRADE --storage-lambda 0 --corrupt-prob 0 --replicas 1 > "$TMP/deg_storage_off.csv"
+diff -u "$TMP/deg1.csv" "$TMP/deg_storage_off.csv"
 
 echo "== planning-throughput bench smoke (--plan-only, exit code only) =="
 dune build bench/main.exe

@@ -44,8 +44,9 @@ let prepare ?policy ~dag ~processors ~pfail ~ccr () =
   let schedule = Allocate.run ?policy mspg ~processors in
   { raw = dag; mspg; dummy_edges; platform; schedule; pfail; ccr }
 
-let plan ?jobs setup kind =
-  Strategy.plan ?jobs kind ~raw:setup.raw ~schedule:setup.schedule ~platform:setup.platform
+let plan ?jobs ?replicas setup kind =
+  Strategy.plan ?jobs ?replicas kind ~raw:setup.raw ~schedule:setup.schedule
+    ~platform:setup.platform
 
 type comparison = {
   em_some : float;

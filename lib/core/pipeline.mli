@@ -38,9 +38,11 @@ val prepare :
 (** @raise Invalid_argument if the workflow cannot be recognised (even
     with completion) or the knobs are out of range. *)
 
-val plan : ?jobs:int -> setup -> Strategy.kind -> Strategy.plan
+val plan : ?jobs:int -> ?replicas:int -> setup -> Strategy.kind -> Strategy.plan
 (** [jobs] fans the per-superchain placement DPs over domains
-    (default 1); the plan is identical for any value. *)
+    (default 1); the plan is identical for any value. [replicas]
+    (default 1) prices checkpoint commits at [k·C] — the replication
+    knob of the storage-fault extension ({!Strategy.plan}). *)
 
 type comparison = {
   em_some : float;

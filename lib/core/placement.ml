@@ -10,6 +10,14 @@ type segment = {
   write : float;
 }
 
+(* k-way checkpoint replication (storage-fault extension): a commit
+   writes every escaping file k times, so C is priced at k·C — the
+   recovery-read failure probability drops accordingly (see
+   Ckpt_storage). k = 1 leaves the bytes untouched, keeping existing
+   plans bitwise identical. *)
+let scale_replicas replicas bytes =
+  if replicas > 1 then float_of_int replicas *. bytes else bytes
+
 let first_order ~lambda s =
   let pfail = Float.min 1. (lambda *. s) in
   ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
@@ -25,7 +33,7 @@ let producer_outside sc ~first l =
 let consumer_outside sc ~last m =
   (not (Superchain.mem sc m)) || Superchain.position sc m > last
 
-let segment_of platform dag sc ~first ~last =
+let segment_of ?(replicas = 1) platform dag sc ~first ~last =
   if first < 0 || last >= Superchain.n_tasks sc || first > last then
     invalid_arg "Placement.segment_of: bad range";
   let read_bytes = ref 0. and write_bytes = ref 0. and work = ref 0. in
@@ -55,7 +63,7 @@ let segment_of platform dag sc ~first ~last =
     last;
     read = Platform.io_time platform !read_bytes;
     work = !work;
-    write = Platform.io_time platform !write_bytes;
+    write = Platform.io_time platform (scale_replicas replicas !write_bytes);
   }
 
 (* Preallocated planning scratch, reused across the superchains of one
@@ -103,7 +111,7 @@ let ensure_capacity a n =
 (* Fill [a.tri] with the packed cost table of [sc] (cost of segment
    [i..j] at [j*(j+1)/2 + i]); the descending-[i] sweep per [j] and
    its in/out file bookkeeping mirror [cost_matrix] line for line. *)
-let fill_cost_tri a platform dag sc =
+let fill_cost_tri ?(replicas = 1) a platform dag sc =
   if a.n_files <> Dag.n_files dag then
     invalid_arg "Placement.fill_cost_tri: arena built for another DAG";
   let n = Superchain.n_tasks sc in
@@ -150,14 +158,14 @@ let fill_cost_tri a platform dag sc =
       let s =
         Platform.io_time platform !read_bytes
         +. !work
-        +. Platform.io_time platform !write_bytes
+        +. Platform.io_time platform (scale_replicas replicas !write_bytes)
       in
       tri.(row + i) <- first_order ~lambda s
     done
   done;
   n
 
-let cost_matrix platform dag sc =
+let cost_matrix ?(replicas = 1) platform dag sc =
   let n = Superchain.n_tasks sc in
   (* heterogeneous platforms: the superchain's own processor's rate *)
   let lambda = Platform.rate_of platform sc.Superchain.processor in
@@ -202,30 +210,30 @@ let cost_matrix platform dag sc =
         let s =
           Platform.io_time platform !read_bytes
           +. !work
-          +. Platform.io_time platform !write_bytes
+          +. Platform.io_time platform (scale_replicas replicas !write_bytes)
         in
         row.(i) <- first_order ~lambda s
       done;
       row)
 
-let reference_optimal_positions platform dag sc =
+let reference_optimal_positions ?replicas platform dag sc =
   let n = Superchain.n_tasks sc in
-  let matrix = cost_matrix platform dag sc in
+  let matrix = cost_matrix ?replicas platform dag sc in
   Toueg.reference_solve ~n ~cost:(fun i j -> matrix.(j).(i))
 
-let optimal_positions ?arena:a platform dag sc =
+let optimal_positions ?arena:a ?replicas platform dag sc =
   let a = match a with Some a -> a | None -> arena dag in
-  let n = fill_cost_tri a platform dag sc in
+  let n = fill_cost_tri ?replicas a platform dag sc in
   Toueg.solve_packed ~n ~tri:a.tri ~etime:a.etime ~last_ckpt:a.last_ckpt
 
-let reference_optimal_positions_budget platform dag sc ~budget =
+let reference_optimal_positions_budget ?replicas platform dag sc ~budget =
   let n = Superchain.n_tasks sc in
-  let matrix = cost_matrix platform dag sc in
+  let matrix = cost_matrix ?replicas platform dag sc in
   Toueg.reference_solve_budget ~n ~cost:(fun i j -> matrix.(j).(i)) ~budget
 
-let optimal_positions_budget ?arena:a platform dag sc ~budget =
+let optimal_positions_budget ?arena:a ?replicas platform dag sc ~budget =
   let a = match a with Some a -> a | None -> arena dag in
-  let n = fill_cost_tri a platform dag sc in
+  let n = fill_cost_tri ?replicas a platform dag sc in
   Toueg.solve_budget_packed ~n ~tri:a.tri ~budget
 
 let periodic_positions sc ~period =
@@ -235,7 +243,7 @@ let periodic_positions sc ~period =
   let regular = collect (period - 1) [] in
   List.sort_uniq compare ((n - 1) :: regular)
 
-let segments_of_positions platform dag sc ~positions =
+let segments_of_positions ?replicas platform dag sc ~positions =
   let n = Superchain.n_tasks sc in
   (match List.rev positions with
   | [] -> invalid_arg "Placement.segments_of_positions: no positions"
@@ -246,7 +254,7 @@ let segments_of_positions platform dag sc ~positions =
     | [] -> []
     | p :: rest ->
         if p < start then invalid_arg "Placement.segments_of_positions: unsorted positions"
-        else segment_of platform dag sc ~first:start ~last:p :: cut (p + 1) rest
+        else segment_of ?replicas platform dag sc ~first:start ~last:p :: cut (p + 1) rest
   in
   cut 0 positions
 

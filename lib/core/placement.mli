@@ -21,7 +21,14 @@
     clamped at 1 when λS exceeds it), and the optimal checkpoint
     positions minimise total expected time through the
     {!Toueg} recurrence. The final position is always checkpointed,
-    which removes crossover dependencies. *)
+    which removes crossover dependencies.
+
+    Every cost entry point takes [?replicas] (default 1), the k-way
+    checkpoint replication factor of the storage-fault extension: a
+    replicated commit writes each escaping file [k] times, so [C] is
+    priced at [k·C] while the recovery-read failure probability drops
+    geometrically in [k] ({!Ckpt_storage.Storage}). [replicas = 1]
+    leaves every cost bitwise unchanged. *)
 
 module Dag = Ckpt_dag.Dag
 module Platform = Ckpt_platform.Platform
@@ -38,10 +45,11 @@ type segment = {
 val expected_time : lambda:float -> segment -> float
 (** Eq. (2). *)
 
-val segment_of : Platform.t -> Dag.t -> Superchain.t -> first:int -> last:int -> segment
+val segment_of :
+  ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> first:int -> last:int -> segment
 (** Direct (non-incremental) cost computation of one segment. *)
 
-val cost_matrix : Platform.t -> Dag.t -> Superchain.t -> float array array
+val cost_matrix : ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> float array array
 (** [m.(j).(i)], for [i <= j], is the expected time of segment [i..j]
     — computed in O(n * sum of degrees) by a descending-[i] sweep per
     [j]. Reference implementation; the planning hot path fills a
@@ -58,25 +66,31 @@ val arena : Dag.t -> arena
     demand to the longest superchain planned through it. *)
 
 val optimal_positions :
-  ?arena:arena -> Platform.t -> Dag.t -> Superchain.t -> float * int list
+  ?arena:arena -> ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> float * int list
 (** Algorithm 2: optimal expected superchain time and the sorted
     checkpoint positions (the last position always included).
     Bitwise-identical to {!reference_optimal_positions}; passing
     [?arena] (built from the same DAG) reuses scratch across calls. *)
 
 val reference_optimal_positions :
-  Platform.t -> Dag.t -> Superchain.t -> float * int list
+  ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> float * int list
 (** The pinned list/Hashtbl reference path ({!cost_matrix} +
     {!Toueg.reference_solve}) the equivalence tests compare
     {!optimal_positions} against. *)
 
 val optimal_positions_budget :
-  ?arena:arena -> Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
+  ?arena:arena ->
+  ?replicas:int ->
+  Platform.t ->
+  Dag.t ->
+  Superchain.t ->
+  budget:int ->
+  float * int list
 (** Budget-constrained Algorithm 2 (extension): at most [budget]
     checkpoints in this superchain, the forced final one included. *)
 
 val reference_optimal_positions_budget :
-  Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
+  ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> budget:int -> float * int list
 (** The pinned reference path for {!optimal_positions_budget}. *)
 
 val periodic_positions : Superchain.t -> period:int -> int list
@@ -87,7 +101,7 @@ val periodic_positions : Superchain.t -> period:int -> int list
     @raise Invalid_argument if [period < 1]. *)
 
 val segments_of_positions :
-  Platform.t -> Dag.t -> Superchain.t -> positions:int list -> segment list
+  ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> positions:int list -> segment list
 (** Cut the superchain at the given sorted positions (which must end
     at the last position) and price each segment. *)
 

@@ -16,8 +16,9 @@ let positions_of_plan (plan : Strategy.plan) =
     (Strategy.checkpoint_positions plan)
 
 let rebuild (plan : Strategy.plan) positions =
-  Strategy.plan_of_positions ~kind:plan.Strategy.kind ~raw:plan.Strategy.raw_dag
-    ~schedule:plan.Strategy.schedule ~platform:plan.Strategy.platform
+  Strategy.plan_of_positions ~replicas:plan.Strategy.replicas ~kind:plan.Strategy.kind
+    ~raw:plan.Strategy.raw_dag ~schedule:plan.Strategy.schedule
+    ~platform:plan.Strategy.platform
     ~positions:(fun (sc : Superchain.t) -> Superchain_map.find sc.Superchain.id positions)
     ()
 

@@ -27,6 +27,7 @@ type plan = {
   prob_dag : Prob_dag.t option;
   wpar : float;
   checkpoint_count : int;
+  replicas : int;
 }
 
 (* Failure-free parallel time of the schedule with no checkpoint I/O:
@@ -97,7 +98,9 @@ let build_prob_dag ~dep_dag ~schedule ~platform ~segments ~segment_of_task =
   done;
   pd
 
-let plan_of_positions ?(jobs = 1) ~kind ~raw ~schedule ~platform ~positions () =
+let plan_of_positions ?(jobs = 1) ?(replicas = 1) ~kind ~raw ~schedule ~platform
+    ~positions () =
+  if replicas < 1 then invalid_arg "Strategy.plan: replicas < 1";
   let dag = schedule.Schedule.dag in
   if Dag.n_tasks raw <> Dag.n_tasks dag then
     invalid_arg "Strategy.plan: raw and scheduled DAGs disagree on tasks";
@@ -108,7 +111,7 @@ let plan_of_positions ?(jobs = 1) ~kind ~raw ~schedule ~platform ~positions () =
   let per_chain =
     Ckpt_parallel.Pool.map ~jobs (Array.length chains) (fun c ->
         let sc = chains.(c) in
-        Placement.segments_of_positions platform dag sc ~positions:(positions sc))
+        Placement.segments_of_positions ~replicas platform dag sc ~positions:(positions sc))
   in
   let segments = Array.of_list (List.concat (Array.to_list per_chain)) in
   let segment_of_task = Array.make (Dag.n_tasks dag) (-1) in
@@ -137,9 +140,11 @@ let plan_of_positions ?(jobs = 1) ~kind ~raw ~schedule ~platform ~positions () =
     prob_dag = Some pd;
     wpar;
     checkpoint_count = Array.length segments;
+    replicas;
   }
 
-let plan ?(jobs = 1) kind ~raw ~schedule ~platform =
+let plan ?(jobs = 1) ?(replicas = 1) kind ~raw ~schedule ~platform =
+  if replicas < 1 then invalid_arg "Strategy.plan: replicas < 1";
   let dag = schedule.Schedule.dag in
   match kind with
   | Ckpt_none ->
@@ -156,6 +161,7 @@ let plan ?(jobs = 1) kind ~raw ~schedule ~platform =
         prob_dag = None;
         wpar;
         checkpoint_count = 0;
+        replicas;
       }
   | Ckpt_all | Ckpt_some | Ckpt_every _ | Ckpt_budget _ ->
       (* sequential runs reuse one arena across superchains; parallel
@@ -166,11 +172,13 @@ let plan ?(jobs = 1) kind ~raw ~schedule ~platform =
         | Ckpt_all -> Placement.every_position sc
         | Ckpt_every period -> Placement.periodic_positions sc ~period
         | Ckpt_budget budget ->
-            snd (Placement.optimal_positions_budget ?arena:shared platform dag sc ~budget)
+            snd
+              (Placement.optimal_positions_budget ?arena:shared ~replicas platform dag sc
+                 ~budget)
         | Ckpt_some | Ckpt_none ->
-            snd (Placement.optimal_positions ?arena:shared platform dag sc)
+            snd (Placement.optimal_positions ?arena:shared ~replicas platform dag sc)
       in
-      plan_of_positions ~jobs ~kind ~raw ~schedule ~platform ~positions ()
+      plan_of_positions ~jobs ~replicas ~kind ~raw ~schedule ~platform ~positions ()
 
 let expected_makespan ?(method_ = Evaluator.Pathapprox) plan =
   match plan.prob_dag with

@@ -45,17 +45,28 @@ type plan = private {
   prob_dag : Prob_dag.t option;  (** [None] for CKPTNONE *)
   wpar : float;  (** failure-free parallel time of the schedule, checkpoint-free *)
   checkpoint_count : int;
+  replicas : int;  (** k-way checkpoint replication the plan was priced with *)
 }
 
 val plan :
-  ?jobs:int -> kind -> raw:Dag.t -> schedule:Schedule.t -> platform:Platform.t -> plan
+  ?jobs:int ->
+  ?replicas:int ->
+  kind ->
+  raw:Dag.t ->
+  schedule:Schedule.t ->
+  platform:Platform.t ->
+  plan
 (** [schedule] must schedule a DAG whose task set matches [raw] task
     for task (the dummy-completed copy, or [raw] itself). [jobs]
     (default 1) fans the independent per-superchain placement DPs over
-    that many domains; the plan is identical for any value. *)
+    that many domains; the plan is identical for any value. [replicas]
+    (default 1) prices every checkpoint commit at [k·C]
+    ({!Placement}); the optimal positions are re-derived under that
+    cost, so a replicated CKPTSOME plan may checkpoint less often. *)
 
 val plan_of_positions :
   ?jobs:int ->
+  ?replicas:int ->
   kind:kind ->
   raw:Dag.t ->
   schedule:Schedule.t ->

@@ -12,7 +12,13 @@
 
     is optimal because expected segment times are independent across
     checkpoints (a checkpoint regenerates the state), and runs in
-    O(n^2) calls to [cost]. *)
+    O(n^2) calls to [cost].
+
+    The DP is agnostic to {e how} segments are priced: k-way
+    checkpoint replication ({!Placement}'s [?replicas], storage-fault
+    extension) enters purely through the [cost] table as a [k·C]
+    commit term, so the same recurrence places optimal checkpoints for
+    replicated plans too. *)
 
 val solve : n:int -> cost:(int -> int -> float) -> float * int list
 (** [solve ~n ~cost] returns the optimal expected completion time and

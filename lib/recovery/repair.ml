@@ -11,12 +11,12 @@ type t = {
   dummy_edges : int;
 }
 
-let replan ~kind ~dag ~done_ ~survivors ~platform =
+let replan ?readable ?replicas ~kind ~dag ~done_ ~survivors ~platform () =
   match survivors with
   | [] -> Error "no surviving processors"
   | _ -> (
       try
-        let residual, task_of = Residual.build ~dag ~done_ in
+        let residual, task_of = Residual.build ?readable ~dag ~done_ () in
         let mspg, dummy_edges =
           (* one completing pass: with 0 dummies the tree is the plain
              recognition's, reattached to the uncopied residual *)
@@ -31,7 +31,9 @@ let replan ~kind ~dag ~done_ ~survivors ~platform =
           Platform.make_heterogeneous ~rates ~bandwidth:platform.Platform.bandwidth
         in
         let schedule = Allocate.run mspg ~processors:(Array.length phys) in
-        let plan = Strategy.plan kind ~raw:residual ~schedule ~platform:sub_platform in
+        let plan =
+          Strategy.plan ?replicas kind ~raw:residual ~schedule ~platform:sub_platform
+        in
         Ok { plan; task_of; phys; dummy_edges }
       with
       | Failure msg -> Error msg

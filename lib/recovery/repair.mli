@@ -26,17 +26,25 @@ type t = {
 }
 
 val replan :
+  ?readable:(int -> bool) ->
+  ?replicas:int ->
   kind:Strategy.kind ->
   dag:Dag.t ->
   done_:bool array ->
   survivors:int list ->
   platform:Platform.t ->
+  unit ->
   (t, string) result
-(** [replan ~kind ~dag ~done_ ~survivors ~platform] replans the tasks
-    of [dag] not yet checkpointed ([done_]) on the [survivors] (physical
-    processor ids of [platform], ascending). The repaired plan runs on a
-    heterogeneous sub-platform keeping each survivor's own failure rate
-    and the storage bandwidth; [phys] maps its processor indices back to
-    physical ids. [kind] is the checkpoint policy the replan applies
-    (CKPTSOME re-runs the optimal DP). Never raises on unplannable
-    input — returns [Error] instead. *)
+(** [replan ~kind ~dag ~done_ ~survivors ~platform ()] replans the
+    tasks of [dag] not yet checkpointed ([done_]) on the [survivors]
+    (physical processor ids of [platform], ascending). The repaired
+    plan runs on a heterogeneous sub-platform keeping each survivor's
+    own failure rate and the storage bandwidth; [phys] maps its
+    processor indices back to physical ids. [kind] is the checkpoint
+    policy the replan applies (CKPTSOME re-runs the optimal DP).
+
+    [readable] ({!Residual.build}) stops a corrupt-committed checkpoint
+    from being treated as done — its producers are re-scheduled;
+    [replicas] prices the repaired plan's commits at [k·C]
+    ({!Strategy.plan}). Never raises on unplannable input — returns
+    [Error] instead. *)

@@ -3,6 +3,7 @@ type t =
   | Invalid_dag of { name : string; violations : string list }
   | Io of { path : string; message : string }
   | Journal_corrupt of { path : string; line : int; message : string }
+  | Journal_version of { path : string; found : string; expected : string }
   | Deadline_exceeded of { budget : float; completed : int }
   | Retries_exhausted of { attempts : int; last : string }
 
@@ -20,6 +21,11 @@ let to_string = function
   | Io { path; message } -> Printf.sprintf "%s: %s" path message
   | Journal_corrupt { path; line; message } ->
       Printf.sprintf "journal %s: line %d: %s" path line message
+  | Journal_version { path; found; expected } ->
+      Printf.sprintf
+        "journal %s: format version %s, this build reads version %s; re-run without \
+         --resume to start a fresh journal"
+        path found expected
   | Deadline_exceeded { budget; completed } ->
       Printf.sprintf "deadline of %gs exceeded after %d completed units" budget completed
   | Retries_exhausted { attempts; last } ->
@@ -27,6 +33,6 @@ let to_string = function
 
 let exit_code = function
   | Parse _ | Invalid_dag _ | Io _ | Journal_corrupt _ -> 2
-  | Deadline_exceeded _ | Retries_exhausted _ -> 3
+  | Journal_version _ | Deadline_exceeded _ | Retries_exhausted _ -> 3
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

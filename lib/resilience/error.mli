@@ -18,6 +18,9 @@ type t =
       (** Filesystem failure while reading or writing [path]. *)
   | Journal_corrupt of { path : string; line : int; message : string }
       (** A journal entry whose CRC or framing check failed. *)
+  | Journal_version of { path : string; found : string; expected : string }
+      (** A journal written by an incompatible format version (resuming
+          against it would replay rows under different semantics). *)
   | Deadline_exceeded of { budget : float; completed : int }
       (** A wall-clock budget of [budget] seconds ran out after
           [completed] units of work. *)
@@ -38,6 +41,6 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Process exit code the CLI maps the error to: [2] for bad input
     (parse / invalid DAG / I/O / journal corruption), [3] for runtime
-    exhaustion (retries, deadline). *)
+    refusal (retries, deadline, journal format-version mismatch). *)
 
 val pp : Format.formatter -> t -> unit

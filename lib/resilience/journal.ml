@@ -38,6 +38,14 @@ let entries t = List.rev t.rev_entries
 
 let render_line key value = Printf.sprintf "%08lx\t%s\t%s" (crc32 (key ^ "\t" ^ value)) key value
 
+(* The on-disk format version, bumped whenever cell semantics change
+   (entry layout, row meaning) so an old journal cannot silently replay
+   rows computed under different semantics. Stored as a CRC-guarded
+   header line under a reserved key, excluded from the entry list. *)
+let format_version = 2
+let version_key = "__journal_format__"
+let version_value = string_of_int format_version
+
 (* [parse_line line] is [Ok (key, value)] or [Error message]. *)
 let parse_line line =
   match String.index_opt line '\t' with
@@ -64,6 +72,8 @@ let persist t =
   (try
      let oc = open_out_bin tmp in
      (try
+        output_string oc (render_line version_key version_value);
+        output_char oc '\n';
         List.iter
           (fun (k, v) ->
             output_string oc (render_line k v);
@@ -101,25 +111,56 @@ let open_ ?(inject = fun () -> ()) ?(fresh = false) jpath =
     | exception Sys_error m -> Error (Error.Io { path = jpath; message = m })
     | lines -> (
         let non_empty = List.filteri (fun _ l -> l <> "") lines in
-        let n = List.length non_empty in
-        let rec load i = function
-          | [] -> Ok ()
-          | line :: rest -> (
-              match parse_line line with
-              | Ok (key, value) ->
-                  t.rev_entries <- (key, value) :: t.rev_entries;
-                  if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
-                  load (i + 1) rest
-              | Error message ->
-                  (* a torn final line is the expected signature of a
-                     crash mid-write; anything earlier is real damage *)
-                  if i = n - 1 then begin
-                    t.tail_dropped <- true;
-                    Ok ()
-                  end
-                  else Error (Error.Journal_corrupt { path = jpath; line = i + 1; message }))
+        (* entries follow a mandatory version header: a journal that
+           opens with an entry line is a pre-versioning (v1) file, and
+           one with a different version value was written by an
+           incompatible build — both are refused, never reinterpreted *)
+        let load_entries body =
+          let n = List.length body in
+          let rec load i = function
+            | [] -> Ok ()
+            | line :: rest -> (
+                match parse_line line with
+                | Ok (key, value) ->
+                    t.rev_entries <- (key, value) :: t.rev_entries;
+                    if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
+                    load (i + 1) rest
+                | Error message ->
+                    (* a torn final line is the expected signature of a
+                       crash mid-write; anything earlier is real damage *)
+                    if i = n - 1 then begin
+                      t.tail_dropped <- true;
+                      Ok ()
+                    end
+                    else
+                      (* physical line number: one header line above *)
+                      Error (Error.Journal_corrupt { path = jpath; line = i + 2; message }))
+          in
+          match load 0 body with Ok () -> Ok t | Error e -> Error e
         in
-        match load 0 non_empty with Ok () -> Ok t | Error e -> Error e)
+        match non_empty with
+        | [] -> Ok t
+        | first :: body -> (
+            match parse_line first with
+            | Ok (key, value) when key = version_key ->
+                if value = version_value then load_entries body
+                else
+                  Error
+                    (Error.Journal_version
+                       { path = jpath; found = value; expected = version_value })
+            | Ok _ ->
+                Error
+                  (Error.Journal_version
+                     { path = jpath; found = "1 (unversioned)"; expected = version_value })
+            | Error message ->
+                (* a lone torn line is a crash before the first entry
+                   persisted: recover to an empty journal; a damaged
+                   header with entries behind it is real corruption *)
+                if body = [] then begin
+                  t.tail_dropped <- true;
+                  Ok t
+                end
+                else Error (Error.Journal_corrupt { path = jpath; line = 1; message })))
 
 let check_field what ~allow_tab s =
   String.iter

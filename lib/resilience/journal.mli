@@ -21,9 +21,19 @@
     On-disk format, one entry per line:
     {v crc32-hex <TAB> key <TAB> value v}
     Keys must not contain tabs or newlines; values must not contain
-    newlines. *)
+    newlines.
+
+    The first line is a mandatory format-version header (same framing,
+    reserved key [__journal_format__]). {!open_} refuses a journal
+    written under a different version — including pre-versioning (v1)
+    files that open directly with an entry — with
+    {!Error.Journal_version}, so a resumed sweep can never replay rows
+    whose semantics have changed since they were computed. *)
 
 type t
+
+val format_version : int
+(** The journal format version this build reads and writes. *)
 
 val open_ :
   ?inject:(unit -> unit) -> ?fresh:bool -> string -> (t, Error.t) result

@@ -36,7 +36,8 @@ let transient = function
   | Faulty.Injected _ -> true
   | _ -> false
 
-let with_retries ?(policy = default) ?rng ?(sleep = Unix.sleepf) ?(retry_on = transient) f =
+let with_retries ?(policy = default) ?rng ?(sleep = Unix.sleepf)
+    ?(deadline = Deadline.never) ?(retry_on = transient) f =
   let delays = schedule ?rng policy in
   let rec go attempt last_msg =
     if attempt > policy.max_attempts then
@@ -47,9 +48,16 @@ let with_retries ?(policy = default) ?rng ?(sleep = Unix.sleepf) ?(retry_on = tr
       | exception e when retry_on e ->
           let msg = Printexc.to_string e in
           if attempt < policy.max_attempts then begin
-            let d = delays.(attempt - 1) in
+            (* a deadline expiring mid-backoff cuts the sleep short: we
+               doze at most the remaining budget, then stop retrying the
+               moment the clock runs out instead of finishing the nap *)
+            let d = Float.min delays.(attempt - 1) (Deadline.remaining deadline) in
             if d > 0. then sleep d
           end;
-          go (attempt + 1) msg
+          if Deadline.expired deadline then
+            Error
+              (Error.Deadline_exceeded
+                 { budget = Deadline.budget deadline; completed = attempt })
+          else go (attempt + 1) msg
   in
   go 1 "no attempt made"

@@ -27,6 +27,11 @@ val schedule : ?rng:Ckpt_prob.Rng.t -> policy -> float array
     @raise Invalid_argument on a non-positive [max_attempts] or a
     negative delay parameter. *)
 
+val check_policy : policy -> unit
+(** Validates a policy's fields.
+    @raise Invalid_argument on a non-positive [max_attempts], negative
+    delay, [multiplier < 1] or jitter outside [0, 1]. *)
+
 val transient : exn -> bool
 (** Default retry predicate: [Sys_error], [Error.E (Io _)] and
     {!Faulty.Injected} are transient; everything else propagates. *)
@@ -35,6 +40,7 @@ val with_retries :
   ?policy:policy ->
   ?rng:Ckpt_prob.Rng.t ->
   ?sleep:(float -> unit) ->
+  ?deadline:Deadline.t ->
   ?retry_on:(exn -> bool) ->
   (attempt:int -> 'a) ->
   ('a, Error.t) result
@@ -43,4 +49,10 @@ val with_retries :
     backoff delay and tries again, up to [policy.max_attempts] times.
     Returns [Error (Retries_exhausted _)] when every attempt failed;
     non-transient exceptions propagate immediately. [sleep] defaults to
-    [Unix.sleepf] and is injectable so tests need not wait. *)
+    [Unix.sleepf] and is injectable so tests need not wait.
+
+    [deadline] (default {!Deadline.never}) bounds the whole retry loop:
+    a backoff sleep is truncated to the remaining budget, and once the
+    deadline has expired no further attempt is made — the loop returns
+    [Error (Deadline_exceeded _)] with the attempts completed so far
+    instead of dozing through an already-lost budget. *)

@@ -7,6 +7,7 @@ module Placement = Ckpt_core.Placement
 module Prob_dag = Ckpt_eval.Prob_dag
 module Rng = Ckpt_prob.Rng
 module Stats = Ckpt_prob.Stats
+module Storage = Ckpt_storage.Storage
 
 type seg = {
   processor : int;
@@ -29,13 +30,17 @@ type running = {
   mutable phase : phase;
   mutable rem : float;
   mutable total : float;
+  mutable commit_attempts : int;
 }
 
 let drained (r : running) = r.rem <= 1e-12 *. (1. +. r.total)
 
-let makespan ~bandwidth segs trace_of_processor =
+let makespan ?storage ~bandwidth segs trace_of_processor =
   if bandwidth <= 0. then invalid_arg "Contention.makespan: non-positive bandwidth";
   let n = Array.length segs in
+  (* checkpoint handle of each committed segment (only maintained when
+     a storage fault model is attached) *)
+  let ckpts = Array.make (match storage with Some _ -> n | None -> 0) None in
   Array.iteri
     (fun i s ->
       List.iter
@@ -83,19 +88,47 @@ let makespan ~bandwidth segs trace_of_processor =
           r.rem <- segs.(r.seg_idx).write_bytes;
           r.total <- segs.(r.seg_idx).write_bytes;
           settle proc r
-      | Writing ->
-          completed.(r.seg_idx) <- true;
-          completion.(r.seg_idx) <- !now;
-          incr finished;
-          Hashtbl.remove running proc;
-          true
+      | Writing -> (
+          let idx = r.seg_idx in
+          let step =
+            match storage with
+            | None -> Storage.Committed
+            | Some st ->
+                r.commit_attempts <- r.commit_attempts + 1;
+                Storage.commit_step st ~attempt:r.commit_attempts
+          in
+          match step with
+          | Storage.Committed ->
+              (match storage with
+              | Some st -> ckpts.(idx) <- Some (Storage.fresh_ckpt st ~seg:idx ~at:!now)
+              | None -> ());
+              completed.(idx) <- true;
+              completion.(idx) <- !now;
+              incr finished;
+              Hashtbl.remove running proc;
+              true
+          | Storage.Rewrite ->
+              (* a detected commit failure rewrites the whole replica
+                 set; the shared-bandwidth rewrite itself is the
+                 penalty, so no wall-clock backoff is charged here *)
+              r.rem <- segs.(idx).write_bytes;
+              r.total <- segs.(idx).write_bytes;
+              settle proc r
+          | Storage.Exhausted ->
+              (* give up on this commit cycle: re-execute the segment *)
+              r.commit_attempts <- 0;
+              r.phase <- Reading;
+              r.rem <- segs.(idx).read_bytes;
+              r.total <- segs.(idx).read_bytes;
+              settle proc r)
   in
   let start proc idx =
     let r =
       { seg_idx = idx;
         phase = Reading;
         rem = segs.(idx).read_bytes;
-        total = segs.(idx).read_bytes }
+        total = segs.(idx).read_bytes;
+        commit_attempts = 0 }
     in
     Hashtbl.replace running proc r;
     ignore (settle proc r)
@@ -111,9 +144,38 @@ let makespan ~bandwidth segs trace_of_processor =
           | [] -> ()
           | idx :: rest ->
               if List.for_all (fun p -> completed.(p)) segs.(idx).preds then begin
-                queue := rest;
-                start proc idx;
-                progressed := true
+                let stale =
+                  match storage with
+                  | None -> []
+                  | Some st ->
+                      List.filter
+                        (fun p ->
+                          match ckpts.(p) with
+                          | Some ck -> not (Storage.read st ck ~at:!now)
+                          | None -> false)
+                        segs.(idx).preds
+                in
+                match stale with
+                | [] ->
+                    queue := rest;
+                    start proc idx;
+                    progressed := true
+                | _ ->
+                    (* cascading rollback: each corrupt checkpoint's
+                       producer returns to the head of its processor's
+                       queue and re-executes (re-validating its own
+                       inputs when it dispatches, so the cascade is
+                       transitive); the consumer stays queued until
+                       every recovery read passes *)
+                    List.iter
+                      (fun p ->
+                        completed.(p) <- false;
+                        ckpts.(p) <- None;
+                        decr finished;
+                        let q = List.assoc segs.(p).processor queues in
+                        q := p :: !q)
+                      stale;
+                    progressed := true
               end)
       queues;
     if !progressed then dispatch ()
@@ -163,6 +225,7 @@ let makespan ~bandwidth segs trace_of_processor =
             r.phase <- Reading;
             r.rem <- segs.(r.seg_idx).read_bytes;
             r.total <- segs.(r.seg_idx).read_bytes;
+            r.commit_attempts <- 0;
             ignore (settle proc r)
         | `Complete proc ->
             let r = Hashtbl.find running proc in
@@ -197,8 +260,9 @@ let segs_of_plan (plan : Strategy.plan) =
           })
         plan.Strategy.segments
 
-let simulate ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
+let simulate ?(trials = 1000) ?(seed = 7) ?storage (plan : Strategy.plan) =
   if trials < 1 then invalid_arg "Contention.simulate: trials < 1";
+  Option.iter Storage.validate storage;
   let platform = plan.Strategy.platform in
   let bandwidth = platform.Platform.bandwidth in
   let segs = segs_of_plan plan in
@@ -206,6 +270,15 @@ let simulate ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
   let stats = Stats.create () in
   for _ = 1 to trials do
     let trial_rng = Rng.split master in
+    (* the storage substream splits off the trial's own generator, and
+       only when faults are on: a reliable config draws nothing and
+       reproduces the fault-free trials bitwise *)
+    let st =
+      match storage with
+      | Some cfg when not (Storage.reliable cfg) ->
+          Some (Storage.create cfg (Rng.split trial_rng))
+      | _ -> None
+    in
     let traces = Hashtbl.create 16 in
     let trace_of p =
       match Hashtbl.find_opt traces p with
@@ -215,6 +288,6 @@ let simulate ?(trials = 1000) ?(seed = 7) (plan : Strategy.plan) =
           Hashtbl.replace traces p t;
           t
     in
-    Stats.add stats (makespan ~bandwidth segs trace_of)
+    Stats.add stats (makespan ?storage:st ~bandwidth segs trace_of)
   done;
   stats

@@ -11,7 +11,18 @@
     contention-free engine. Synchronous checkpointing strategies
     (CKPTALL after every task; the bipartite-completed CKPTSOME after
     every level) produce I/O bursts, so contention widens the gap the
-    paper measures at nominal bandwidth. *)
+    paper measures at nominal bandwidth.
+
+    An optional {!Ckpt_storage.Storage} fault model composes with
+    contention: a detected commit failure rewrites the replica set at
+    the shared bandwidth (the rewrite {e is} the backoff — no wall-clock
+    sleep is charged, since the stream already competes for bandwidth),
+    an exhausted commit cycle re-executes its segment, and a corrupt
+    recovery read discovered at dispatch time sends the producing
+    segment back to the head of its processor's queue (cascading
+    transitively) while the consumer waits. Storage outage intervals
+    are {e not} modelled here — contention's fluid bandwidth sharing is
+    itself the storage-availability model of this simulator. *)
 
 type seg = {
   processor : int;
@@ -22,10 +33,16 @@ type seg = {
 }
 
 val makespan :
-  bandwidth:float -> seg array -> (int -> Ckpt_platform.Failure.t) -> float
+  ?storage:Ckpt_storage.Storage.t ->
+  bandwidth:float ->
+  seg array ->
+  (int -> Ckpt_platform.Failure.t) ->
+  float
 (** Execute under fair-shared bandwidth. Preconditions as
     {!Engine.makespan}: topologically ordered, per-processor order
-    respected.
+    respected. [storage] attaches a per-trial storage fault state
+    (commit failures, latent corruption, cascading rollback as
+    described above); omitted, checkpoints are perfectly reliable.
 
     @raise Invalid_argument on a bad ordering or non-positive
     bandwidth. *)
@@ -37,6 +54,14 @@ val segs_of_plan : Ckpt_core.Strategy.plan -> seg array
     @raise Invalid_argument on a CKPTNONE plan. *)
 
 val simulate :
-  ?trials:int -> ?seed:int -> Ckpt_core.Strategy.plan -> Ckpt_prob.Stats.t
-(** Monte-Carlo driver under contention, mirroring
-    {!Runner.simulate}. *)
+  ?trials:int ->
+  ?seed:int ->
+  ?storage:Ckpt_storage.Storage.config ->
+  Ckpt_core.Strategy.plan ->
+  Ckpt_prob.Stats.t
+(** Monte-Carlo driver under contention, mirroring {!Runner.simulate}.
+    [storage] enables the storage fault model; each trial gets its own
+    state on a substream split after the trial generator, and a
+    {!Ckpt_storage.Storage.reliable} config draws nothing — the
+    returned statistics are then bitwise those of the fault-free
+    driver. *)

@@ -9,14 +9,27 @@ module Mortality = Ckpt_recovery.Mortality
 module Repair = Ckpt_recovery.Repair
 module Pool = Ckpt_parallel.Pool
 module Dag = Ckpt_dag.Dag
+module Storage = Ckpt_storage.Storage
 
 type mode = Repair | Restart
 
 let mode_name = function Repair -> "repair" | Restart -> "restart"
 
-type config = { lambda_death : float; max_losses : int; kind : Strategy.kind }
+type config = {
+  lambda_death : float;
+  max_losses : int;
+  kind : Strategy.kind;
+  storage : Storage.config;
+}
 
-type trial = { makespan : float; losses : int; replans : int; restarts : int }
+type trial = {
+  makespan : float;
+  losses : int;
+  replans : int;
+  restarts : int;
+  rollbacks : int;
+  invalidated : int;
+}
 
 (* For each segment of a plan, the task ids it covers (in the plan's
    own id space). *)
@@ -32,6 +45,7 @@ let seg_tasks_of (plan : Strategy.plan) =
 type prepared = {
   plan : Strategy.plan;
   init_segs : Engine.seg array;
+  init_writes : float array;
   init_seg_tasks : int array array;
   (* structural replan cache: Repair.replan is a pure function of
      (kind, survivor set, committed-checkpoint frontier) for a fixed
@@ -40,7 +54,9 @@ type prepared = {
      never mutates segments); the table is mutex-protected, and a
      racing recomputation of the same key is harmless because both
      domains produce the identical value. *)
-  cache : (string, (Engine.seg array * int array array, string) result) Hashtbl.t;
+  cache :
+    (string, (Engine.seg array * float array * int array array, string) result)
+    Hashtbl.t;
   lock : Mutex.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
@@ -53,6 +69,7 @@ let prepare ?(cache = true) (plan : Strategy.plan) =
   {
     plan;
     init_segs = Runner.segs_of_plan plan;
+    init_writes = Runner.writes_of_plan plan;
     init_seg_tasks = seg_tasks_of plan;
     cache = Hashtbl.create 64;
     lock = Mutex.create ();
@@ -91,8 +108,8 @@ let replan_key ~kind ~survivors ~done_ =
 let compute_replan prepared ~kind ~survivors ~done_ =
   let plan = prepared.plan in
   match
-    Repair.replan ~kind ~dag:plan.Strategy.raw_dag ~done_ ~survivors
-      ~platform:plan.Strategy.platform
+    Repair.replan ~replicas:plan.Strategy.replicas ~kind ~dag:plan.Strategy.raw_dag
+      ~done_ ~survivors ~platform:plan.Strategy.platform ()
   with
   | Error msg -> Error msg
   | Ok r ->
@@ -105,7 +122,7 @@ let compute_replan prepared ~kind ~survivors ~done_ =
       let seg_tasks =
         Array.map (Array.map (fun t -> r.Repair.task_of.(t))) (seg_tasks_of r.Repair.plan)
       in
-      Ok (segs, seg_tasks)
+      Ok (segs, Runner.writes_of_plan r.Repair.plan, seg_tasks)
 
 let replan_cached prepared ~kind ~survivors ~done_ =
   if not prepared.use_cache then compute_replan prepared ~kind ~survivors ~done_
@@ -153,25 +170,97 @@ let run_trial ~mode config prepared rng =
         t
   in
   let death p = deaths.(p) in
+  (* the storage substream splits strictly after deaths and traces, and
+     only when storage faults are on: with a reliable config the trial
+     consumes exactly the legacy randomness and takes the legacy
+     execution path, bitwise *)
+  let storage =
+    if Storage.reliable config.storage then None
+    else Some (Storage.create config.storage (Rng.split rng))
+  in
   let done_ = Array.make n false in
-  (* current plan state: engine segments (on physical processor ids)
-     and the original task ids each segment checkpoints *)
-  let rec go ~clock ~segs ~seg_tasks ~losses ~replans ~restarts =
-    match Engine.execute_until_death ~start:clock segs trace_of ~death with
-    | Engine.Finished (_, finish) -> { makespan = finish; losses; replans; restarts }
-    | Engine.Interrupted { dead = _; at; completed } ->
+  (* the checkpoint handle backing each done task — the recovery line:
+     a loss revalidates every handle, and a failed recovery read clears
+     [done_] so the replan re-schedules the producing segment (and,
+     transitively through the residual DAG, everything downstream of
+     it) from its own last valid checkpoint *)
+  let task_ckpt = Array.make n None in
+  (* current plan state: engine segments (on physical processor ids),
+     their commit durations, and the original task ids each segment
+     checkpoints *)
+  let rec go ~clock ~segs ~writes ~seg_tasks ~losses ~replans ~restarts ~rollbacks
+      ~invalidated =
+    let outcome =
+      match storage with
+      | None -> (
+          match Engine.execute_until_death ~start:clock segs trace_of ~death with
+          | Engine.Finished (_, finish) -> `Finished (finish, 0)
+          | Engine.Interrupted { dead = _; at; completed } ->
+              `Interrupted (at, completed, None))
+      | Some st -> (
+          match
+            Engine.execute_until_death_storage ~start:clock segs ~write:writes trace_of
+              ~death ~storage:st
+          with
+          | Engine.SFinished run ->
+              `Finished (run.Engine.sfinish, List.length run.Engine.rollback_log)
+          | Engine.SInterrupted { dead = _; at; completed; ckpts } ->
+              `Interrupted (at, completed, Some ckpts))
+    in
+    match outcome with
+    | `Finished (finish, rb) ->
+        {
+          makespan = finish;
+          losses;
+          replans;
+          restarts;
+          rollbacks = rollbacks + rb;
+          invalidated;
+        }
+    | `Interrupted (at, completed, ckpts) ->
         let losses = losses + 1 in
         Array.iteri
-          (fun i ok -> if ok then Array.iter (fun t -> done_.(t) <- true) seg_tasks.(i))
+          (fun i ok ->
+            if ok then begin
+              Array.iter (fun t -> done_.(t) <- true) seg_tasks.(i);
+              match ckpts with
+              | Some cks ->
+                  Array.iter (fun t -> task_ckpt.(t) <- cks.(i)) seg_tasks.(i)
+              | None -> ()
+            end)
           completed;
+        (* revalidate the committed frontier at the loss instant,
+           before the replan key is formed: latent corruption revealed
+           here rolls the recovery line back past the corrupt segment *)
+        let invalidated =
+          match storage with
+          | None -> invalidated
+          | Some st ->
+              let fresh = ref 0 in
+              for t = 0 to n - 1 do
+                if done_.(t) then
+                  match task_ckpt.(t) with
+                  | Some ck ->
+                      if not (Storage.read st ck ~at) then begin
+                        done_.(t) <- false;
+                        task_ckpt.(t) <- None;
+                        incr fresh
+                      end
+                  | None -> ()
+              done;
+              invalidated + !fresh
+        in
         let survivors = Mortality.survivors deaths ~after:at in
-        if survivors = [] then { makespan = infinity; losses; replans; restarts }
+        if survivors = [] then
+          { makespan = infinity; losses; replans; restarts; rollbacks; invalidated }
         else begin
-          let continue_with (segs, seg_tasks) ~replans ~restarts =
-            go ~clock:at ~segs ~seg_tasks ~losses ~replans ~restarts
+          let continue_with (segs, writes, seg_tasks) ~replans ~restarts =
+            go ~clock:at ~segs ~writes ~seg_tasks ~losses ~replans ~restarts ~rollbacks
+              ~invalidated
           in
           let from_scratch ~replans ~restarts =
             Array.fill done_ 0 n false;
+            Array.fill task_ckpt 0 n None;
             match replan_cached prepared ~kind:config.kind ~survivors ~done_ with
             | Ok v -> continue_with v ~replans ~restarts:(restarts + 1)
             | Error msg ->
@@ -188,8 +277,9 @@ let run_trial ~mode config prepared rng =
               | Error _ -> from_scratch ~replans ~restarts)
         end
   in
-  go ~clock:0. ~segs:prepared.init_segs ~seg_tasks:prepared.init_seg_tasks ~losses:0
-    ~replans:0 ~restarts:0
+  go ~clock:0. ~segs:prepared.init_segs ~writes:prepared.init_writes
+    ~seg_tasks:prepared.init_seg_tasks ~losses:0 ~replans:0 ~restarts:0 ~rollbacks:0
+    ~invalidated:0
 
 (* Work-distribution chunk (see Runner): trials are claimed chunkwise
    by worker domains but derive their randomness from the trial index
@@ -228,6 +318,8 @@ type summary = {
   mean_losses : float;
   mean_replans : float;
   mean_restarts : float;
+  mean_rollbacks : float;
+  mean_invalidated : float;
   stranded : int;
 }
 
@@ -242,5 +334,7 @@ let summarize trials =
     mean_losses = sum (fun t -> float_of_int t.losses) /. fn;
     mean_replans = sum (fun t -> float_of_int t.replans) /. fn;
     mean_restarts = sum (fun t -> float_of_int t.restarts) /. fn;
+    mean_rollbacks = sum (fun t -> float_of_int t.rollbacks) /. fn;
+    mean_invalidated = sum (fun t -> float_of_int t.invalidated) /. fn;
     stranded = Array.fold_left (fun acc t -> if t.makespan = infinity then acc + 1 else acc) 0 trials;
   }

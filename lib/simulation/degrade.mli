@@ -20,9 +20,20 @@
     first, then one trace generator split per processor, in processor
     order), so repair-vs-restart comparisons are paired.
 
+    Unreliable stable storage ([config.storage]) composes with loss:
+    epochs execute through {!Engine.execute_until_death_storage}, each
+    completed segment's checkpoint handle is retained as the trial's
+    recovery line, and every loss instant revalidates the whole
+    committed frontier — a checkpoint whose recovery read fails is
+    removed from [done_] so the replan re-schedules its producer (and
+    its transitive consumers) instead of trusting corrupt data.
+
     Determinism contract: a trial's randomness is a pure function of
-    [(seed, trial)] and results are reassembled in trial order, so
-    {!sample} returns bitwise identical arrays for any [jobs] value. *)
+    [(seed, trial)] — deaths first, then one trace split per processor,
+    then (only when storage faults are enabled) one storage split — and
+    results are reassembled in trial order, so {!sample} returns
+    bitwise identical arrays for any [jobs] value, and a reliable
+    storage config reproduces the pre-storage samples bitwise. *)
 
 module Strategy = Ckpt_core.Strategy
 
@@ -36,6 +47,12 @@ type config = {
   lambda_death : float;  (** per-processor permanent-failure rate *)
   max_losses : int;  (** deaths that actually occur, the rest censored *)
   kind : Strategy.kind;  (** checkpoint policy applied at each replan *)
+  storage : Ckpt_storage.Storage.config;
+      (** stable-storage fault model ({!Ckpt_storage.Storage.default}
+          for the classic reliable store). With a
+          {!Ckpt_storage.Storage.reliable} config the trial consumes
+          exactly the legacy randomness and execution path, so results
+          are bitwise the pre-storage ones. *)
 }
 
 type trial = {
@@ -43,6 +60,12 @@ type trial = {
   losses : int;  (** disruptive permanent losses suffered *)
   replans : int;  (** successful residual replans (online repair) *)
   restarts : int;  (** restart-from-scratch replans (baseline / fallback) *)
+  rollbacks : int;
+      (** cascading rollbacks (failed recovery reads re-executing their
+          producer) inside the epoch that ran to completion *)
+  invalidated : int;
+      (** done tasks whose checkpoint failed its recovery read at a
+          loss instant and were returned to the residual workflow *)
 }
 
 type prepared
@@ -99,6 +122,8 @@ type summary = {
   mean_losses : float;
   mean_replans : float;
   mean_restarts : float;
+  mean_rollbacks : float;
+  mean_invalidated : float;
   stranded : int;
 }
 

@@ -103,6 +103,163 @@ let execute_until_death ?(start = 0.) segs trace_of_processor ~death =
   | Some (dead, at) ->
       Interrupted { dead; at; completed = Array.map (fun c -> c <= at) completion }
 
+(* ---------- execution over unreliable stable storage ---------- *)
+
+module Storage = Ckpt_storage.Storage
+
+type storage_run = {
+  srecords : record array;
+  sfinish : float;
+  ckpts : Storage.ckpt option array;
+  rollback_log : int list;
+}
+
+(* Core shared by the plain and the death-cut storage executors. With a
+   [Storage.reliable] configuration every branch below degenerates to
+   the fault-free path — same float operations in the same order, no
+   extra randomness — so the result is bitwise identical to
+   [execute_from]. *)
+let execute_storage_core ~start segs ~write trace_of_processor ~storage =
+  let n = Array.length segs in
+  if Array.length write <> n then
+    invalid_arg "Engine.execute_storage: write-span array size mismatch";
+  Array.iteri
+    (fun i seg ->
+      List.iter
+        (fun p ->
+          if p >= i then
+            invalid_arg "Engine.execute_storage: segments not topologically ordered")
+        seg.preds)
+    segs;
+  let completion = Array.make n start in
+  let rev_attempts = Array.make n [] in
+  let ckpts = Array.make n None in
+  let rev_rollbacks = ref [] in
+  let proc_free = Hashtbl.create 16 in
+  let traces = Hashtbl.create 16 in
+  let trace p =
+    match Hashtbl.find_opt traces p with
+    | Some t -> t
+    | None ->
+        let t = trace_of_processor p in
+        Hashtbl.replace traces p t;
+        t
+  in
+  let finish = ref start in
+  (* [run i ~now] (re-)executes segment [i] no earlier than [now]:
+     waits until every predecessor checkpoint reads back valid
+     (cascading rollback when a recovery read finds one corrupt), runs
+     the attempt loop over the segment duration, then commits — a
+     commit whose backoff policy exhausts loses the memory content and
+     reproduces the whole segment. Returns the commit instant. *)
+  let rec run i ~now =
+    let seg = segs.(i) in
+    let ready =
+      List.fold_left
+        (fun acc p -> ensure p ~now:(Float.max acc completion.(p)))
+        now seg.preds
+    in
+    let free = Option.value ~default:start (Hashtbl.find_opt proc_free seg.processor) in
+    let t0 = Storage.available storage (Float.max ready free) in
+    let tr = trace seg.processor in
+    let rec attempt start acc =
+      if seg.duration = 0. then
+        (start, { attempt_start = start; attempt_end = start; failed = false } :: acc)
+      else begin
+        let failure = Failure.next_after tr start in
+        if failure < start +. seg.duration then
+          attempt failure ({ attempt_start = start; attempt_end = failure; failed = true } :: acc)
+        else
+          let fin = start +. seg.duration in
+          (fin, { attempt_start = start; attempt_end = fin; failed = false } :: acc)
+      end
+    in
+    let rec cycle t0 acc =
+      let done_at, acc = attempt t0 acc in
+      match Storage.commit storage ~seg:i ~write:write.(i) ~at:done_at with
+      | Ok (commit_at, ck) ->
+          ckpts.(i) <- Some ck;
+          (commit_at, acc)
+      | Error gave_up_at -> cycle (Storage.available storage gave_up_at) acc
+    in
+    let done_at, acc = cycle t0 rev_attempts.(i) in
+    rev_attempts.(i) <- acc;
+    completion.(i) <- done_at;
+    Hashtbl.replace proc_free seg.processor done_at;
+    if done_at > !finish then finish := done_at;
+    done_at
+  and ensure p ~now =
+    match ckpts.(p) with
+    | None -> assert false (* topological order: predecessors committed first *)
+    | Some ck ->
+        if Storage.read storage ck ~at:now then now
+        else begin
+          (* corrupt recovery read: the recovery line moves back — the
+             producing segment re-executes from ITS last valid inputs,
+             transitively to the workflow inputs if needed *)
+          rev_rollbacks := p :: !rev_rollbacks;
+          let t = run p ~now in
+          ensure p ~now:t
+        end
+  in
+  for i = 0 to n - 1 do
+    ignore (run i ~now:start)
+  done;
+  let records =
+    Array.init n (fun i ->
+        {
+          seg_index = i;
+          seg_processor = segs.(i).processor;
+          attempts = List.rev rev_attempts.(i);
+        })
+  in
+  (records, completion, !finish, ckpts, List.rev !rev_rollbacks)
+
+let execute_storage ?(start = 0.) segs ~write trace_of_processor ~storage =
+  let srecords, _, sfinish, ckpts, rollback_log =
+    execute_storage_core ~start segs ~write trace_of_processor ~storage
+  in
+  { srecords; sfinish; ckpts; rollback_log }
+
+type storage_outcome =
+  | SFinished of storage_run
+  | SInterrupted of {
+      dead : int;
+      at : float;
+      completed : bool array;
+      ckpts : Storage.ckpt option array;
+    }
+
+let execute_until_death_storage ?(start = 0.) segs ~write trace_of_processor ~death
+    ~storage =
+  Array.iter
+    (fun seg ->
+      if death seg.processor <= start then
+        invalid_arg "Engine.execute_until_death: segment on an already-dead processor")
+    segs;
+  let srecords, completion, sfinish, ckpts, rollback_log =
+    execute_storage_core ~start segs ~write trace_of_processor ~storage
+  in
+  let death_of = Hashtbl.create 16 in
+  Array.iter
+    (fun seg ->
+      if not (Hashtbl.mem death_of seg.processor) then
+        Hashtbl.replace death_of seg.processor (death seg.processor))
+    segs;
+  let first = ref None in
+  Array.iteri
+    (fun i seg ->
+      let d = Hashtbl.find death_of seg.processor in
+      if completion.(i) > d then
+        match !first with
+        | Some (_, at) when at <= d -> ()
+        | _ -> first := Some (seg.processor, d))
+    segs;
+  match !first with
+  | None -> SFinished { srecords; sfinish; ckpts; rollback_log }
+  | Some (dead, at) ->
+      SInterrupted { dead; at; completed = Array.map (fun c -> c <= at) completion; ckpts }
+
 type summary = { failures : int; wasted_time : float; useful_time : float }
 
 let summarize records =

@@ -83,6 +83,69 @@ val execute_until_death :
     @raise Invalid_argument if a segment is mapped to a processor whose
     death instant is [<= start], or on a non-topological order. *)
 
+(** {1 Execution over unreliable stable storage}
+
+    The same semantics with {!Ckpt_storage.Storage} faults layered on:
+    each committed segment leaves a checkpoint handle; starting a
+    segment first {e reads} every predecessor checkpoint, and a read
+    that finds all replicas corrupt cascades rollback — the producing
+    segment re-executes from {e its} last valid inputs, transitively
+    back to the workflow inputs if needed (the recovery line moves
+    back). Detected commit failures retry under the storage backoff
+    policy (each retried write re-pays the write span); an exhausted
+    policy re-executes the whole segment. Reads and writes wait out
+    storage outages. With a [Storage.reliable] configuration the
+    results are bitwise identical to {!execute}. *)
+
+type storage_run = {
+  srecords : record array;  (** attempt histories, rollback attempts appended *)
+  sfinish : float;  (** makespan: the last commit instant *)
+  ckpts : Ckpt_storage.Storage.ckpt option array;
+      (** latest committed checkpoint per segment *)
+  rollback_log : int list;
+      (** segments re-executed by cascading rollback, in chronological
+          order — exactly the producers whose recovery read failed
+          ({!Ckpt_storage.Storage.failed_reads}) *)
+}
+
+val execute_storage :
+  ?start:float ->
+  seg array ->
+  write:float array ->
+  (int -> Ckpt_platform.Failure.t) ->
+  storage:Ckpt_storage.Storage.t ->
+  storage_run
+(** [write.(i)] is segment [i]'s (replica-scaled) checkpoint write span
+    in seconds — what a retried commit re-pays. Preconditions as
+    {!makespan}; additionally raises on a [write] array of the wrong
+    size. *)
+
+type storage_outcome =
+  | SFinished of storage_run
+  | SInterrupted of {
+      dead : int;
+      at : float;
+      completed : bool array;
+      ckpts : Ckpt_storage.Storage.ckpt option array;
+          (** checkpoint handles of the completed segments (the others
+              may hold stale pre-rollback commits — callers must only
+              trust [ckpts.(i)] where [completed.(i)]) *)
+    }
+
+val execute_until_death_storage :
+  ?start:float ->
+  seg array ->
+  write:float array ->
+  (int -> Ckpt_platform.Failure.t) ->
+  death:(int -> float) ->
+  storage:Ckpt_storage.Storage.t ->
+  storage_outcome
+(** {!execute_until_death} over unreliable storage: the death-free
+    storage-aware execution cut at the first disruptive death. A
+    segment counts as completed iff its {e latest} commit precedes the
+    cut, so work that was being re-executed by a cascading rollback at
+    the loss instant is correctly counted as lost. *)
+
 val restart_makespan :
   wpar:float -> processors:int -> lambda:float -> Ckpt_prob.Rng.t -> float
 (** CKPTNONE realisation: repeat attempts of length [wpar]; an

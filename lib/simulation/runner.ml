@@ -11,6 +11,7 @@ module Deadline = Ckpt_resilience.Deadline
 module Retry = Ckpt_resilience.Retry
 module Error = Ckpt_resilience.Error
 module Pool = Ckpt_parallel.Pool
+module Storage = Ckpt_storage.Storage
 
 let segs_of_plan (plan : Strategy.plan) =
   match plan.Strategy.prob_dag with
@@ -25,6 +26,12 @@ let segs_of_plan (plan : Strategy.plan) =
             preds = Prob_dag.preds pd idx;
           })
         plan.Strategy.segments
+
+let writes_of_plan (plan : Strategy.plan) =
+  match plan.Strategy.prob_dag with
+  | None -> invalid_arg "Runner.writes_of_plan: CKPTNONE has no segments"
+  | Some _ ->
+      Array.map (fun (seg : Placement.segment) -> seg.Placement.write) plan.Strategy.segments
 
 (* Work-distribution chunk: the unit of dynamic claiming by worker
    domains and of deadline checking (one clock read per chunk). Trials
@@ -101,7 +108,8 @@ let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
               | None -> attempt ~attempt:1
               | Some policy -> (
                   match
-                    Retry.with_retries ~policy ~rng:(Rng.create (seed + k)) attempt
+                    Retry.with_retries ~policy ~rng:(Rng.create (seed + k)) ~deadline
+                      attempt
                   with
                   | Ok v -> v
                   | Result.Error e -> Error.raise_ e)
@@ -121,6 +129,72 @@ let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
     else acc
   in
   Array.concat (List.rev (prefix 0 []))
+
+(* ---------- Monte-Carlo over unreliable stable storage ---------- *)
+
+type storage_trial = {
+  makespan : float;
+  commit_retries : int;
+  commit_exhausted : int;
+  corrupt_reads : int;
+  rollbacks : int;
+}
+
+(* The storage substream's trial seed: decorrelated from the
+   failure-trace streams (which derive from [seed] itself) by a fixed
+   tag, so faults never perturb the traces — with faults disabled the
+   substream is simply never created and the makespans are bitwise the
+   fault-free ones. *)
+let storage_seed seed = seed + 0x53544f52 (* "STOR" *)
+
+let sample_storage ?(trials = 1000) ?(seed = 7) ?(jobs = 1) ~storage
+    (plan : Strategy.plan) =
+  Storage.validate storage;
+  if trials < 1 then invalid_arg "Runner.sample_storage: trials < 1";
+  if jobs < 1 then invalid_arg "Runner.sample_storage: jobs < 1";
+  let platform = plan.Strategy.platform in
+  let segs = segs_of_plan plan in
+  let writes = writes_of_plan plan in
+  let nprocs = platform.Platform.processors in
+  let nchunks = (trials + chunk_trials - 1) / chunk_trials in
+  let results = Array.make nchunks None in
+  let next = Atomic.make 0 in
+  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+      let traces = Array.make nprocs None in
+      let one_trial k =
+        Array.fill traces 0 nprocs None;
+        let trial_rng = Rng.for_trial ~seed k in
+        let trace_of p =
+          match traces.(p) with
+          | Some t -> t
+          | None ->
+              let t = Failure.create trial_rng ~lambda:(Platform.rate_of platform p) in
+              traces.(p) <- Some t;
+              t
+        in
+        let st = Storage.create storage (Rng.for_trial ~seed:(storage_seed seed) k) in
+        let run = Engine.execute_storage segs ~write:writes trace_of ~storage:st in
+        let stats = Storage.stats st in
+        {
+          makespan = run.Engine.sfinish;
+          commit_retries = stats.Storage.commit_retries;
+          commit_exhausted = stats.Storage.commit_exhausted;
+          corrupt_reads = stats.Storage.corrupt_reads;
+          rollbacks = List.length run.Engine.rollback_log;
+        }
+      in
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          let lo = c * chunk_trials in
+          let hi = min trials (lo + chunk_trials) in
+          results.(c) <- Some (Array.init (hi - lo) (fun k -> one_trial (lo + k)));
+          loop ()
+        end
+      in
+      loop ());
+  Array.concat
+    (Array.to_list (Array.map (function Some a -> a | None -> assert false) results))
 
 let simulate ?trials ?seed ?deadline ?inject ?retry ?jobs plan =
   Stats.of_array (sample_makespans ?trials ?seed ?deadline ?inject ?retry ?jobs plan)

@@ -20,6 +20,40 @@ val segs_of_plan : Ckpt_core.Strategy.plan -> Engine.seg array
 
     @raise Invalid_argument on a CKPTNONE plan (nothing to segment). *)
 
+val writes_of_plan : Ckpt_core.Strategy.plan -> float array
+(** Per-segment checkpoint-commit durations (seconds) aligned with
+    {!segs_of_plan}; a plan built with [~replicas:k] already carries
+    the [k·C] cost here.
+
+    @raise Invalid_argument on a CKPTNONE plan. *)
+
+type storage_trial = {
+  makespan : float;
+  commit_retries : int;  (** checkpoint-commit attempts that failed *)
+  commit_exhausted : int;  (** commit cycles that exhausted the backoff *)
+  corrupt_reads : int;  (** recovery reads that found no valid replica *)
+  rollbacks : int;  (** cascading segment re-executions those triggered *)
+}
+
+val sample_storage :
+  ?trials:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  storage:Ckpt_storage.Storage.config ->
+  Ckpt_core.Strategy.plan ->
+  storage_trial array
+(** Monte-Carlo over unreliable stable storage
+    ({!Engine.execute_storage}): each trial draws the same
+    [(seed, trial)] failure traces as {!sample_makespans} plus an
+    independent storage substream (derived from a tagged seed, so
+    storage faults never perturb the traces). With a
+    {!Ckpt_storage.Storage.reliable} config the per-trial makespans are
+    bitwise those of {!sample_makespans} at the same [(trials, seed)].
+    Deterministic and bitwise identical for any [jobs] value.
+
+    @raise Invalid_argument on a CKPTNONE plan or an invalid [storage]
+    config ({!Ckpt_storage.Storage.validate}). *)
+
 val simulate :
   ?trials:int ->
   ?seed:int ->

@@ -29,4 +29,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("plan-equiv", Test_plan_equiv.suite);
       ("degrade-cache", Test_degrade_cache.suite);
+      ("storage", Test_storage.suite);
     ]

@@ -137,6 +137,55 @@ let test_journal_rejects_newline_key () =
     Alcotest.fail "tab key accepted"
   with Rerror.E (Rerror.Io _) -> ()
 
+(* --- journal format version --- *)
+
+let render_line key value =
+  Printf.sprintf "%08lx\t%s\t%s\n" (Journal.crc32 (key ^ "\t" ^ value)) key value
+
+let write_raw path lines =
+  let oc = open_out_bin path in
+  List.iter (output_string oc) lines;
+  close_out oc
+
+let test_journal_version_header () =
+  with_tmp @@ fun path ->
+  let j = ok_journal (Journal.open_ path) in
+  Journal.append j ~key:"a" ~value:"1";
+  let ic = open_in_bin path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header line first"
+    (String.trim (render_line "__journal_format__" (string_of_int Journal.format_version)))
+    first;
+  let j' = ok_journal (Journal.open_ path) in
+  Alcotest.(check (option string)) "reopens" (Some "1") (Journal.find j' "a")
+
+let check_version_error msg ~found result =
+  match result with
+  | Error (Rerror.Journal_version { found = f; expected; _ } as e) ->
+      Alcotest.(check string) (msg ^ ": found") found f;
+      Alcotest.(check string) (msg ^ ": expected")
+        (string_of_int Journal.format_version)
+        expected;
+      Alcotest.(check int) (msg ^ ": exit code 3") 3 (Rerror.exit_code e);
+      Alcotest.(check bool) (msg ^ ": one-line message") false
+        (String.contains (Rerror.to_string e) '\n')
+  | Ok _ -> Alcotest.fail (msg ^ ": opened a wrong-version journal")
+  | Error e -> Alcotest.failf "%s: wrong error: %s" msg (Rerror.to_string e)
+
+let test_journal_version_mismatch () =
+  with_tmp @@ fun path ->
+  (* a legacy (unversioned) journal: valid CRC entries, no header *)
+  write_raw path [ render_line "a" "1"; render_line "b" "2" ];
+  check_version_error "legacy journal" ~found:"1 (unversioned)" (Journal.open_ path);
+  (* a future format version *)
+  write_raw path [ render_line "__journal_format__" "99"; render_line "a" "1" ];
+  check_version_error "future journal" ~found:"99" (Journal.open_ path);
+  (* --resume semantics: [fresh] truncation ignores the stale file *)
+  write_raw path [ render_line "a" "1" ];
+  let j = ok_journal (Journal.open_ ~fresh:true path) in
+  Alcotest.(check int) "fresh open truncates" 0 (Journal.length j)
+
 let test_crc32_known_vector () =
   (* IEEE CRC-32 of "123456789" is 0xCBF43926 *)
   Alcotest.(check int32) "check vector" 0xCBF43926l (Journal.crc32 "123456789");
@@ -219,6 +268,33 @@ let test_retry_sleeps_schedule () =
   | Ok () -> Alcotest.fail "should exhaust"
   | Error _ -> ());
   Alcotest.(check (list (float 1e-9))) "slept the schedule" [ 0.5; 1.5 ] (List.rev !slept)
+
+let test_retry_deadline_cuts_backoff () =
+  (* injectable clock: the sleep advances it, so the second backoff —
+     nominally 10s — must be cut to the 2s of budget left, and the
+     retry loop must stop the moment the clock runs out *)
+  let now = ref 0. in
+  let slept = ref [] in
+  let sleep d =
+    slept := d :: !slept;
+    now := !now +. d
+  in
+  let deadline = Deadline.make ~clock:(fun () -> !now) ~seconds:12. () in
+  let policy =
+    { Retry.max_attempts = 5; base_delay = 10.; multiplier = 1.; max_delay = 10.; jitter = 0. }
+  in
+  let faulty = Faulty.after 0 in
+  (match
+     Retry.with_retries ~policy ~sleep ~deadline (fun ~attempt:_ -> Faulty.inject faulty "op")
+   with
+  | Error (Rerror.Deadline_exceeded { budget; completed }) ->
+      Alcotest.(check (float 1e-9)) "budget" 12. budget;
+      Alcotest.(check int) "attempts completed" 2 completed
+  | Ok () -> Alcotest.fail "should not succeed"
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e));
+  Alcotest.(check (list (float 1e-9))) "second nap cut to remaining budget" [ 10.; 2. ]
+    (List.rev !slept);
+  Alcotest.(check (float 1e-9)) "clock at the deadline" 12. !now
 
 (* --- deadline --- *)
 
@@ -409,6 +485,8 @@ let suite =
     Alcotest.test_case "journal crash preserves previous" `Quick
       test_journal_injected_crash_preserves_previous;
     Alcotest.test_case "journal rejects bad keys" `Quick test_journal_rejects_newline_key;
+    Alcotest.test_case "journal version header" `Quick test_journal_version_header;
+    Alcotest.test_case "journal version mismatch" `Quick test_journal_version_mismatch;
     Alcotest.test_case "crc32 known vector" `Quick test_crc32_known_vector;
     Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
     Alcotest.test_case "backoff shape" `Quick test_backoff_shape;
@@ -416,6 +494,7 @@ let suite =
     Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
     Alcotest.test_case "retry propagates fatal" `Quick test_retry_propagates_fatal;
     Alcotest.test_case "retry sleeps schedule" `Quick test_retry_sleeps_schedule;
+    Alcotest.test_case "retry deadline cuts backoff" `Quick test_retry_deadline_cuts_backoff;
     Alcotest.test_case "deadline never" `Quick test_deadline_never;
     Alcotest.test_case "deadline fake clock" `Quick test_deadline_fake_clock;
     Alcotest.test_case "montecarlo deadline cutoff" `Quick test_montecarlo_deadline_cutoff;

@@ -500,6 +500,68 @@ let storage_crossover_table ?journal ?(jobs = 1) () =
     [ 0.; 0.02; 0.05; 0.1; 0.2 ];
   print_newline ()
 
+(* Spot revocation: checkpointing + eviction-aware replanning vs the
+   Setlur-style replication baseline on a priced platform — two of the
+   five processors are spot instances at a 0.3 price discount (so
+   3.3x the revocation risk of the on-demand ones) (extension;
+   ckptwf cloud exposes the full sweep from the CLI). Each cell is
+   journaled and trials fan over [jobs] domains without changing the
+   sampled values. *)
+let cloud_revocation_table ?journal ?(jobs = 1) () =
+  let module Cloud = Ckpt_sim.Cloud in
+  Printf.printf "== Spot revocation: checkpoint vs replicate (genome n=50, p=5, 2 spot) ==\n";
+  Printf.printf "%8s %6s | %12s %12s %10s %10s %9s %9s %9s\n" "prevoke" "grace" "EM(ckpt)"
+    "EM(repl)" "lost(ck)" "lost(rp)" "$(ck)" "$(rp)" "strand";
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
+  let processors = 5 in
+  let pfail = 0.001 and ccr = 0.1 in
+  let mean_weight = Dag.total_weight dag /. float_of_int (Dag.n_tasks dag) in
+  let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+  let bandwidth =
+    Platform.bandwidth_for_ccr ~ccr ~total_data:(Dag.total_data dag)
+      ~total_weight:(Dag.total_weight dag)
+  in
+  let platform =
+    let nspot = 2 in
+    let spot p = p >= processors - nspot in
+    let rates = Array.make processors lambda in
+    let prices = Array.init processors (fun p -> if spot p then 0.3 else 1.) in
+    Platform.make_heterogeneous ~prices ~rates ~bandwidth ()
+  in
+  let setup = Pipeline.prepare ~platform ~dag ~processors ~pfail ~ccr () in
+  let plan = Pipeline.plan setup Strategy.Ckpt_some in
+  let prepared = Cloud.prepare plan in
+  let trials = 120 in
+  List.iter
+    (fun (prevoke, grace) ->
+      let key =
+        Printf.sprintf "bench|cloud|wf=genome|n=50|p=5|trials=%d|prevoke=%.17g|grace=%.17g"
+          trials prevoke grace
+      in
+      print_endline
+        (cell journal key (fun () ->
+             let lambda_revoke =
+               Platform.lambda_of_pfail ~pfail:prevoke ~mean_weight:plan.Strategy.wpar
+             in
+             let config =
+               { Cloud.lambda_revoke; grace; max_revocations = 2;
+                 kind = Strategy.Ckpt_some; storage = Ckpt_storage.Storage.default }
+             in
+             let summary mode =
+               Cloud.summarize
+                 (Cloud.sample_prepared ~trials ~seed:13 ~jobs ~mode config prepared)
+             in
+             let ck = summary Cloud.Checkpoint in
+             let rp = summary Cloud.Replicate in
+             (* an [inf] mean makespan means [strand]ed trials: every
+                replica (or every processor) revoked before finishing *)
+             Printf.sprintf "%8.2f %6.0f | %12.2f %12.2f %10.2f %10.2f %9.3f %9.3f %4d/%-4d"
+               prevoke grace ck.Cloud.mean_makespan rp.Cloud.mean_makespan
+               ck.Cloud.mean_work_lost rp.Cloud.mean_work_lost ck.Cloud.mean_dollar_cost
+               rp.Cloud.mean_dollar_cost ck.Cloud.stranded rp.Cloud.stranded)))
+    [ (0.2, 0.); (0.2, 30.); (0.5, 0.); (0.5, 30.) ];
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Monte-Carlo throughput benchmark                                     *)
 (* ------------------------------------------------------------------ *)
@@ -738,6 +800,7 @@ let () =
   contention_ablation ();
   degraded_mode_table ?journal ~jobs ();
   storage_crossover_table ?journal ~jobs ();
+  cloud_revocation_table ?journal ~jobs ();
   if quick then
     List.iter
       (fun (fig, kind) ->

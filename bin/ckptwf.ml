@@ -204,25 +204,66 @@ let outage_mean_arg =
     & opt (nonneg_float_conv "duration") 0.
     & info [ "outage-mean" ] ~docv:"SECONDS" ~doc:"Mean duration of one storage outage.")
 
-let storage_term =
-  let make commit_fail_prob corrupt_prob storage_lambda outage_rate outage_mean replicas =
+(* One shared spec for the storage fault model: [storage_base_term]
+   carries the channels every storage-aware command exposes the same
+   way; [storage_term] adds the per-commit corruption probability and
+   replication factor for the commands that take them as single values
+   (storm sweeps those two itself, with repeatable flags). *)
+let storage_base_term =
+  let make commit_fail_prob storage_lambda outage_rate outage_mean =
     {
       Storage.default with
       Storage.commit_fail_prob;
-      corrupt_prob;
       storage_lambda;
       outage_rate;
       outage_mean;
-      replicas;
     }
   in
   Term.(
-    const make $ commit_fail_prob_arg $ corrupt_prob_arg $ storage_lambda_arg
-    $ outage_rate_arg $ outage_mean_arg $ replicas_arg)
+    const make $ commit_fail_prob_arg $ storage_lambda_arg $ outage_rate_arg
+    $ outage_mean_arg)
+
+let storage_term =
+  let make base corrupt_prob replicas = { base with Storage.corrupt_prob; replicas } in
+  Term.(const make $ storage_base_term $ corrupt_prob_arg $ replicas_arg)
 
 let check_storage cfg =
   try Storage.validate cfg
   with Invalid_argument message -> die (Rerror.Io { path = "--storage flags"; message })
+
+(* --- journal / resume / fault-injection flags (shared by the sweeping
+   commands: sweep, degrade, storm, cloud) --- *)
+
+let journal_path_arg noun =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          (Printf.sprintf
+             "Journal completed cells to $(docv) (CRC-guarded, atomically updated) so a \
+              crashed %s can be resumed with $(b,--resume)."
+             noun))
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the journal: cells already recorded are replayed verbatim instead \
+           of recomputed, so the output matches an uninterrupted run exactly.")
+
+let fail_after_arg what =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fail-after" ] ~docv:"K"
+        ~doc:
+          (Printf.sprintf
+             "Fault injection (testing aid): simulate a fail-stop error by crashing before \
+              computing the ($(docv)+1)-th non-journaled %s."
+             what))
 
 (* one-line notice when a resumed journal dropped a torn trailing line *)
 let tail_notice journal =
@@ -232,6 +273,31 @@ let tail_notice journal =
         Printf.eprintf "ckptwf: journal %s: dropped a truncated trailing entry (recovered)\n%!"
           (Journal.path j))
     journal
+
+(* validate the --resume/--journal combination, open the journal
+   (fresh unless resuming) and report a recovered torn tail *)
+let open_journal ~resume journal =
+  if resume && journal = None then
+    die
+      (Rerror.Io
+         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
+  let journal =
+    match journal with
+    | None -> None
+    | Some path -> (
+        match Journal.open_ ~fresh:(not resume) path with
+        | Ok j -> Some j
+        | Error e -> Rerror.raise_ e)
+  in
+  tail_notice journal;
+  journal
+
+(* journal appends are retried under the default backoff policy: a
+   transient filesystem hiccup must not lose a computed cell *)
+let journal_append j ~key ~value =
+  match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
+  | Ok () -> ()
+  | Error e -> Rerror.raise_ e
 
 (* the workflow under study: a DAX file when given, else synthetic;
    always validated before any scheduling touches it *)
@@ -426,28 +492,9 @@ let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr =
 let sweep_run dax workflow tasks seed processors pfail method_ csv journal resume
     fail_after jobs =
   protect @@ fun () ->
-  if resume && journal = None then
-    die
-      (Rerror.Io
-         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
   let dag = source dax workflow tasks seed in
   let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
-  let journal =
-    match journal with
-    | None -> None
-    | Some path -> (
-        match Journal.open_ ~fresh:(not resume) path with
-        | Ok j -> Some j
-        | Error e -> Rerror.raise_ e)
-  in
-  tail_notice journal;
-  (* journal appends are retried under the default backoff policy: a
-     transient filesystem hiccup must not lose a computed cell *)
-  let journal_append j ~key ~value =
-    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
-    | Ok () -> ()
-    | Error e -> Rerror.raise_ e
-  in
+  let journal = open_journal ~resume journal in
   if csv then print_endline "workflow,tasks,processors,pfail,ccr,em_some,em_all,em_none,rel_all,rel_none,ckpts_some"
   else
     Format.printf "%-8s %6s %10s %10s %10s %8s %8s %6s@." "wf" "ccr" "EM(some)" "EM(all)"
@@ -493,33 +540,6 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
 
 let sweep_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV rows.") in
-  let journal =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "journal" ] ~docv:"FILE"
-          ~doc:
-            "Journal completed sweep cells to $(docv) (CRC-guarded, atomically updated) so \
-             a crashed sweep can be resumed with $(b,--resume).")
-  in
-  let resume =
-    Arg.(
-      value
-      & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume from the journal: cells already recorded are replayed verbatim instead \
-             of recomputed, so the output matches an uninterrupted run exactly.")
-  in
-  let fail_after =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "fail-after" ] ~docv:"K"
-          ~doc:
-            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
-             computing the ($(docv)+1)-th non-journaled cell.")
-  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -527,7 +547,8 @@ let sweep_cmd =
           7).")
     Term.(
       const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ method_arg $ csv $ journal $ resume $ fail_after $ jobs_arg)
+      $ pfail_arg $ method_arg $ csv $ journal_path_arg "sweep" $ resume_arg
+      $ fail_after_arg "cell" $ jobs_arg)
 
 (* --- accuracy (Section VI-B) --- *)
 
@@ -782,26 +803,9 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
            path = "--strategy";
            message = "CKPTNONE saves nothing a survivor could reuse; pick a checkpointing strategy";
          });
-  if resume && journal = None then
-    die
-      (Rerror.Io
-         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
   let dag = source dax workflow tasks seed in
   let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
-  let journal =
-    match journal with
-    | None -> None
-    | Some path -> (
-        match Journal.open_ ~fresh:(not resume) path with
-        | Ok j -> Some j
-        | Error e -> Rerror.raise_ e)
-  in
-  tail_notice journal;
-  let journal_append j ~key ~value =
-    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
-    | Ok () -> ()
-    | Error e -> Rerror.raise_ e
-  in
+  let journal = open_journal ~resume journal in
   if csv then
     print_endline
       ("workflow,tasks,processors,strategy,losses,trials,pdeath,em_repair,em_restart,gain,mean_losses,mean_replans,mean_restarts,stranded_repair,stranded_restart"
@@ -877,33 +881,6 @@ let degrade_cmd =
   let trials =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Degraded-mode trials per cell.")
   in
-  let journal =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "journal" ] ~docv:"FILE"
-          ~doc:
-            "Journal completed cells to $(docv) (CRC-guarded, atomically updated) so a \
-             crashed sweep can be resumed with $(b,--resume).")
-  in
-  let resume =
-    Arg.(
-      value
-      & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume from the journal: cells already recorded are replayed verbatim instead \
-             of recomputed, so the output matches an uninterrupted run exactly.")
-  in
-  let fail_after =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "fail-after" ] ~docv:"K"
-          ~doc:
-            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
-             computing the ($(docv)+1)-th non-journaled cell.")
-  in
   Cmd.v
     (Cmd.info "degrade"
        ~doc:
@@ -911,8 +888,9 @@ let degrade_cmd =
           versus restart-from-scratch over a sweep of death probabilities (extension).")
     Term.(
       const degrade_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ strategy_arg $ pdeaths $ max_losses $ trials $ csv $ journal
-      $ resume $ fail_after $ jobs_arg $ storage_term)
+      $ pfail_arg $ ccr_arg $ strategy_arg $ pdeaths $ max_losses $ trials $ csv
+      $ journal_path_arg "degrade sweep" $ resume_arg $ fail_after_arg "cell" $ jobs_arg
+      $ storage_term)
 
 (* --- storm (unreliable stable storage: replication crossover) --- *)
 
@@ -934,20 +912,16 @@ let storm_row_em row =
   | _ -> invalid_arg ("storm: unparsable row: " ^ row)
 
 let storm_run dax workflow tasks seed processors pfail ccr strategy trials corrupt_probs
-    replicas_list storage_lambda commit_fail_prob outage_rate outage_mean journal resume
-    fail_after jobs =
+    replicas_list base journal resume fail_after jobs =
   protect @@ fun () ->
   if strategy = Strategy.Ckpt_none then
     die
       (Rerror.Io
          { path = "--strategy"; message = "CKPTNONE commits nothing; pick a checkpointing strategy" });
-  if resume && journal = None then
-    die
-      (Rerror.Io
-         { path = "--resume"; message = "resuming requires --journal FILE to resume from" });
-  let base =
-    { Storage.default with Storage.storage_lambda; commit_fail_prob; outage_rate; outage_mean }
-  in
+  let storage_lambda = base.Storage.storage_lambda in
+  let commit_fail_prob = base.Storage.commit_fail_prob in
+  let outage_rate = base.Storage.outage_rate in
+  let outage_mean = base.Storage.outage_mean in
   check_storage base;
   let corrupt_probs =
     match corrupt_probs with [] -> [ 0.; 0.02; 0.05; 0.1; 0.2 ] | ps -> ps
@@ -959,20 +933,7 @@ let storm_run dax workflow tasks seed processors pfail ccr strategy trials corru
     corrupt_probs;
   let dag = source dax workflow tasks seed in
   let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
-  let journal =
-    match journal with
-    | None -> None
-    | Some path -> (
-        match Journal.open_ ~fresh:(not resume) path with
-        | Ok j -> Some j
-        | Error e -> Rerror.raise_ e)
-  in
-  tail_notice journal;
-  let journal_append j ~key ~value =
-    match Retry.with_retries (fun ~attempt:_ -> Journal.append j ~key ~value) with
-    | Ok () -> ()
-    | Error e -> Rerror.raise_ e
-  in
+  let journal = open_journal ~resume journal in
   print_endline storm_header;
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   (* one plan per replication factor: k enters the placement DP as a
@@ -1080,33 +1041,6 @@ let storm_cmd =
     Arg.(
       value & opt int 300 & info [ "trials" ] ~docv:"T" ~doc:"Monte-Carlo trials per cell.")
   in
-  let journal =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "journal" ] ~docv:"FILE"
-          ~doc:
-            "Journal completed cells to $(docv) (CRC-guarded, atomically updated) so a \
-             crashed storm can be resumed with $(b,--resume).")
-  in
-  let resume =
-    Arg.(
-      value
-      & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume from the journal: cells already recorded are replayed verbatim instead \
-             of recomputed, so the output matches an uninterrupted run exactly.")
-  in
-  let fail_after =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "fail-after" ] ~docv:"K"
-          ~doc:
-            "Fault injection (testing aid): simulate a fail-stop error by crashing before \
-             computing the ($(docv)+1)-th non-journaled cell.")
-  in
   Cmd.v
     (Cmd.info "storm"
        ~doc:
@@ -1116,8 +1050,292 @@ let storm_cmd =
     Term.(
       const storm_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ trials $ corrupt_probs $ replicas_list
-      $ storage_lambda_arg $ commit_fail_prob_arg $ outage_rate_arg $ outage_mean_arg
-      $ journal $ resume $ fail_after $ jobs_arg)
+      $ storage_base_term $ journal_path_arg "storm" $ resume_arg $ fail_after_arg "cell"
+      $ jobs_arg)
+
+(* --- cloud (spot-instance revocation on priced platforms) --- *)
+
+module Cloud = Ckpt_sim.Cloud
+
+let cloud_header =
+  "workflow,tasks,processors,strategy,trials,prevoke,grace,spot_fraction,spot_discount,spot_speed,em_ckpt,em_repl,cost_ckpt,cost_repl,lost_ckpt,lost_repl,rescues,rescued_tasks,revocations,replans,stranded_ckpt,stranded_repl"
+
+(* expected work lost by the checkpointing mode (column 15 of a
+   rendered cloud row) — parsed for the grace-benefit report, so it
+   works on journaled rows too *)
+let cloud_row_lost row =
+  match String.split_on_char ',' row with
+  | _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: _ :: lost :: _ ->
+      float_of_string lost
+  | _ -> invalid_arg ("cloud: unparsable row: " ^ row)
+
+let cloud_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind ~trials ~revocations ~price
+    ~spot_discount ~spot_speed ~storage_config ~prevoke ~grace spot_fraction =
+  Printf.sprintf
+    "cloud|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|trials=%d|rev=%d|price=%.17g|disc=%.17g|speed=%.17g%s|prevoke=%.17g|grace=%.17g|sf=%.17g"
+    (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
+    trials revocations price spot_discount spot_speed (storage_key storage_config) prevoke
+    grace spot_fraction
+
+let cloud_run dax workflow tasks seed processors pfail ccr strategy trials prevokes graces
+    spot_fractions spot_discount spot_speed price revocations storage journal resume
+    fail_after jobs =
+  protect @@ fun () ->
+  check_storage storage;
+  if strategy = Strategy.Ckpt_none then
+    die
+      (Rerror.Io
+         {
+           path = "--strategy";
+           message = "CKPTNONE saves nothing a rescue could commit; pick a checkpointing strategy";
+         });
+  let bad path message = die (Rerror.Io { path; message }) in
+  if spot_discount <= 0. || spot_discount > 1. then
+    bad "--spot-discount" "must lie in (0, 1]";
+  if price <= 0. then bad "--price" "must be positive";
+  if spot_speed <= 0. then bad "--spot-speed" "must be positive";
+  if revocations < 0 then bad "--revocations" "must be non-negative";
+  let prevokes = match prevokes with [] -> [ 0.05; 0.2 ] | ps -> ps in
+  let graces = match graces with [] -> [ 0.; 10. ] | gs -> gs in
+  let spot_fractions = match spot_fractions with [] -> [ 0.; 0.5 ] | fs -> fs in
+  List.iter
+    (fun p -> if p < 0. || p >= 1. then bad "--prevoke" "must lie in [0, 1)")
+    prevokes;
+  List.iter (fun g -> if g < 0. then bad "--grace" "must be non-negative") graces;
+  List.iter
+    (fun f -> if f < 0. || f > 1. then bad "--spot-fraction" "must lie in [0, 1]")
+    spot_fractions;
+  let dag = source dax workflow tasks seed in
+  let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
+  let journal = open_journal ~resume journal in
+  print_endline cloud_header;
+  (* the priced platform: failure rate and bandwidth derived exactly as
+     the homogeneous pipeline derives them, so a fully on-demand
+     platform (spot-fraction 0) plans and executes bitwise like the
+     unpriced one — prices are uniform (risk factor 1 everywhere) but
+     the dollar meter still runs *)
+  let mean_weight = Dag.total_weight dag /. float_of_int (Dag.n_tasks dag) in
+  let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+  let bandwidth =
+    let total_data = Dag.total_data dag in
+    if total_data <= 0. then 1.
+    else
+      Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight:(Dag.total_weight dag)
+  in
+  let platform_for sf =
+    let nspot = int_of_float (Float.round (sf *. float_of_int processors)) in
+    let spot p = p >= processors - nspot in
+    let rates = Array.make processors lambda in
+    let prices =
+      Array.init processors (fun p -> if spot p then price *. spot_discount else price)
+    in
+    let speeds =
+      if nspot = 0 || spot_speed = 1. then None
+      else Some (Array.init processors (fun p -> if spot p then spot_speed else 1.))
+    in
+    Platform.make_heterogeneous ?speeds ~prices ~rates ~bandwidth ()
+  in
+  (* one plan + engine preparation per price mix (spot speeds shift the
+     placement DP's costs); cells sharing a mix share the replan cache *)
+  let prepared_for = Hashtbl.create 4 in
+  let prepared sf =
+    match Hashtbl.find_opt prepared_for sf with
+    | Some v -> v
+    | None ->
+        let setup =
+          Pipeline.prepare ~platform:(platform_for sf) ~dag ~processors ~pfail ~ccr ()
+        in
+        let plan = Pipeline.plan ~replicas:storage.Storage.replicas setup strategy in
+        let v = (plan, Cloud.prepare plan) in
+        Hashtbl.add prepared_for sf v;
+        v
+  in
+  let cells =
+    List.concat_map
+      (fun prevoke ->
+        List.concat_map
+          (fun grace -> List.map (fun sf -> (prevoke, grace, sf)) spot_fractions)
+          graces)
+      prevokes
+  in
+  (* cells run in sequence — the parallelism lives inside
+     Cloud.sample_prepared, whose result is bitwise independent of
+     --jobs, so the bytes on stdout are too *)
+  let rows =
+    List.map
+      (fun (prevoke, grace, sf) ->
+        let key =
+          cloud_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy ~trials
+            ~revocations ~price ~spot_discount ~spot_speed ~storage_config:storage
+            ~prevoke ~grace sf
+        in
+        match Option.bind journal (fun j -> Journal.find j key) with
+        | Some row -> ((prevoke, grace, sf), row, true)
+        | None ->
+            Faulty.inject faulty "cloud cell";
+            let plan, prep = prepared sf in
+            let lambda_revoke =
+              if prevoke = 0. then 0.
+              else
+                Platform.lambda_of_pfail ~pfail:prevoke ~mean_weight:plan.Strategy.wpar
+            in
+            let config =
+              {
+                Cloud.lambda_revoke;
+                grace;
+                max_revocations = revocations;
+                kind = strategy;
+                storage;
+              }
+            in
+            let summary mode =
+              Cloud.summarize (Cloud.sample_prepared ~trials ~seed ~jobs ~mode config prep)
+            in
+            let ck = summary Cloud.Checkpoint in
+            let repl = summary Cloud.Replicate in
+            let row =
+              Printf.sprintf
+                "%s,%d,%d,%s,%d,%g,%g,%g,%g,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d"
+                (Dag.name dag) (Dag.n_tasks dag) processors (Strategy.kind_name strategy)
+                trials prevoke grace sf spot_discount spot_speed ck.Cloud.mean_makespan
+                repl.Cloud.mean_makespan ck.Cloud.mean_dollar_cost
+                repl.Cloud.mean_dollar_cost ck.Cloud.mean_work_lost
+                repl.Cloud.mean_work_lost ck.Cloud.mean_rescues
+                ck.Cloud.mean_rescued_tasks ck.Cloud.mean_revocations ck.Cloud.mean_replans
+                ck.Cloud.stranded repl.Cloud.stranded
+            in
+            Option.iter (fun j -> journal_append j ~key ~value:row) journal;
+            ((prevoke, grace, sf), row, false))
+      cells
+  in
+  List.iter (fun (_, row, _) -> print_endline row) rows;
+  (* grace-benefit report: wherever the sweep holds both a zero- and a
+     nonzero-grace cell of the same revocation rate and price mix,
+     compare the checkpointing mode's expected work lost — the
+     warning's whole value is the shrinkage *)
+  let lost_of prevoke grace sf =
+    List.find_map
+      (fun ((p, g, s), row, _) ->
+        if p = prevoke && g = grace && s = sf then Some (cloud_row_lost row) else None)
+      rows
+  in
+  if List.mem 0. graces then
+    List.iter
+      (fun prevoke ->
+        if prevoke > 0. then
+          List.iter
+            (fun sf ->
+              match lost_of prevoke 0. sf with
+              | None -> ()
+              | Some unwarned ->
+                  List.iter
+                    (fun g ->
+                      if g > 0. then
+                        match lost_of prevoke g sf with
+                        | Some l when l < unwarned ->
+                            Printf.eprintf
+                              "ckptwf: cloud: grace %g cuts expected work lost %.4f -> \
+                               %.4f (prevoke %g, spot-fraction %g)\n\
+                               %!"
+                              g unwarned l prevoke sf
+                        | _ -> ())
+                    graces)
+            spot_fractions)
+      prevokes;
+  (let hits, misses =
+     Hashtbl.fold
+       (fun _ (_, prep) (h, m) ->
+         let hits, misses = Cloud.cache_stats prep in
+         (h + hits, m + misses))
+       prepared_for (0, 0)
+   in
+   if hits + misses > 0 then
+     Printf.eprintf "ckptwf: replan cache: %d hit(s), %d miss(es) (%.0f%% hit rate)\n%!"
+       hits misses
+       (100. *. float_of_int hits /. float_of_int (hits + misses)));
+  Option.iter
+    (fun j ->
+      let reused =
+        List.fold_left (fun acc (_, _, r) -> if r then acc + 1 else acc) 0 rows
+      in
+      Printf.eprintf "ckptwf: journal %s: %d cell(s) reused, %d computed\n%!"
+        (Journal.path j) reused (List.length rows - reused))
+    journal
+
+let cloud_cmd =
+  let prevokes =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "prevoke" ] ~docv:"P"
+          ~doc:
+            "Probability that an on-demand-priced processor is revoked within the \
+             failure-free parallel time (sets the base revocation rate; each spot \
+             processor multiplies it by its price-driven risk factor; repeatable). \
+             Default sweep: 0.05 0.2.")
+  in
+  let graces =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "grace" ] ~docv:"G"
+          ~doc:
+            "Warning-to-kill grace window, seconds (repeatable; 0 = unannounced \
+             revocation). Default sweep: 0 10.")
+  in
+  let spot_fractions =
+    Arg.(
+      value
+      & opt_all float []
+      & info [ "spot-fraction" ] ~docv:"F"
+          ~doc:
+            "Fraction of the platform bought as discounted spot instances (repeatable). \
+             Default sweep: 0 0.5.")
+  in
+  let spot_discount =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "spot-discount" ] ~docv:"D"
+          ~doc:
+            "Spot price as a fraction of the on-demand price; the discount buys risk \
+             (the revocation rate is divided by it).")
+  in
+  let spot_speed =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "spot-speed" ] ~docv:"S"
+          ~doc:"Relative speed of a spot processor (1 = on-demand speed).")
+  in
+  let price =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "price" ] ~docv:"DOLLARS" ~doc:"On-demand price, dollars per hour.")
+  in
+  let revocations =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "revocations" ] ~docv:"K"
+          ~doc:"Revocations that can actually strike one execution (the rest censored).")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Cloud trials per cell.")
+  in
+  Cmd.v
+    (Cmd.info "cloud"
+       ~doc:
+         "Spot-instance revocation on a priced platform: expected makespan, work lost \
+          and dollar cost of warning-driven proactive checkpointing versus a \
+          replicate-the-workflow baseline, over a revocation-rate x grace x price-mix \
+          sweep (extension).")
+    Term.(
+      const cloud_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
+      $ pfail_arg $ ccr_arg $ strategy_arg $ trials $ prevokes $ graces $ spot_fractions
+      $ spot_discount $ spot_speed $ price $ revocations $ storage_term
+      $ journal_path_arg "cloud sweep" $ resume_arg $ fail_after_arg "cell" $ jobs_arg)
 
 (* --- export --- *)
 
@@ -1151,6 +1369,7 @@ let main_cmd =
           (--fail-after), 2 malformed or invalid input, 3 exhausted retry/deadline budget, \
           124 command-line misuse.")
     [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
-      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd; storm_cmd ]
+      export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd; storm_cmd;
+      cloud_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -28,7 +28,7 @@ diff -u "$TMP/jobs1.csv" "$TMP/jobs4.csv"
 
 echo "== malformed DAX exits 2 with a one-line diagnostic, every subcommand =="
 printf '<adag>\n  <job id="ID1" runtime="not-a-number"/>\n</adag>\n' > "$TMP/bad.dax"
-for sub in generate schedule evaluate simulate sweep accuracy gantt contention quantiles degrade storm; do
+for sub in generate schedule evaluate simulate sweep accuracy gantt contention quantiles degrade storm cloud; do
     status=0
     $CKPTWF "$sub" --dax "$TMP/bad.dax" > /dev/null 2> "$TMP/bad.err" || status=$?
     if [ "$status" -ne 2 ]; then
@@ -155,6 +155,50 @@ $CKPTWF simulate $SIM --storage-lambda 0 --corrupt-prob 0 --commit-fail-prob 0 -
 diff -u "$TMP/sim_plain.txt" "$TMP/sim_storage_off.txt"
 $CKPTWF degrade $DEGRADE --storage-lambda 0 --corrupt-prob 0 --replicas 1 > "$TMP/deg_storage_off.csv"
 diff -u "$TMP/deg1.csv" "$TMP/deg_storage_off.csv"
+
+echo "== cloud: --jobs invariance, crash/resume, grace pays, degrade degeneration =="
+CLOUD="--workflow genome --tasks 50 --seed 7 --processors 5 --strategy some --trials 120 --prevoke 0.9 --grace 0 --grace 30 --spot-fraction 0 --spot-fraction 0.4"
+CLOUD_CSV="${CLOUD_CSV:-$TMP/cloud.csv}"
+$CKPTWF cloud $CLOUD --jobs 1 > "$CLOUD_CSV" 2> "$TMP/cloud.err"
+$CKPTWF cloud $CLOUD --jobs 4 > "$TMP/cloud4.csv" 2> /dev/null
+diff -u "$CLOUD_CSV" "$TMP/cloud4.csv"
+# the warning's whole point: at every price mix, a nonzero grace must
+# strictly shrink the checkpointing mode's expected work lost
+awk -F, '
+    NR > 1 { lost[$7 "," $8] = $15 + 0; sf[$8] = 1 }
+    END {
+        for (f in sf) {
+            if (!(("0," f) in lost) || !(("30," f) in lost)) { print "FAIL: missing grace rows at spot-fraction " f; exit 1 }
+            if (lost["30," f] >= lost["0," f]) { print "FAIL: grace 30 lost " lost["30," f] " not below grace 0 lost " lost["0," f] " at spot-fraction " f; exit 1 }
+        }
+    }' "$CLOUD_CSV"
+grep -q "cuts expected work lost" "$TMP/cloud.err" || {
+    echo "FAIL: cloud printed no grace-benefit report:" >&2
+    cat "$TMP/cloud.err" >&2
+    exit 1
+}
+# crash after 2 cells, resume, byte-identical output
+status=0
+$CKPTWF cloud $CLOUD --journal "$TMP/cloud.journal" --fail-after 2 \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: injected cloud crash exited $status, want 1" >&2
+    exit 1
+fi
+$CKPTWF cloud $CLOUD --journal "$TMP/cloud.journal" --resume \
+    > "$TMP/cloudres.csv" 2> /dev/null
+diff -u "$CLOUD_CSV" "$TMP/cloudres.csv"
+# with revocations unannounced (grace 0) on a fully on-demand platform,
+# the cloud trial loop degenerates bitwise to the degrade one: its
+# expected makespan must equal degrade's em_repair at pdeath = prevoke
+$CKPTWF cloud --workflow genome --tasks 50 --seed 7 --processors 5 --strategy some \
+    --trials 60 --prevoke 0.2 --grace 0 --spot-fraction 0 > "$TMP/cloud_degen.csv" 2> /dev/null
+em_cloud=$(awk -F, 'NR == 2 { print $11 }' "$TMP/cloud_degen.csv")
+em_degrade=$(awk -F, 'NR > 1 && $7 + 0 == 0.2 { print $8 }' "$TMP/deg1.csv")
+if [ "$em_cloud" != "$em_degrade" ]; then
+    echo "FAIL: cloud em_ckpt $em_cloud != degrade em_repair $em_degrade (bitwise degeneration broken)" >&2
+    exit 1
+fi
 
 echo "== planning-throughput bench smoke (--plan-only, exit code only) =="
 dune build bench/main.exe

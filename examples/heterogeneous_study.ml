@@ -48,7 +48,7 @@ let () =
     Platform.bandwidth_for_ccr ~ccr:0.2 ~total_data:(Dag.total_data dag)
       ~total_weight:(Dag.total_weight dag)
   in
-  let platform = Platform.make_heterogeneous ~rates ~bandwidth in
+  let platform = Platform.make_heterogeneous ~rates ~bandwidth () in
   Format.printf "%a@.@." Platform.pp platform;
 
   let plan = Strategy.plan Strategy.Ckpt_some ~raw:dag ~schedule ~platform in

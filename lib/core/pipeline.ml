@@ -13,19 +13,31 @@ type setup = {
   ccr : float;
 }
 
-let prepare ?policy ~dag ~processors ~pfail ~ccr () =
+let prepare ?policy ?platform ~dag ~processors ~pfail ~ccr () =
   let n = Dag.n_tasks dag in
   if n = 0 then invalid_arg "Pipeline.prepare: empty workflow";
-  let mean_weight = Dag.total_weight dag /. float_of_int n in
-  let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
-  let bandwidth =
-    (* a workflow that moves no data has an undefined CCR; any
-       bandwidth realises it *)
-    let total_data = Dag.total_data dag in
-    if total_data <= 0. then 1.
-    else Platform.bandwidth_for_ccr ~ccr ~total_data ~total_weight:(Dag.total_weight dag)
+  let platform =
+    match platform with
+    | Some p ->
+        (* caller-built platform (heterogeneous / priced cloud): must
+           agree with the processor count used for scheduling *)
+        if p.Platform.processors <> processors then
+          invalid_arg "Pipeline.prepare: platform processor count mismatch";
+        p
+    | None ->
+        let mean_weight = Dag.total_weight dag /. float_of_int n in
+        let lambda = Platform.lambda_of_pfail ~pfail ~mean_weight in
+        let bandwidth =
+          (* a workflow that moves no data has an undefined CCR; any
+             bandwidth realises it *)
+          let total_data = Dag.total_data dag in
+          if total_data <= 0. then 1.
+          else
+            Platform.bandwidth_for_ccr ~ccr ~total_data
+              ~total_weight:(Dag.total_weight dag)
+        in
+        Platform.make ~processors ~lambda ~bandwidth
   in
-  let platform = Platform.make ~processors ~lambda ~bandwidth in
   let mspg, dummy_edges =
     (* one completing pass covers both the plain-M-SPG and the
        completable cases (with 0 dummies the decomposition never took

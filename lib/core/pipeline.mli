@@ -29,13 +29,19 @@ type setup = private {
 
 val prepare :
   ?policy:Linearize.policy ->
+  ?platform:Platform.t ->
   dag:Dag.t ->
   processors:int ->
   pfail:float ->
   ccr:float ->
   unit ->
   setup
-(** @raise Invalid_argument if the workflow cannot be recognised (even
+(** [platform] overrides the derived homogeneous platform with a
+    caller-built one (heterogeneous rates, speeds, prices — the cloud
+    extension); its processor count must equal [processors], and
+    [pfail] / [ccr] are then recorded verbatim without deriving λ or
+    the bandwidth from them.
+    @raise Invalid_argument if the workflow cannot be recognised (even
     with completion) or the knobs are out of range. *)
 
 val plan : ?jobs:int -> ?replicas:int -> setup -> Strategy.kind -> Strategy.plan

@@ -18,6 +18,12 @@ type segment = {
 let scale_replicas replicas bytes =
   if replicas > 1 then float_of_int replicas *. bytes else bytes
 
+(* Speed of a superchain's processor; unsped platforms answer 1
+   without an index check (processor ids in unit tests may exceed the
+   platform, which segment costing historically tolerated). *)
+let chain_speed platform proc =
+  if Platform.uniform_speed platform then 1. else Platform.speed_of platform proc
+
 let first_order ~lambda s =
   let pfail = Float.min 1. (lambda *. s) in
   ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)
@@ -36,6 +42,9 @@ let consumer_outside sc ~last m =
 let segment_of ?(replicas = 1) platform dag sc ~first ~last =
   if first < 0 || last >= Superchain.n_tasks sc || first > last then
     invalid_arg "Placement.segment_of: bad range";
+  (* heterogeneous speeds: compute time is weight / speed of the
+     superchain's own processor (speed 1 is bitwise the identity) *)
+  let speed = chain_speed platform sc.Superchain.processor in
   let read_bytes = ref 0. and write_bytes = ref 0. and work = ref 0. in
   let read_seen = Hashtbl.create 16 and write_seen = Hashtbl.create 16 in
   for k = first to last do
@@ -62,7 +71,7 @@ let segment_of ?(replicas = 1) platform dag sc ~first ~last =
     first;
     last;
     read = Platform.io_time platform !read_bytes;
-    work = !work;
+    work = !work /. speed;
     write = Platform.io_time platform (scale_replicas replicas !write_bytes);
   }
 
@@ -117,6 +126,7 @@ let fill_cost_tri ?(replicas = 1) a platform dag sc =
   let n = Superchain.n_tasks sc in
   ensure_capacity a n;
   let lambda = Platform.rate_of platform sc.Superchain.processor in
+  let speed = chain_speed platform sc.Superchain.processor in
   let tri = a.tri in
   for j = 0 to n - 1 do
     let row = j * (j + 1) / 2 in
@@ -157,7 +167,7 @@ let fill_cost_tri ?(replicas = 1) a platform dag sc =
       List.iter (fun size -> read_bytes := !read_bytes +. size) (Dag.inputs dag t);
       let s =
         Platform.io_time platform !read_bytes
-        +. !work
+        +. (!work /. speed)
         +. Platform.io_time platform (scale_replicas replicas !write_bytes)
       in
       tri.(row + i) <- first_order ~lambda s
@@ -169,6 +179,7 @@ let cost_matrix ?(replicas = 1) platform dag sc =
   let n = Superchain.n_tasks sc in
   (* heterogeneous platforms: the superchain's own processor's rate *)
   let lambda = Platform.rate_of platform sc.Superchain.processor in
+  let speed = chain_speed platform sc.Superchain.processor in
   Array.init n (fun j ->
       let row = Array.make (j + 1) 0. in
       (* grow the segment [i..j] leftward, maintaining R/W/C *)
@@ -209,7 +220,7 @@ let cost_matrix ?(replicas = 1) platform dag sc =
         List.iter (fun size -> read_bytes := !read_bytes +. size) (Dag.inputs dag t);
         let s =
           Platform.io_time platform !read_bytes
-          +. !work
+          +. (!work /. speed)
           +. Platform.io_time platform (scale_replicas replicas !write_bytes)
         in
         row.(i) <- first_order ~lambda s

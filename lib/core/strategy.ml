@@ -37,11 +37,16 @@ let parallel_time ~raw ~schedule ~platform =
   let dag = schedule.Schedule.dag in
   let n = Dag.n_tasks dag in
   let pd = Prob_dag.create () in
+  let chain_of = schedule.Schedule.chain_of_task in
   for t = 0 to n - 1 do
     let input_read =
       List.fold_left (fun acc s -> acc +. Platform.io_time platform s) 0. (Dag.inputs dag t)
     in
-    let d = Dag.weight dag t +. input_read in
+    (* heterogeneous speeds: each task computes at its superchain
+       processor's speed (speed 1 divides exactly, staying bitwise) *)
+    let proc = schedule.Schedule.superchains.(chain_of.(t)).Superchain.processor in
+    let speed = if Platform.uniform_speed platform then 1. else Platform.speed_of platform proc in
+    let d = (Dag.weight dag t /. speed) +. input_read in
     ignore (Prob_dag.add_node pd ~base:d ~degraded:d ~pfail:0.)
   done;
   for u = 0 to Dag.n_tasks raw - 1 do

@@ -10,13 +10,21 @@
     The paper's platforms are homogeneous (one rate λ for everyone);
     {!make_heterogeneous} extends the model with per-processor rates —
     Algorithm 2 then naturally checkpoints more densely on flakier
-    processors. [lambda] always exposes the mean rate. *)
+    processors — and, for the cloud extension, per-processor relative
+    {e speeds} (a task of weight w takes w / speed seconds) and
+    {e prices} (dollars per hour of provisioned time). A homogeneous
+    platform is the uniform special case: speed 1 and a zero price
+    everywhere, with every costing function degenerating bitwise to the
+    paper's. [lambda] always exposes the mean rate. *)
 
 type t = private {
   processors : int;
   lambda : float;  (** mean failure rate across processors *)
   bandwidth : float;
   rates : float array option;  (** per-processor rates, when heterogeneous *)
+  speeds : float array option;  (** per-processor relative speeds (1 = reference) *)
+  prices : float array option;  (** per-processor $/hour, when priced *)
+  base_price : float;  (** highest (on-demand) price; 0 when unpriced *)
 }
 
 val make : processors:int -> lambda:float -> bandwidth:float -> t
@@ -24,14 +32,42 @@ val make : processors:int -> lambda:float -> bandwidth:float -> t
     @raise Invalid_argument unless [processors >= 1], [lambda >= 0.]
     and [bandwidth > 0.]. *)
 
-val make_heterogeneous : rates:float array -> bandwidth:float -> t
-(** One processor per entry of [rates].
-    @raise Invalid_argument on an empty array, a negative rate or a
-    non-positive bandwidth. *)
+val make_heterogeneous :
+  ?speeds:float array ->
+  ?prices:float array ->
+  rates:float array ->
+  bandwidth:float ->
+  unit ->
+  t
+(** One processor per entry of [rates]; [speeds] and [prices] (same
+    length) attach relative speeds and hourly prices. The reference
+    (on-demand) price is the maximum of [prices].
+    @raise Invalid_argument on an empty array, a negative rate, a
+    non-positive speed or price, a size mismatch, or a non-positive
+    bandwidth. *)
 
 val rate_of : t -> int -> float
 (** Failure rate of one processor.
     @raise Invalid_argument on an out-of-range processor index. *)
+
+val speed_of : t -> int -> float
+(** Relative speed of one processor (1. on unsped platforms). A task of
+    weight w computes for [w /. speed_of t p] seconds there.
+    @raise Invalid_argument on an out-of-range processor index. *)
+
+val price_of : t -> int -> float
+(** Hourly price of one processor (0. on unpriced platforms).
+    @raise Invalid_argument on an out-of-range processor index. *)
+
+val uniform_speed : t -> bool
+(** Whether every processor runs at the reference speed. *)
+
+val revocation_risk : t -> int -> float
+(** Price-driven revocation risk factor: [base_price /. price_of t p] —
+    an on-demand processor (full price) has factor 1, a spot processor
+    at a third of the price is revoked three times as often. Unpriced
+    platforms are uniform spot (factor 1 everywhere). Multiplied into
+    the base revocation rate by {!Ckpt_recovery.Mortality}. *)
 
 val total_rate : t -> float
 (** Sum of all processors' failure rates (the aggregate failure
@@ -40,6 +76,17 @@ val total_rate : t -> float
 val io_time : t -> float -> float
 (** [io_time p size] is the time to move [size] data units to or from
     stable storage. *)
+
+val compute_time : t -> int -> float -> float
+(** [compute_time t p w] is the time processor [p] spends executing a
+    task of weight [w]: [w /. speed_of t p]. *)
+
+val billed_cost : t -> until:(int -> float) -> float
+(** Dollar cost of one execution: every processor is billed at its
+    hourly price from provisioning (instant 0) to [until p] — its
+    revocation instant or the release of the platform, whichever came
+    first. Non-positive and infinite spans bill nothing (an immortal
+    processor's span must be capped by the caller at the makespan). *)
 
 val lambda_of_pfail : pfail:float -> mean_weight:float -> float
 (** The paper's failure-rate normalisation: picks λ such that a task

@@ -23,6 +23,59 @@ let draw rng ~processors ~lambda_death ~max_losses =
     end
   end
 
+type revocation = { warn : float; kill : float }
+
+(* Spot-instance revocations: per-processor exponential kill instants
+   (heterogeneous rates — the discount-buys-risk law prices flakier
+   instances cheaper), each preceded by a warning [grace] seconds
+   earlier. The draw layout mirrors [draw] exactly: one exponential
+   per positive-rate processor in processor order, then censoring to
+   the earliest [max_revocations]; all-zero rates consume no
+   randomness, so an unpriced run is bitwise a plain mortality run. *)
+let draw_revocations rng ~rates ~grace ~max_revocations =
+  let processors = Array.length rates in
+  if processors < 1 then invalid_arg "Mortality.draw_revocations: no processors";
+  Array.iter
+    (fun r -> if r < 0. then invalid_arg "Mortality.draw_revocations: negative rate")
+    rates;
+  if grace < 0. then invalid_arg "Mortality.draw_revocations: negative grace";
+  if max_revocations < 0 then
+    invalid_arg "Mortality.draw_revocations: negative max_revocations";
+  let all_zero = Array.for_all (fun r -> r = 0.) rates in
+  let kills =
+    if all_zero || max_revocations = 0 then Array.make processors infinity
+    else begin
+      let kills =
+        Array.init processors (fun p ->
+            if rates.(p) = 0. then infinity else Rng.exponential rng ~rate:rates.(p))
+      in
+      if max_revocations >= processors then kills
+      else begin
+        (* censor to the [max_revocations] earliest instants, ties by id *)
+        let order = Array.init processors (fun p -> (kills.(p), p)) in
+        Array.sort compare order;
+        let censored = Array.make processors infinity in
+        for k = 0 to max_revocations - 1 do
+          let d, p = order.(k) in
+          censored.(p) <- d
+        done;
+        censored
+      end
+    end
+  in
+  Array.map
+    (fun kill ->
+      if kill = infinity then { warn = infinity; kill }
+      else { warn = Float.max 0. (kill -. grace); kill })
+    kills
+
+let eviction_survivors revs ~after =
+  let alive = ref [] in
+  for p = Array.length revs - 1 downto 0 do
+    if revs.(p).warn > after then alive := p :: !alive
+  done;
+  !alive
+
 let survivors deaths ~after =
   let alive = ref [] in
   for p = Array.length deaths - 1 downto 0 do

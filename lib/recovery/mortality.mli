@@ -27,6 +27,37 @@ val draw :
     @raise Invalid_argument if [processors < 1], [lambda_death < 0.] or
     [max_losses < 0]. *)
 
+type revocation = { warn : float; kill : float }
+(** A spot revocation: the platform announces at [warn] that the
+    instance dies at [kill] ([kill - warn] is the grace period,
+    truncated at instant 0 for kills inside the first grace window).
+    An unrevoked processor has both at [infinity]. *)
+
+val draw_revocations :
+  Ckpt_prob.Rng.t ->
+  rates:float array ->
+  grace:float ->
+  max_revocations:int ->
+  revocation array
+(** One revocation per processor: kill instants are exponential at the
+    per-processor [rates] (drawn in processor order, skipping
+    zero-rate — on-demand — processors), censored to the
+    [max_revocations] earliest (ties by processor id), and each finite
+    kill is preceded by a warning [grace] seconds earlier
+    ([warn = max 0 (kill - grace)], so [grace = 0.] degenerates to an
+    unannounced kill). All-zero [rates] or [max_revocations = 0]
+    consume no randomness. With uniform positive rates the kill
+    instants are bitwise those of {!draw}.
+
+    @raise Invalid_argument on an empty or negative [rates] array, a
+    negative [grace], or a negative [max_revocations]. *)
+
+val eviction_survivors : revocation array -> after:float -> int list
+(** Processors whose {e warning} lies strictly beyond [after], in
+    ascending id order — the set a replan started at [after] may use.
+    Stricter than {!survivors} on kills: a warned instance is draining
+    and must not receive new work. *)
+
 val survivors : float array -> after:float -> int list
 (** Processors whose death instant lies strictly beyond [after], in
     ascending id order — the processor set available to a replan

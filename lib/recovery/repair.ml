@@ -27,8 +27,21 @@ let replan ?readable ?replicas ~kind ~dag ~done_ ~survivors ~platform () =
         in
         let phys = Array.of_list survivors in
         let rates = Array.map (Platform.rate_of platform) phys in
+        (* the survivor sub-platform keeps each survivor's own speed and
+           price, so the Algorithm-2 DP costs of the repaired plan are
+           scaled by the processors it actually runs on *)
+        let speeds =
+          if Platform.uniform_speed platform then None
+          else Some (Array.map (Platform.speed_of platform) phys)
+        in
+        let prices =
+          match platform.Platform.prices with
+          | None -> None
+          | Some _ -> Some (Array.map (Platform.price_of platform) phys)
+        in
         let sub_platform =
-          Platform.make_heterogeneous ~rates ~bandwidth:platform.Platform.bandwidth
+          Platform.make_heterogeneous ?speeds ?prices ~rates
+            ~bandwidth:platform.Platform.bandwidth ()
         in
         let schedule = Allocate.run mspg ~processors:(Array.length phys) in
         let plan =

@@ -260,6 +260,138 @@ let execute_until_death_storage ?(start = 0.) segs ~write trace_of_processor ~de
   | Some (dead, at) ->
       SInterrupted { dead; at; completed = Array.map (fun c -> c <= at) completion; ckpts }
 
+(* ---------- spot-instance revocation with warnings ---------- *)
+
+type rescue_info = {
+  rread : float;
+  task_durs : float array;
+  partial_writes : float array;
+}
+
+type revocation_outcome =
+  | RFinished of storage_run
+  | RInterrupted of {
+      revoked : int;
+      at : float;
+      kill : float;
+      completed : bool array;
+      ckpts : Storage.ckpt option array;
+      rescue : (int * int * Storage.ckpt) option;
+      lost : float;
+    }
+
+(* The warning-cut analogue of [execute_until_death_storage]: spot
+   revocations only remove processors, so up to the first disruptive
+   warning the execution is the revocation-free one — run it and cut
+   at the earliest warning of a processor that still had unfinished
+   segments. During the grace window [warn, kill) the revoked
+   processor attempts an out-of-band proactive checkpoint of its
+   in-flight segment: the completed task prefix (recovery read plus k
+   whole task spans fit in the elapsed attempt time) is committed
+   through the storage layer, and the rescue stands iff the commit
+   lands before the kill. Zero grace ([kill <= warn]) skips the
+   attempt entirely — no storage traffic, no randomness — so an
+   unannounced revocation is bitwise a plain processor death. *)
+let execute_until_revocation ?(start = 0.) segs ~write ~rescue trace_of_processor
+    ~warn ~kill ~storage =
+  Array.iter
+    (fun seg ->
+      if warn seg.processor <= start then
+        invalid_arg "Engine.execute_until_revocation: segment on a revoked processor")
+    segs;
+  if Array.length rescue <> Array.length segs then
+    invalid_arg "Engine.execute_until_revocation: rescue array size mismatch";
+  let srecords, completion, sfinish, ckpts, rollback_log =
+    execute_storage_core ~start segs ~write trace_of_processor ~storage
+  in
+  let warn_of = Hashtbl.create 16 in
+  Array.iter
+    (fun seg ->
+      if not (Hashtbl.mem warn_of seg.processor) then
+        Hashtbl.replace warn_of seg.processor (warn seg.processor))
+    segs;
+  let first = ref None in
+  Array.iteri
+    (fun i seg ->
+      let w = Hashtbl.find warn_of seg.processor in
+      if completion.(i) > w then
+        match !first with
+        | Some (_, at) when at <= w -> ()
+        | _ -> first := Some (seg.processor, w))
+    segs;
+  match !first with
+  | None -> RFinished { srecords; sfinish; ckpts; rollback_log }
+  | Some (revoked, at) ->
+      let completed = Array.map (fun c -> c <= at) completion in
+      (* gross loss: execution time sunk before the cut into segments
+         whose checkpoint never committed (the rescue, if any, buys
+         part of it back — the caller nets it out) *)
+      let lost = ref 0. in
+      Array.iteri
+        (fun i r ->
+          if not completed.(i) then
+            List.iter
+              (fun a ->
+                if a.attempt_start < at then
+                  lost := !lost +. (Float.min at a.attempt_end -. a.attempt_start))
+              r.attempts)
+        srecords;
+      let kdl = kill revoked in
+      let rescue_result =
+        if kdl <= at then None
+        else begin
+          (* the segment actually mid-attempt on the revoked processor
+             at the warning instant (at most one: processors are
+             serial); a merely queued segment has nothing to save *)
+          let found = ref None in
+          Array.iteri
+            (fun i seg ->
+              if !found = None && seg.processor = revoked && not completed.(i) then
+                List.iter
+                  (fun a ->
+                    if !found = None && a.attempt_start <= at && at < a.attempt_end then
+                      found := Some (i, a.attempt_start))
+                  srecords.(i).attempts)
+            segs;
+          match !found with
+          | None -> None
+          | Some (i, astart) ->
+              let info = rescue.(i) in
+              let elapsed = at -. astart in
+              let tasks = Array.length info.task_durs in
+              let rec prefix k acc =
+                if k < tasks && acc +. info.task_durs.(k) <= elapsed then
+                  prefix (k + 1) (acc +. info.task_durs.(k))
+                else k
+              in
+              let k = prefix 0 info.rread in
+              if k = 0 then None
+              else begin
+                (* grace races C: the rescue write itself takes
+                   [partial_writes.(k-1)] seconds past the warning, and
+                   only then can the commit be attempted — both the
+                   write span and any storage-level delay (outage wait,
+                   retries) must fit before the kill *)
+                let pw = info.partial_writes.(k - 1) in
+                if at +. pw > kdl then None
+                else
+                  match Storage.commit storage ~seg:i ~write:pw ~at:(at +. pw) with
+                  | Ok (commit_at, ck) when commit_at <= kdl -> Some (i, k, ck)
+                  | Ok _ | Error _ -> None
+              end
+        end
+      in
+      RInterrupted
+        {
+          revoked;
+          at;
+          kill = kdl;
+          completed;
+          ckpts;
+          rescue = rescue_result;
+          lost = !lost;
+        }
+
 type summary = { failures : int; wasted_time : float; useful_time : float }
 
 let summarize records =

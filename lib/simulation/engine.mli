@@ -146,6 +146,62 @@ val execute_until_death_storage :
     cut, so work that was being re-executed by a cascading rollback at
     the loss instant is correctly counted as lost. *)
 
+(** {1 Spot-instance revocation with warnings}
+
+    The cloud extension's loss model: a revoked processor receives a
+    {e warning} at [warn p] and is killed at [kill p]
+    ({!Ckpt_recovery.Mortality.revocation}). At the warning it stops
+    taking work and spends the grace window trying to proactively
+    checkpoint the task prefix of its in-flight segment through the
+    storage layer; the rescue stands iff the partial write span {e and}
+    the storage commit both land before the kill — grace races [C]. Zero grace ([kill p <= warn p]) skips the attempt — no
+    storage traffic, no randomness — making an unannounced revocation
+    bitwise a plain {!execute_until_death_storage} death at the same
+    instant. *)
+
+type rescue_info = {
+  rread : float;  (** recovery-read span at the segment's head *)
+  task_durs : float array;
+      (** per-task compute spans (speed-scaled), in segment order *)
+  partial_writes : float array;
+      (** write span of a checkpoint covering the first [k] tasks, at
+          index [k - 1] (replica-scaled, like [write]) *)
+}
+
+type revocation_outcome =
+  | RFinished of storage_run
+  | RInterrupted of {
+      revoked : int;  (** the processor whose warning cut the run *)
+      at : float;  (** the warning instant — the cut *)
+      kill : float;  (** its kill instant, [at + grace] *)
+      completed : bool array;
+      ckpts : Ckpt_storage.Storage.ckpt option array;
+      rescue : (int * int * Ckpt_storage.Storage.ckpt) option;
+          (** [(segment, k, ckpt)]: the first [k] tasks of the in-flight
+              segment were committed during the grace window *)
+      lost : float;
+          (** gross execution time sunk into never-committed segments
+              before the cut; a successful rescue buys back its prefix
+              (callers net it out against [rescue]) *)
+    }
+
+val execute_until_revocation :
+  ?start:float ->
+  seg array ->
+  write:float array ->
+  rescue:rescue_info array ->
+  (int -> Ckpt_platform.Failure.t) ->
+  warn:(int -> float) ->
+  kill:(int -> float) ->
+  storage:Ckpt_storage.Storage.t ->
+  revocation_outcome
+(** The revocation-free storage-aware execution cut at the first
+    disruptive {e warning} (earliest warning of a processor with
+    unfinished segments — a warning after a processor drained is
+    harmless). Preconditions as {!execute_storage}; additionally raises
+    if a segment is mapped to a processor with [warn p <= start] or on
+    a [rescue] array of the wrong size. *)
+
 val restart_makespan :
   wpar:float -> processors:int -> lambda:float -> Ckpt_prob.Rng.t -> float
 (** CKPTNONE realisation: repeat attempts of length [wpar]; an

@@ -30,4 +30,5 @@ let () =
       ("plan-equiv", Test_plan_equiv.suite);
       ("degrade-cache", Test_degrade_cache.suite);
       ("storage", Test_storage.suite);
+      ("cloud", Test_cloud.suite);
     ]

@@ -40,7 +40,7 @@ let test_bandwidth_for_ccr () =
   check_close "resulting ccr" 0.1 (1000. /. bw /. 50.)
 
 let test_heterogeneous_platform () =
-  let p = Platform.make_heterogeneous ~rates:[| 0.1; 0.2; 0.3 |] ~bandwidth:1. in
+  let p = Platform.make_heterogeneous ~rates:[| 0.1; 0.2; 0.3 |] ~bandwidth:1. () in
   Alcotest.(check int) "processors" 3 p.Platform.processors;
   check_close "mean lambda" 0.2 p.Platform.lambda;
   check_close "rate 0" 0.1 (Platform.rate_of p 0);
@@ -56,11 +56,11 @@ let test_homogeneous_rate_of () =
 
 let test_heterogeneous_rejections () =
   Alcotest.(check bool) "empty" true
-    (match Platform.make_heterogeneous ~rates:[||] ~bandwidth:1. with
+    (match Platform.make_heterogeneous ~rates:[||] ~bandwidth:1. () with
     | exception Invalid_argument _ -> true
     | _ -> false);
   Alcotest.(check bool) "negative" true
-    (match Platform.make_heterogeneous ~rates:[| 0.1; -0.2 |] ~bandwidth:1. with
+    (match Platform.make_heterogeneous ~rates:[| 0.1; -0.2 |] ~bandwidth:1. () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 

@@ -255,7 +255,7 @@ let test_heterogeneous_checkpointing () =
   in
   let m = Mspg.build ~edge_size:(fun _ _ -> 1e6) bp in
   let schedule = Allocate.run m ~processors:2 in
-  let platform = Platform.make_heterogeneous ~rates:[| 1e-5; 5e-3 |] ~bandwidth:1e6 in
+  let platform = Platform.make_heterogeneous ~rates:[| 1e-5; 5e-3 |] ~bandwidth:1e6 () in
   let plan = Strategy.plan Strategy.Ckpt_some ~raw:m.Mspg.dag ~schedule ~platform in
   let per_chain = Hashtbl.create 4 in
   Array.iter

@@ -1,0 +1,52 @@
+(* Bench-result history: every throughput bench appends a timestamped
+   JSON record under bench/results/ (override with CKPTWF_BENCH_DIR)
+   and refreshes a "<name>-latest.json" pointer, turning the one-shot
+   BENCH_*.json snapshots at the repository root into a tracked
+   series. Repetition counts are tunable with CKPTWF_BENCH_REPS so CI
+   can run short and a quiet machine can run long. Recording failures
+   only warn — a read-only checkout must not fail the bench. *)
+
+let reps ~default =
+  match Sys.getenv_opt "CKPTWF_BENCH_REPS" with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some r when r >= 1 -> r
+      | _ ->
+          Printf.eprintf "bench: ignoring CKPTWF_BENCH_REPS=%S (want a positive integer)\n%!"
+            s;
+          default)
+
+let results_dir () =
+  match Sys.getenv_opt "CKPTWF_BENCH_DIR" with
+  | Some d -> d
+  | None -> Filename.concat "bench" "results"
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+    t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* append one timestamped record and refresh the latest pointer *)
+let record ~name json =
+  try
+    let dir = results_dir () in
+    mkdir_p dir;
+    let stamped = Filename.concat dir (Printf.sprintf "%s-%s.json" name (timestamp ())) in
+    write_file stamped json;
+    write_file (Filename.concat dir (Printf.sprintf "%s-latest.json" name)) json;
+    stamped
+  with Sys_error m | Unix.Unix_error (_, m, _) ->
+    Printf.eprintf "bench: could not record %s history (%s); continuing\n%!" name m;
+    ""

@@ -249,7 +249,7 @@ let figure_series ?journal ?(jobs = 1) fig kind =
                  region: concurrent Lazy.force is not domain-safe *)
               ignore (Lazy.force prepared);
               ignore (Lazy.force schedule);
-              Pool.map ~jobs (Array.length cells) (fun i ->
+              Pool.map_shared ~jobs (Array.length cells) (fun i ->
                   match stored.(i) with
                   | Some line -> line
                   | None ->
@@ -587,16 +587,15 @@ let mc_throughput ?json ~jobs () =
   let rate = float_of_int trials /. wall in
   Printf.printf "  workflow=genome n=%d trials=%d jobs=%d mean=%.4f wall=%.3fs trials/sec=%.0f\n\n"
     n trials jobs mean wall rate;
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      Printf.fprintf oc
-        "{\n  \"benchmark\": \"montecarlo-throughput\",\n  \"workflow\": \"genome\",\n\
-        \  \"n\": %d,\n  \"trials\": %d,\n  \"jobs\": %d,\n  \"wall_seconds\": %.6f,\n\
-        \  \"trials_per_sec\": %.0f\n}\n"
-        n trials jobs wall rate;
-      close_out oc)
-    json
+  let record =
+    Printf.sprintf
+      "{\n  \"benchmark\": \"montecarlo-throughput\",\n  \"workflow\": \"genome\",\n\
+      \  \"n\": %d,\n  \"trials\": %d,\n  \"jobs\": %d,\n  \"wall_seconds\": %.6f,\n\
+      \  \"trials_per_sec\": %.0f\n}\n"
+      n trials jobs wall rate
+  in
+  Option.iter (fun path -> History.write_file path record) json;
+  ignore (History.record ~name:"mc" record)
 
 (* ------------------------------------------------------------------ *)
 (* Planning throughput benchmark                                        *)
@@ -615,15 +614,21 @@ let seed_baseline_plans_per_sec = 8.2
 let plan_throughput ?json ~jobs () =
   let module Degrade = Ckpt_sim.Degrade in
   let cores = Domain.recommended_domain_count () in
+  let jobs_requested = jobs in
+  let jobs = Pool.effective_jobs jobs in
   Printf.printf "== Planning throughput (recognition + ALLOCATE + placement DP) ==\n";
-  if jobs > cores then
-    Printf.printf
-      "  note: %d job(s) requested but only %d core(s) available; parallel legs\n\
-      \  measure oversubscription (domains contend for the core and every minor\n\
-      \  GC synchronises all of them), not speedup\n"
-      jobs cores;
+  if jobs_requested > cores then
+    Printf.eprintf
+      "bench: --jobs %d exceeds the %d available core(s); parallel legs run at the \
+       clamped effective width %d\n%!"
+      jobs_requested cores jobs;
+  let reps = History.reps ~default:10 in
   let time iters f =
     ignore (f ());
+    (* level the heap between legs: the seq/par pairs must differ by
+       the code path alone, not by the major-GC debt the previous leg
+       left behind *)
+    Gc.compact ();
     let t0 = Unix.gettimeofday () in
     for _ = 1 to iters do
       ignore (Sys.opaque_identity (f ()))
@@ -637,8 +642,8 @@ let plan_throughput ?json ~jobs () =
     let setup = Pipeline.prepare ~dag ~processors ~pfail:0.001 ~ccr:0.01 () in
     Pipeline.plan ~jobs setup Strategy.Ckpt_some
   in
-  let genome_seq = time 10 (fun () -> full_plan ~jobs:1 genome ~processors:61) in
-  let genome_par = time 10 (fun () -> full_plan ~jobs genome ~processors:61) in
+  let genome_seq = time reps (fun () -> full_plan ~jobs:1 genome ~processors:61) in
+  let genome_par = time reps (fun () -> full_plan ~jobs genome ~processors:61) in
   Printf.printf "  genome   n=%d   plans/sec seq=%.1f  par(jobs=%d)=%.1f  seed=%.1f (%.1fx)\n"
     n_genome genome_seq jobs genome_par seed_baseline_plans_per_sec
     (genome_seq /. seed_baseline_plans_per_sec);
@@ -666,7 +671,7 @@ let plan_throughput ?json ~jobs () =
   let n_random = Dag.n_tasks random_dag in
   (* the tree of a generated M-SPG is known by construction, so this
      leg prices ALLOCATE + Algorithm 2 only (no recognition pass) *)
-  let plan_known ~jobs =
+  let plan_known ?(kind = Strategy.Ckpt_some) ~jobs () =
     let n = Dag.n_tasks random_dag in
     let mean_weight = Dag.total_weight random_dag /. float_of_int n in
     let lambda = Platform.lambda_of_pfail ~pfail:0.001 ~mean_weight in
@@ -676,12 +681,38 @@ let plan_throughput ?json ~jobs () =
     in
     let platform = Platform.make ~processors:6 ~lambda ~bandwidth in
     let schedule = Allocate.run random_mspg ~processors:6 in
-    Strategy.plan ~jobs Strategy.Ckpt_some ~raw:random_dag ~schedule ~platform
+    Strategy.plan ~jobs kind ~raw:random_dag ~schedule ~platform
   in
-  let random_seq = time 5 (fun () -> plan_known ~jobs:1) in
-  let random_par = time 5 (fun () -> plan_known ~jobs) in
+  let half_reps = max 1 (reps / 2) in
+  let random_seq = time half_reps (fun () -> plan_known ~jobs:1 ()) in
+  let random_par = time half_reps (fun () -> plan_known ~jobs ()) in
   Printf.printf "  large    n=%d  plans/sec seq=%.1f  par(jobs=%d)=%.1f  (alloc+DP only)\n"
     n_random random_seq jobs random_par;
+  (* daemon-batch leg: the serve workload — a 256-request batch over a
+     bounded set of strategies hitting a Service plan cache, so all but
+     the first request per strategy is a hash lookup.  This is the
+     plans/sec a resident [ckptwf serve] process sustains. *)
+  let module Service = Ckpt_core.Service in
+  let batch_requests = 512 in
+  let batch_kinds =
+    [| Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_every 5; Strategy.Ckpt_budget 8 |]
+  in
+  let service = Service.create () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to batch_requests - 1 do
+    let kind = batch_kinds.(i mod Array.length batch_kinds) in
+    ignore
+      (Sys.opaque_identity
+         (Service.plan service
+            ~key:(Printf.sprintf "bench|large|%s" (Strategy.kind_name kind))
+            (fun () -> plan_known ~kind ~jobs:1 ())))
+  done;
+  let batch_wall = Unix.gettimeofday () -. t0 in
+  let random_batch = float_of_int batch_requests /. batch_wall in
+  let svc = Service.stats service in
+  Printf.printf
+    "  daemon   n=%d  plans/sec batch=%.0f  (%d requests, %d plan hit(s), %d miss(es))\n"
+    n_random random_batch batch_requests svc.Service.plan_hits svc.Service.plan_misses;
   (* degraded-mode replanning: 120-trial repair batches on the
      standard small scenario, replan cache on *)
   let dag50 = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
@@ -699,7 +730,7 @@ let plan_throughput ?json ~jobs () =
   let trials = 120 in
   let prepared = Degrade.prepare plan50 in
   let batches =
-    time 5 (fun () ->
+    time half_reps (fun () ->
         Degrade.sample_prepared ~trials ~seed:13 ~jobs:1 ~mode:Degrade.Repair config
           prepared)
   in
@@ -709,32 +740,38 @@ let plan_throughput ?json ~jobs () =
   Printf.printf
     "  degrade  n=50 p=5  trials/sec=%.0f  replan cache: %d hit(s), %d miss(es) (%.0f%%)\n\n"
     degrade_rate hits misses (100. *. hit_rate);
-  Option.iter
-    (fun path ->
-      let oc = open_out path in
-      Printf.fprintf oc
-        "{\n\
-        \  \"benchmark\": \"plan-throughput\",\n\
-        \  \"jobs\": %d,\n\
-        \  \"cores\": %d,\n\
-        \  \"genome_n\": %d,\n\
-        \  \"genome_plans_per_sec_seq\": %.2f,\n\
-        \  \"genome_plans_per_sec_par\": %.2f,\n\
-        \  \"random_mspg_n\": %d,\n\
-        \  \"random_plans_per_sec_seq\": %.2f,\n\
-        \  \"random_plans_per_sec_par\": %.2f,\n\
-        \  \"degrade_trials_per_sec\": %.2f,\n\
-        \  \"replan_cache_hits\": %d,\n\
-        \  \"replan_cache_misses\": %d,\n\
-        \  \"replan_cache_hit_rate\": %.4f,\n\
-        \  \"seed_baseline_plans_per_sec\": %.2f,\n\
-        \  \"speedup_vs_seed\": %.2f\n\
-         }\n"
-        jobs cores n_genome genome_seq genome_par n_random random_seq random_par degrade_rate
-        hits misses hit_rate seed_baseline_plans_per_sec
-        (genome_seq /. seed_baseline_plans_per_sec);
-      close_out oc)
-    json
+  let record =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"plan-throughput\",\n\
+      \  \"jobs_requested\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"cores\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"genome_n\": %d,\n\
+      \  \"genome_plans_per_sec_seq\": %.2f,\n\
+      \  \"genome_plans_per_sec_par\": %.2f,\n\
+      \  \"random_mspg_n\": %d,\n\
+      \  \"random_plans_per_sec_seq\": %.2f,\n\
+      \  \"random_plans_per_sec_par\": %.2f,\n\
+      \  \"random_plans_per_sec_batch\": %.2f,\n\
+      \  \"batch_requests\": %d,\n\
+      \  \"service_plan_hits\": %d,\n\
+      \  \"service_plan_misses\": %d,\n\
+      \  \"degrade_trials_per_sec\": %.2f,\n\
+      \  \"replan_cache_hits\": %d,\n\
+      \  \"replan_cache_misses\": %d,\n\
+      \  \"replan_cache_hit_rate\": %.4f,\n\
+      \  \"seed_baseline_plans_per_sec\": %.2f,\n\
+      \  \"speedup_vs_seed\": %.2f\n\
+       }\n"
+      jobs_requested jobs cores reps n_genome genome_seq genome_par n_random random_seq
+      random_par random_batch batch_requests svc.Service.plan_hits svc.Service.plan_misses
+      degrade_rate hits misses hit_rate seed_baseline_plans_per_sec
+      (genome_seq /. seed_baseline_plans_per_sec)
+  in
+  Option.iter (fun path -> History.write_file path record) json;
+  ignore (History.record ~name:"plan" record)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in

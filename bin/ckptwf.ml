@@ -519,7 +519,7 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
     Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
   in
   let rows =
-    Pool.map ~jobs n_cells (fun i ->
+    Pool.map_shared ~jobs n_cells (fun i ->
         match stored.(i) with
         | _, Some row -> row
         | key, None ->
@@ -607,9 +607,8 @@ let accuracy_cmd =
 
 (* --- gantt --- *)
 
-let strategy_conv =
-  let parse str =
-    match String.lowercase_ascii str with
+let strategy_of_string str =
+  match String.lowercase_ascii str with
     | "all" | "ckpt-all" -> Ok Strategy.Ckpt_all
     | "some" | "ckpt-some" -> Ok Strategy.Ckpt_some
     | "none" | "ckpt-none" -> Ok Strategy.Ckpt_none
@@ -625,8 +624,9 @@ let strategy_conv =
           | Some k when k >= 1 -> Ok (Strategy.Ckpt_budget k)
           | _ -> Error (`Msg "bad budget")
         else Error (`Msg (Printf.sprintf "unknown strategy %S (all|some|none|every-K|budget-K)" s)))
-  in
-  Arg.conv (parse, fun fmt k -> Format.pp_print_string fmt (Strategy.kind_name k))
+
+let strategy_conv =
+  Arg.conv (strategy_of_string, fun fmt k -> Format.pp_print_string fmt (Strategy.kind_name k))
 
 let strategy_arg =
   Arg.(
@@ -1337,6 +1337,350 @@ let cloud_cmd =
       $ spot_discount $ spot_speed $ price $ revocations $ storage_term
       $ journal_path_arg "cloud sweep" $ resume_arg $ fail_after_arg "cell" $ jobs_arg)
 
+(* --- serve (planning as a service) --- *)
+
+module Service = Ckpt_core.Service
+
+(* Malformed requests take the same exit-2 path as malformed DAX:
+   [protect] renders one diagnostic line and exits. *)
+let malformed message = Rerror.raise_ (Rerror.Parse { source = "request"; message })
+
+let req_str req key ~default =
+  match Json.member key req with
+  | Some (Json.Str s) -> s
+  | None -> default
+  | Some _ -> malformed (Printf.sprintf "field %S must be a string" key)
+
+let req_float req key ~default =
+  match Json.member key req with
+  | Some (Json.Num f) -> f
+  | None -> default
+  | Some _ -> malformed (Printf.sprintf "field %S must be a number" key)
+
+let req_int req key ~default =
+  let f = req_float req key ~default:(float_of_int default) in
+  if Float.is_integer f then int_of_float f
+  else malformed (Printf.sprintf "field %S must be an integer" key)
+
+let req_strategy req ~default =
+  match strategy_of_string (req_str req "strategy" ~default) with
+  | Ok k -> k
+  | Error (`Msg m) -> malformed m
+
+type serve_state = {
+  service : Service.t;
+  (* one degraded-mode replan cache per plan, shared across requests:
+     repeated degrade traffic against the same plan hits the
+     structural replan cache instead of replanning *)
+  degraded : (string, Degrade.prepared) Hashtbl.t;
+}
+
+type plan_request = {
+  preq_key : string;
+  preq_setup : Pipeline.setup;
+  preq_kind : Strategy.kind;
+  preq_replicas : int;
+}
+
+let workflow_of_req req =
+  let name = req_str req "workflow" ~default:"genome" in
+  match Spec.of_name name with
+  | Some k -> k
+  | None -> malformed (Printf.sprintf "unknown workflow %S (genome|montage|ligo)" name)
+
+let setup_key ~workflow ~tasks ~seed ~processors ~pfail ~ccr =
+  Printf.sprintf "setup|wf=%s|n=%d|seed=%d|p=%d|pfail=%.17g|ccr=%.17g" (Spec.name workflow)
+    tasks seed processors pfail ccr
+
+(* the shared setup for a request: generated + validated + recognised +
+   scheduled once per distinct configuration, then reused (the compiled
+   CSR views and placement arenas ride along inside) *)
+let serve_setup state req =
+  let workflow = workflow_of_req req in
+  let tasks = req_int req "tasks" ~default:300 in
+  let seed = req_int req "seed" ~default:1 in
+  let processors = req_int req "processors" ~default:35 in
+  let pfail = req_float req "pfail" ~default:0.001 in
+  let ccr = req_float req "ccr" ~default:0.01 in
+  let key = setup_key ~workflow ~tasks ~seed ~processors ~pfail ~ccr in
+  let setup =
+    Service.setup state.service ~key (fun () ->
+        let dag = source None workflow tasks seed in
+        Pipeline.prepare ~dag ~processors ~pfail ~ccr ())
+  in
+  (key, setup)
+
+let plan_request state req =
+  let skey, setup = serve_setup state req in
+  let kind = req_strategy req ~default:"some" in
+  let replicas = req_int req "replicas" ~default:1 in
+  if replicas < 1 then malformed "field \"replicas\" must be >= 1";
+  {
+    preq_key = Printf.sprintf "%s|s=%s|k=%d" skey (Strategy.kind_name kind) replicas;
+    preq_setup = setup;
+    preq_kind = kind;
+    preq_replicas = replicas;
+  }
+
+(* plan a request through the service cache; [prefetched] marks keys
+   the batch front-loaded via Pipeline.plan_many — each counts as the
+   one miss its computation was *)
+let serve_plan state ~prefetched pr =
+  match Service.find_plan state.service ~key:pr.preq_key with
+  | Some plan ->
+      if Hashtbl.mem prefetched pr.preq_key then begin
+        Hashtbl.remove prefetched pr.preq_key;
+        Service.note_plan_miss state.service;
+        (plan, "miss")
+      end
+      else begin
+        Service.note_plan_hit state.service;
+        (plan, "hit")
+      end
+  | None ->
+      Service.note_plan_miss state.service;
+      let plan =
+        Pipeline.plan ~jobs:1 ~replicas:pr.preq_replicas pr.preq_setup pr.preq_kind
+      in
+      (Service.store_plan state.service ~key:pr.preq_key plan, "miss")
+
+let replan_cache_totals state =
+  Hashtbl.fold
+    (fun _ prepared (h, m) ->
+      let hits, misses = Degrade.cache_stats prepared in
+      (h + hits, m + misses))
+    state.degraded (0, 0)
+
+let handle_request state ~jobs ~prefetched req =
+  let t0 = Unix.gettimeofday () in
+  let op =
+    match Json.member "op" req with
+    | Some (Json.Str s) -> s
+    | Some _ -> malformed "field \"op\" must be a string"
+    | None -> malformed "missing field \"op\""
+  in
+  let id = match Json.member "id" req with Some v -> [ ("id", v) ] | None -> [] in
+  let finish fields =
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Json.Obj
+      (id
+      @ [ ("op", Json.Str op); ("ok", Json.Bool true) ]
+      @ fields
+      @ [ ("elapsed_ms", Json.Num (Float.round (elapsed_ms *. 1000.) /. 1000.)) ])
+  in
+  match op with
+  | "plan" ->
+      let pr = plan_request state req in
+      let plan, cache = serve_plan state ~prefetched pr in
+      let em = Strategy.expected_makespan plan in
+      finish
+        [ ("strategy", Json.Str (Strategy.kind_name pr.preq_kind));
+          ("checkpoints", Json.Num (float_of_int plan.Strategy.checkpoint_count));
+          ("expected_makespan", Json.Str (Printf.sprintf "%.2f" em));
+          ("wpar", Json.Str (Printf.sprintf "%.2f" plan.Strategy.wpar));
+          ("cache", Json.Str cache) ]
+  | "evaluate" ->
+      let _, setup = serve_setup state req in
+      let method_ =
+        let name = req_str req "method" ~default:"pathapprox" in
+        match Evaluator.of_name name with
+        | Some m -> m
+        | None -> malformed (Printf.sprintf "unknown method %S" name)
+      in
+      (* field formatting matches the one-shot `ckptwf evaluate` output
+         (%.2f makespans, %.4f relatives) so scripted round-trips can
+         compare the two verbatim *)
+      let cmp = Pipeline.compare_strategies ~method_ setup in
+      finish
+        [ ("method", Json.Str (Evaluator.name method_));
+          ("em_some", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_some));
+          ("ckpts_some", Json.Num (float_of_int cmp.Pipeline.ckpts_some));
+          ("em_all", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_all));
+          ("ckpts_all", Json.Num (float_of_int cmp.Pipeline.ckpts_all));
+          ("rel_all", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_all));
+          ("em_none", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_none));
+          ("rel_none", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_none)) ]
+  | "degrade" ->
+      let pr = plan_request state req in
+      if pr.preq_kind = Strategy.Ckpt_none then
+        malformed "degrade: CKPTNONE saves nothing a survivor could reuse";
+      let pdeath =
+        match Json.member "pdeath" req with
+        | Some (Json.Num f) -> f
+        | Some _ -> malformed "field \"pdeath\" must be a number"
+        | None -> malformed "degrade: missing field \"pdeath\""
+      in
+      let max_losses = req_int req "losses" ~default:1 in
+      let trials = req_int req "trials" ~default:200 in
+      let seed = req_int req "seed" ~default:1 in
+      let plan, cache = serve_plan state ~prefetched pr in
+      let prepared =
+        match Hashtbl.find_opt state.degraded pr.preq_key with
+        | Some p -> p
+        | None ->
+            let p = Degrade.prepare plan in
+            Hashtbl.add state.degraded pr.preq_key p;
+            p
+      in
+      let lambda_death =
+        Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
+      in
+      let config =
+        { Degrade.lambda_death; max_losses; kind = pr.preq_kind; storage = Storage.default }
+      in
+      let summary mode =
+        Degrade.summarize
+          (Degrade.sample_prepared ~trials ~seed ~jobs ~mode config prepared)
+      in
+      let repair = summary Degrade.Repair in
+      let restart = summary Degrade.Restart in
+      let hits, misses = replan_cache_totals state in
+      finish
+        [ ("pdeath", Json.Num pdeath);
+          ("em_repair", Json.Str (Printf.sprintf "%.4f" repair.Degrade.mean_makespan));
+          ("em_restart", Json.Str (Printf.sprintf "%.4f" restart.Degrade.mean_makespan));
+          ( "gain",
+            Json.Str
+              (Printf.sprintf "%.4f"
+                 (restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan)) );
+          ("cache", Json.Str cache);
+          ("replan_cache_hits", Json.Num (float_of_int hits));
+          ("replan_cache_misses", Json.Num (float_of_int misses)) ]
+  | "stats" ->
+      let s = Service.stats state.service in
+      let hits, misses = replan_cache_totals state in
+      finish
+        [ ("setup_hits", Json.Num (float_of_int s.Service.setup_hits));
+          ("setup_misses", Json.Num (float_of_int s.Service.setup_misses));
+          ("plan_hits", Json.Num (float_of_int s.Service.plan_hits));
+          ("plan_misses", Json.Num (float_of_int s.Service.plan_misses));
+          ("replan_cache_hits", Json.Num (float_of_int hits));
+          ("replan_cache_misses", Json.Num (float_of_int misses));
+          ("effective_jobs", Json.Num (float_of_int jobs));
+          ("cores", Json.Num (float_of_int (Pool.available_jobs ()))) ]
+  | other -> malformed (Printf.sprintf "unknown op %S (plan|evaluate|degrade|stats)" other)
+
+let parse_request line =
+  match Json.parse line with
+  | Json.Obj _ as req -> req
+  | _ -> malformed "request must be a JSON object"
+  | exception Json.Malformed m -> malformed m
+
+(* read every request first, front-load the distinct missing plans as
+   one Pipeline.plan_many batch over the resident pool, then answer in
+   order — the amortisation the daemon exists for *)
+let serve_batch state ~jobs input output =
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line input in
+       if String.trim line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> ());
+  let requests = Array.of_list (List.rev_map parse_request !lines) in
+  let prefetched = Hashtbl.create 16 in
+  let missing = Hashtbl.create 16 in
+  Array.iter
+    (fun req ->
+      match req_str req "op" ~default:"" with
+      | "plan" | "degrade" ->
+          let pr = plan_request state req in
+          if
+            (not (Hashtbl.mem missing pr.preq_key))
+            && Service.find_plan state.service ~key:pr.preq_key = None
+          then Hashtbl.add missing pr.preq_key pr
+      | _ -> ())
+    requests;
+  let batch = Array.of_list (Hashtbl.fold (fun _ pr acc -> pr :: acc) missing []) in
+  let plans =
+    Pipeline.plan_many ~jobs
+      (Array.map (fun pr -> (pr.preq_setup, pr.preq_kind, pr.preq_replicas)) batch)
+  in
+  Array.iteri
+    (fun i pr ->
+      ignore (Service.store_plan state.service ~key:pr.preq_key plans.(i));
+      Hashtbl.replace prefetched pr.preq_key ())
+    batch;
+  Array.iter
+    (fun req -> output (Json.to_string (handle_request state ~jobs ~prefetched req)))
+    requests
+
+let serve_stream state ~jobs input output =
+  let prefetched = Hashtbl.create 1 in
+  try
+    while true do
+      let line = input_line input in
+      if String.trim line <> "" then
+        output (Json.to_string (handle_request state ~jobs ~prefetched (parse_request line)))
+    done
+  with End_of_file -> ()
+
+let serve_run socket once jobs =
+  protect @@ fun () ->
+  let state = { service = Service.create (); degraded = Hashtbl.create 16 } in
+  let jobs = Pool.effective_jobs jobs in
+  match socket with
+  | None ->
+      let output line =
+        print_string line;
+        print_newline ();
+        flush stdout
+      in
+      if once then serve_batch state ~jobs stdin output
+      else serve_stream state ~jobs stdin output
+  | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Printf.eprintf "ckptwf: serving on %s%s\n%!" path (if once then " (once)" else "");
+      let serve_connection () =
+        let fd, _ = Unix.accept sock in
+        let input = Unix.in_channel_of_descr fd in
+        let out = Unix.out_channel_of_descr fd in
+        let output line =
+          output_string out line;
+          output_char out '\n';
+          flush out
+        in
+        (* each connection is one batch: requests to EOF, then answers;
+           caches persist across connections *)
+        serve_batch state ~jobs input output;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      if once then serve_connection ()
+      else
+        while true do
+          serve_connection ()
+        done
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve over a Unix domain socket at $(docv) instead of stdin/stdout; each \
+             connection is one request batch.")
+  in
+  let once =
+    Arg.(
+      value
+      & flag
+      & info [ "once" ]
+          ~doc:
+            "Handle one batch (stdin to EOF, or a single connection), answer every \
+             request in order, and exit — for scripting.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batched planning daemon: newline-delimited JSON plan/evaluate/degrade/stats \
+          requests over stdin or a Unix socket, with compiled DAG views, placement arenas \
+          and the structural replan cache shared across requests (extension).")
+    Term.(const serve_run $ socket $ once $ jobs_arg)
+
 (* --- export --- *)
 
 let export_run workflow tasks seed output =
@@ -1370,6 +1714,6 @@ let main_cmd =
           124 command-line misuse.")
     [ generate_cmd; schedule_cmd; evaluate_cmd; simulate_cmd; sweep_cmd; accuracy_cmd;
       export_cmd; gantt_cmd; contention_cmd; quantiles_cmd; degrade_cmd; storm_cmd;
-      cloud_cmd ]
+      cloud_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -200,9 +200,60 @@ if [ "$em_cloud" != "$em_degrade" ]; then
     exit 1
 fi
 
-echo "== planning-throughput bench smoke (--plan-only, exit code only) =="
+echo "== serve daemon: batched NDJSON round-trips the one-shot CLI =="
+# the daemon answers with the same %-formatted numbers the one-shot
+# subcommands print, so scripted comparisons are string-exact
+$CKPTWF evaluate --workflow genome --tasks 50 --seed 7 --processors 5 \
+    > "$TMP/eval_once.txt" 2> /dev/null
+em_once=$(sed -n 's/.*EM(CKPTSOME) = \([0-9.]*\) s.*/\1/p' "$TMP/eval_once.txt")
+printf '%s\n' \
+    '{"id": 1, "op": "evaluate", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5}' \
+    '{"id": 2, "op": "degrade", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5, "strategy": "some", "pdeath": 0.2, "trials": 60}' \
+    '{"id": 3, "op": "plan", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5, "strategy": "some"}' \
+    '{"id": 4, "op": "stats"}' \
+    | $CKPTWF serve --once > "$TMP/serve.ndjson" 2> /dev/null
+em_serve=$(sed -n '1s/.*"em_some":"\([0-9.]*\)".*/\1/p' "$TMP/serve.ndjson")
+if [ -z "$em_serve" ] || [ "$em_serve" != "$em_once" ]; then
+    echo "FAIL: serve evaluate em_some '$em_serve' != one-shot '$em_once'" >&2
+    exit 1
+fi
+# degrade through the daemon must agree with the CSV cell computed by
+# the one-shot run at the same pdeath (same trials, same seed)
+em_deg_serve=$(sed -n '2s/.*"em_repair":"\([0-9.]*\)".*/\1/p' "$TMP/serve.ndjson")
+em_deg_once=$(awk -F, 'NR > 1 && $7 + 0 == 0.2 { print $8 }' "$TMP/deg1.csv")
+if [ -z "$em_deg_serve" ] || [ "$em_deg_serve" != "$em_deg_once" ]; then
+    echo "FAIL: serve degrade em_repair '$em_deg_serve' != one-shot '$em_deg_once'" >&2
+    exit 1
+fi
+serve_hits=$(sed -n '2s/.*"replan_cache_hits":\([0-9]*\).*/\1/p' "$TMP/serve.ndjson")
+if [ -z "$serve_hits" ] || [ "$serve_hits" -eq 0 ]; then
+    echo "FAIL: serve degrade reported no replan-cache hits" >&2
+    exit 1
+fi
+# plan request 3 reuses the plan computed for the degrade request
+if ! sed -n '3p' "$TMP/serve.ndjson" | grep -q '"cache":"hit"'; then
+    echo "FAIL: repeated plan request missed the service cache:" >&2
+    sed -n '3p' "$TMP/serve.ndjson" >&2
+    exit 1
+fi
+# a malformed request is a usage error: exit 2, one diagnostic line
+status=0
+printf '{"op": nope}\n' | $CKPTWF serve --once > /dev/null 2> "$TMP/serve.err" || status=$?
+if [ "$status" -ne 2 ]; then
+    echo "FAIL: malformed serve request exited $status, want 2" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$TMP/serve.err")" -ne 1 ]; then
+    echo "FAIL: malformed serve request printed more than one diagnostic line:" >&2
+    cat "$TMP/serve.err" >&2
+    exit 1
+fi
+
+echo "== planning-throughput bench smoke (--plan-only, history recorded) =="
 dune build bench/main.exe
-_build/default/bench/main.exe --plan-only --json "$TMP/plan.json" --jobs 2 > /dev/null
+CKPTWF_BENCH_REPS=2 CKPTWF_BENCH_DIR="$TMP/benchres" \
+    _build/default/bench/main.exe --plan-only --json "$TMP/plan.json" --jobs 2 > /dev/null
 test -s "$TMP/plan.json"
+test -s "$TMP/benchres/plan-latest.json"
 
 echo "== all checks passed =="

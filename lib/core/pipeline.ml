@@ -60,6 +60,15 @@ let plan ?jobs ?replicas setup kind =
   Strategy.plan ?jobs ?replicas kind ~raw:setup.raw ~schedule:setup.schedule
     ~platform:setup.platform
 
+let plan_many ?(jobs = 1) requests =
+  (* batch parallelism across whole plan requests: each request plans
+     sequentially (jobs:1, shared arena) while the resident pool runs
+     up to [jobs] requests at once — the amortisation the degrade /
+     cloud replan loops and the serve daemon rely on *)
+  Ckpt_parallel.Pool.map_shared ~jobs (Array.length requests) (fun i ->
+      let setup, kind, replicas = requests.(i) in
+      plan ~jobs:1 ~replicas setup kind)
+
 type comparison = {
   em_some : float;
   em_all : float;

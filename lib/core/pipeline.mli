@@ -50,6 +50,16 @@ val plan : ?jobs:int -> ?replicas:int -> setup -> Strategy.kind -> Strategy.plan
     (default 1) prices checkpoint commits at [k·C] — the replication
     knob of the storage-fault extension ({!Strategy.plan}). *)
 
+val plan_many :
+  ?jobs:int -> (setup * Strategy.kind * int) array -> Strategy.plan array
+(** [plan_many ~jobs requests] plans a batch of
+    [(setup, kind, replicas)] requests over the resident
+    {!Ckpt_parallel.Pool.shared} pool, parallelising {e across}
+    requests (each individual request plans sequentially on its own
+    arena). Results are in request order and identical to mapping
+    {!plan} — this is the amortised entry point the serve daemon and
+    replan loops use. *)
+
 type comparison = {
   em_some : float;
   em_all : float;

@@ -68,9 +68,12 @@ val arena : Dag.t -> arena
 val optimal_positions :
   ?arena:arena -> ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> float * int list
 (** Algorithm 2: optimal expected superchain time and the sorted
-    checkpoint positions (the last position always included).
-    Bitwise-identical to {!reference_optimal_positions}; passing
-    [?arena] (built from the same DAG) reuses scratch across calls. *)
+    checkpoint positions (the last position always included). Runs
+    {!Toueg.solve_packed_auto}: bitwise-identical to
+    {!reference_optimal_positions} below {!Toueg.monotone_cutoff} or
+    when the cost table is not Monge, cost-optimal via the
+    divide-and-conquer path otherwise. Passing [?arena] (built from
+    the same DAG) reuses scratch across calls. *)
 
 val reference_optimal_positions :
   ?replicas:int -> Platform.t -> Dag.t -> Superchain.t -> float * int list

@@ -1,0 +1,93 @@
+(* Request-level caching for the planning service: one process serves
+   many plan/evaluate requests (the [ckptwf serve] daemon, the daemon
+   batch bench), and most traffic repeats a bounded set of workflow
+   configurations. Prepared setups (recognition + schedule, with their
+   compiled CSR views) and finished plans are memoised under
+   caller-chosen string keys, with double-checked locking: the mutex
+   guards only table lookups/inserts, the expensive compute runs
+   outside it, and a racing duplicate compute is benign because both
+   sides produce identical values (planning is deterministic). *)
+
+type stats = {
+  setup_hits : int;
+  setup_misses : int;
+  plan_hits : int;
+  plan_misses : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  setups : (string, Pipeline.setup) Hashtbl.t;
+  plans : (string, Strategy.plan) Hashtbl.t;
+  setup_hits : int Atomic.t;
+  setup_misses : int Atomic.t;
+  plan_hits : int Atomic.t;
+  plan_misses : int Atomic.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    setups = Hashtbl.create 64;
+    plans = Hashtbl.create 64;
+    setup_hits = Atomic.make 0;
+    setup_misses = Atomic.make 0;
+    plan_hits = Atomic.make 0;
+    plan_misses = Atomic.make 0;
+  }
+
+let memo t table hits misses ~key f =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt table key with
+  | Some v ->
+      Mutex.unlock t.lock;
+      Atomic.incr hits;
+      v
+  | None ->
+      Mutex.unlock t.lock;
+      Atomic.incr misses;
+      let v = f () in
+      Mutex.lock t.lock;
+      let v =
+        (* a racing compute may have landed first: keep the incumbent
+           so every caller sees one physical value per key *)
+        match Hashtbl.find_opt table key with
+        | Some w -> w
+        | None ->
+            Hashtbl.replace table key v;
+            v
+      in
+      Mutex.unlock t.lock;
+      v
+
+let setup t ~key f = memo t t.setups t.setup_hits t.setup_misses ~key f
+let plan t ~key f = memo t t.plans t.plan_hits t.plan_misses ~key f
+
+let find_plan t ~key =
+  Mutex.lock t.lock;
+  let v = Hashtbl.find_opt t.plans key in
+  Mutex.unlock t.lock;
+  v
+
+let store_plan t ~key plan =
+  Mutex.lock t.lock;
+  let v =
+    match Hashtbl.find_opt t.plans key with
+    | Some w -> w
+    | None ->
+        Hashtbl.replace t.plans key plan;
+        plan
+  in
+  Mutex.unlock t.lock;
+  v
+
+let stats t =
+  {
+    setup_hits = Atomic.get t.setup_hits;
+    setup_misses = Atomic.get t.setup_misses;
+    plan_hits = Atomic.get t.plan_hits;
+    plan_misses = Atomic.get t.plan_misses;
+  }
+
+let note_plan_hit t = Atomic.incr t.plan_hits
+let note_plan_miss t = Atomic.incr t.plan_misses

@@ -1,0 +1,49 @@
+(** Request-level memoisation for planning as a service.
+
+    A long-lived planning process ([ckptwf serve], the daemon-batch
+    bench) sees many requests over a bounded set of workflow
+    configurations. This module caches {!Pipeline.setup}s (recognition
+    + Algorithm-1 schedule, including the compiled CSR views and
+    placement arenas they carry) and finished {!Strategy.plan}s under
+    caller-chosen string keys, so repeated requests pay a hash lookup
+    instead of an O(n²) plan.
+
+    Thread-safety: safe to call from multiple domains. Lookups/inserts
+    are mutex-guarded; the compute callback runs outside the lock, and
+    when two domains race on the same missing key both compute but
+    only the first insert wins — benign because planning is
+    deterministic, so the values are identical. *)
+
+type t
+
+type stats = {
+  setup_hits : int;
+  setup_misses : int;
+  plan_hits : int;
+  plan_misses : int;
+}
+
+val create : unit -> t
+
+val setup : t -> key:string -> (unit -> Pipeline.setup) -> Pipeline.setup
+(** [setup t ~key f] returns the cached setup for [key], computing and
+    caching [f ()] on a miss. *)
+
+val plan : t -> key:string -> (unit -> Strategy.plan) -> Strategy.plan
+(** [plan t ~key f] likewise for finished plans. *)
+
+val find_plan : t -> key:string -> Strategy.plan option
+(** Lookup without computing — lets a batch caller collect the missing
+    keys first and plan them together ({!Pipeline.plan_many}), then
+    {!store_plan} the results. Does not touch the hit/miss counters;
+    pair with {!note_plan_hit} / {!note_plan_miss}. *)
+
+val store_plan : t -> key:string -> Strategy.plan -> Strategy.plan
+(** Insert a plan computed out-of-band; returns the incumbent if a
+    racing insert got there first. *)
+
+val note_plan_hit : t -> unit
+
+val note_plan_miss : t -> unit
+
+val stats : t -> stats

@@ -114,7 +114,7 @@ let plan_of_positions ?(jobs = 1) ?(replicas = 1) ~kind ~raw ~schedule ~platform
      the result is the same for any [jobs] *)
   let chains = schedule.Schedule.superchains in
   let per_chain =
-    Ckpt_parallel.Pool.map ~jobs (Array.length chains) (fun c ->
+    Ckpt_parallel.Pool.map_shared ~jobs (Array.length chains) (fun c ->
         let sc = chains.(c) in
         Placement.segments_of_positions ~replicas platform dag sc ~positions:(positions sc))
   in
@@ -169,6 +169,22 @@ let plan ?(jobs = 1) ?(replicas = 1) kind ~raw ~schedule ~platform =
         replicas;
       }
   | Ckpt_all | Ckpt_some | Ckpt_every _ | Ckpt_budget _ ->
+      (* Effective width: clamp to cores (jobs beyond the core count
+         only oversubscribe), then fall back to the sequential
+         shared-arena path when the fan-out cannot pay for itself —
+         a single superchain, or too little DP work to amortise batch
+         hand-off. Every per-chain solve is jobs-invariant, so the
+         clamp never changes the plan. *)
+      let jobs = Ckpt_parallel.Pool.effective_jobs jobs in
+      let dp_cells =
+        Array.fold_left
+          (fun acc (sc : Superchain.t) -> acc + Toueg.tri_size (Superchain.n_tasks sc))
+          0 schedule.Schedule.superchains
+      in
+      let jobs =
+        if Array.length schedule.Schedule.superchains < 2 || dp_cells < 20_000 then 1
+        else jobs
+      in
       (* sequential runs reuse one arena across superchains; parallel
          workers each build their own (sharing would race) *)
       let shared = if jobs = 1 then Some (Placement.arena dag) else None in

@@ -59,7 +59,10 @@ val plan :
 (** [schedule] must schedule a DAG whose task set matches [raw] task
     for task (the dummy-completed copy, or [raw] itself). [jobs]
     (default 1) fans the independent per-superchain placement DPs over
-    that many domains; the plan is identical for any value. [replicas]
+    the resident {!Ckpt_parallel.Pool.shared} pool; the width is
+    clamped to the core count and falls back to the sequential
+    shared-arena path when there is too little DP work to amortise the
+    hand-off, so the plan is identical for any value. [replicas]
     (default 1) prices every checkpoint commit at [k·C]
     ({!Placement}); the optimal positions are re-derived under that
     cost, so a replicated CKPTSOME plan may checkpoint less often. *)

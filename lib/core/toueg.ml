@@ -115,6 +115,169 @@ let solve_budget_packed ~n ~tri ~budget =
   in
   (etime.(((budget - 1) * n) + n - 1), backtrack (budget - 1) (n - 1) [])
 
+(* --- monotone (Knuth/Monge) speedup ------------------------------- *)
+
+(* The DP minimises, for each row j, over columns c in [0..j] of the
+   candidate matrix  M[j][c] = D[c] + B[c][j]  where
+   B[c][j] = tri.(j*(j+1)/2 + c) is the cost of segment [c..j] and
+   D[0] = 0, D[c] = ETime(c-1) (column c = decision i+1 of the packed
+   scan; c = 0 is the no-prior-checkpoint base). D is column-additive,
+   so M inherits the Monge / quadrangle-inequality condition
+
+     B[c][j] + B[c+1][j+1] <= B[c+1][j] + B[c][j+1]
+
+   from B alone, and Monge implies the leftmost row argmin is
+   nondecreasing in j. Checking all adjacent 2x2 squares implies the
+   full inequality on the triangular domain c <= j by telescoping
+   (every intermediate square stays inside the domain). Segment-cost
+   tables of the first-order model are Monge whenever the per-task
+   read/write overheads do not invert the super-additivity of
+   [first_order] — true for the homogeneous R/W/C of the paper's
+   platforms, violated only by adversarial per-task overrides, hence
+   the runtime guard. *)
+
+let tri_is_monge ~n ~tri =
+  let ok = ref true in
+  let j = ref 1 in
+  while !ok && !j <= n - 2 do
+    let row = !j * (!j + 1) / 2 in
+    let row' = row + !j + 1 in
+    let c = ref 0 in
+    while !ok && !c <= !j - 1 do
+      if tri.(row + !c) +. tri.(row' + !c + 1) > tri.(row + !c + 1) +. tri.(row' + !c)
+      then ok := false;
+      incr c
+    done;
+    incr j
+  done;
+  !ok
+
+(* Below this size the packed O(n^2) scan wins on constants, and every
+   plan stays bitwise identical to the pre-monotone code path. *)
+let monotone_cutoff = 128
+
+let solve_packed_monotone ~n ~tri ~etime ~last_ckpt =
+  if n < 1 then invalid_arg "Toueg.solve_packed_monotone: n < 1";
+  if Array.length tri < tri_size n then
+    invalid_arg "Toueg.solve_packed_monotone: tri too short";
+  if Array.length etime < n || Array.length last_ckpt < n then
+    invalid_arg "Toueg.solve_packed_monotone: scratch too short";
+  Array.fill etime 0 n infinity;
+  Array.fill last_ckpt 0 n (-1);
+  let dval c = if c = 0 then 0. else etime.(c - 1) in
+  (* Fold columns [clo..chi] (all already-final decisions) into rows
+     [rlo..rhi] by divide and conquer on rows: the leftmost argmin of
+     the mid row splits the column range for the rows on either side
+     (valid because the restricted matrix stays Monge). *)
+  let rec fold rlo rhi clo chi =
+    if rlo <= rhi then begin
+      let rm = (rlo + rhi) / 2 in
+      let row = rm * (rm + 1) / 2 in
+      let rbest = ref infinity and rbestc = ref clo in
+      for c = clo to chi do
+        let cand = dval c +. tri.(row + c) in
+        if cand < !rbest then begin
+          rbest := cand;
+          rbestc := c
+        end
+      done;
+      if !rbest < etime.(rm) then begin
+        etime.(rm) <- !rbest;
+        last_ckpt.(rm) <- !rbestc - 1
+      end;
+      fold rlo (rm - 1) clo !rbestc;
+      fold (rm + 1) rhi !rbestc chi
+    end
+  in
+  (* CDQ online-to-offline: finish rows [lo..mid], fold their columns
+     into rows [mid+1..hi], recurse right. Rows enter [go lo hi] with
+     columns [0..lo-1] already folded in. O(n log^2 n). *)
+  let rec go lo hi =
+    if lo = hi then begin
+      let row = lo * (lo + 1) / 2 in
+      let cand = dval lo +. tri.(row + lo) in
+      if cand < etime.(lo) then begin
+        etime.(lo) <- cand;
+        last_ckpt.(lo) <- lo - 1
+      end
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      go lo mid;
+      fold (mid + 1) hi lo mid;
+      go (mid + 1) hi
+    end
+  in
+  go 0 (n - 1);
+  let rec backtrack j acc = if j < 0 then acc else backtrack last_ckpt.(j) (j :: acc) in
+  (etime.(n - 1), backtrack (n - 1) [])
+
+let solve_budget_packed_monotone ~n ~tri ~budget =
+  if n < 1 then invalid_arg "Toueg.solve_budget_packed_monotone: n < 1";
+  if budget < 1 then invalid_arg "Toueg.solve_budget_packed_monotone: budget < 1";
+  if Array.length tri < tri_size n then
+    invalid_arg "Toueg.solve_budget_packed_monotone: tri too short";
+  let budget = min budget n in
+  let etime = Array.make (budget * n) infinity in
+  let last_ckpt = Array.make (budget * n) (-1) in
+  (* Layer b depends only on layer b-1, so each layer is one fully
+     offline row-minima problem over the staircase c <= j (columns
+     beyond a row's diagonal are +inf, which keeps the padded matrix
+     Monge). Column c = decision i+1 as in [solve_budget_packed]; the
+     c = 0 base seeds every row before the fold, so ties keep it. *)
+  for b = 0 to budget - 1 do
+    let brow = b * n in
+    for j = 0 to n - 1 do
+      etime.(brow + j) <- tri.(j * (j + 1) / 2)
+    done;
+    if b > 0 then begin
+      let prow = brow - n in
+      let rec fold rlo rhi clo chi =
+        if rlo <= rhi then begin
+          let rm = (rlo + rhi) / 2 in
+          let hi_c = min chi rm in
+          if hi_c < clo then fold (rm + 1) rhi clo chi
+          else begin
+            let row = rm * (rm + 1) / 2 in
+            let rbest = ref infinity and rbestc = ref clo in
+            for c = clo to hi_c do
+              let cand = etime.(prow + c - 1) +. tri.(row + c) in
+              if cand < !rbest then begin
+                rbest := cand;
+                rbestc := c
+              end
+            done;
+            if !rbest < etime.(brow + rm) then begin
+              etime.(brow + rm) <- !rbest;
+              last_ckpt.(brow + rm) <- !rbestc - 1
+            end;
+            fold rlo (rm - 1) clo !rbestc;
+            fold (rm + 1) rhi !rbestc chi
+          end
+        end
+      in
+      fold 1 (n - 1) 1 (n - 1)
+    end
+  done;
+  let rec backtrack b j acc =
+    if j < 0 then acc
+    else begin
+      let i = last_ckpt.((b * n) + j) in
+      backtrack (max 0 (b - 1)) i (j :: acc)
+    end
+  in
+  (etime.(((budget - 1) * n) + n - 1), backtrack (budget - 1) (n - 1) [])
+
+let solve_packed_auto ~n ~tri ~etime ~last_ckpt =
+  if n >= monotone_cutoff && tri_is_monge ~n ~tri then
+    solve_packed_monotone ~n ~tri ~etime ~last_ckpt
+  else solve_packed ~n ~tri ~etime ~last_ckpt
+
+let solve_budget_packed_auto ~n ~tri ~budget =
+  if n >= monotone_cutoff && tri_is_monge ~n ~tri then
+    solve_budget_packed_monotone ~n ~tri ~budget
+  else solve_budget_packed ~n ~tri ~budget
+
 let first_order ~lambda s =
   let pfail = Float.min 1. (lambda *. s) in
   ((1. -. pfail) *. s) +. (pfail *. 1.5 *. s)

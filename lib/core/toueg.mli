@@ -60,6 +60,65 @@ val solve_budget_packed :
 (** {!solve_budget} over a packed cost table (flat budget-major DP
     matrices, no per-row boxing). *)
 
+(** {1 Monotone (Knuth/Monge) speedup}
+
+    When the packed cost table satisfies the quadrangle inequality
+    (Monge condition)
+
+    [tri(c,j) + tri(c+1,j+1) <= tri(c+1,j) + tri(c,j+1)]
+
+    the leftmost optimal split point is nondecreasing in [j], and the
+    DP's decision matrix can be searched by divide and conquer in
+    O(n log² n) instead of the packed O(n²) scan. The [auto] entry
+    points verify the condition at runtime (adjacent 2×2 squares — by
+    telescoping this implies the full inequality on the triangular
+    domain) and fall back to the bitwise-identical packed scan when it
+    fails or when [n < monotone_cutoff]. On the monotone path the
+    expected makespan is optimal — equal to {!reference_solve} up to
+    float rounding (the divide-and-conquer evaluates the same
+    candidates but may prune an ulp-different one); with exactly
+    representable costs it is exactly equal, positions included. *)
+
+val monotone_cutoff : int
+(** Chains shorter than this always take the packed O(n²) scan in the
+    [auto] entry points: bitwise identity for every existing plan, and
+    the scan wins on constants there anyway. *)
+
+val tri_is_monge : n:int -> tri:float array -> bool
+(** Whether a packed cost table satisfies the Monge condition on every
+    adjacent 2×2 square of the triangular domain (O(n²) float
+    comparisons, early exit on the first violation). *)
+
+val solve_packed_monotone :
+  n:int ->
+  tri:float array ->
+  etime:float array ->
+  last_ckpt:int array ->
+  float * int list
+(** Divide-and-conquer {!solve_packed} for Monge cost tables.
+    Precondition: [tri_is_monge ~n ~tri] — unchecked here; call
+    through {!solve_packed_auto} to get the runtime guard. *)
+
+val solve_budget_packed_monotone :
+  n:int -> tri:float array -> budget:int -> float * int list
+(** Divide-and-conquer {!solve_budget_packed} for Monge cost tables:
+    each budget layer is one offline row-minima problem,
+    O(n log n · budget). Same unchecked precondition. *)
+
+val solve_packed_auto :
+  n:int ->
+  tri:float array ->
+  etime:float array ->
+  last_ckpt:int array ->
+  float * int list
+(** {!solve_packed_monotone} when [n >= monotone_cutoff] and the table
+    is Monge, {!solve_packed} (bitwise-identical fallback) otherwise. *)
+
+val solve_budget_packed_auto :
+  n:int -> tri:float array -> budget:int -> float * int list
+(** Guarded dispatch for the budgeted variant, mirroring
+    {!solve_packed_auto}. *)
+
 val solve_chain :
   n:int ->
   lambda:float ->

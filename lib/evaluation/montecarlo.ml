@@ -19,7 +19,7 @@ let sample_chunks ?(trials = 10_000) ?(seed = 1) ?(deadline = Deadline.never) ?(
   let nchunks = (trials + chunk_trials - 1) / chunk_trials in
   let partial = Array.make nchunks None in
   let next = Atomic.make 0 in
-  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+  Pool.run_shared ~jobs:(min jobs nchunks) (fun ~worker:_ ->
       let s = Prob_dag.sampler compiled in
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in

@@ -292,7 +292,7 @@ let sample_prepared ?(trials = 200) ?(seed = 11) ?(jobs = 1) ~mode config prepar
   let nchunks = (trials + chunk_trials - 1) / chunk_trials in
   let results = Array.make nchunks None in
   let next = Atomic.make 0 in
-  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+  Pool.run_shared ~jobs:(min jobs nchunks) (fun ~worker:_ ->
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in
         if c < nchunks then begin

@@ -82,7 +82,7 @@ let sample_makespans ?(trials = 1000) ?(seed = 7) ?(deadline = Deadline.never)
   let nchunks = (trials + chunk_trials - 1) / chunk_trials in
   let results = Array.make nchunks None in
   let next = Atomic.make 0 in
-  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+  Pool.run_shared ~jobs:(min jobs nchunks) (fun ~worker:_ ->
       let one_trial = make_one_trial () in
       let rec loop () =
         let c = Atomic.fetch_and_add next 1 in
@@ -159,7 +159,7 @@ let sample_storage ?(trials = 1000) ?(seed = 7) ?(jobs = 1) ~storage
   let nchunks = (trials + chunk_trials - 1) / chunk_trials in
   let results = Array.make nchunks None in
   let next = Atomic.make 0 in
-  Pool.run ~jobs:(min jobs nchunks) (fun ~worker:_ ->
+  Pool.run_shared ~jobs:(min jobs nchunks) (fun ~worker:_ ->
       let traces = Array.make nprocs None in
       let one_trial k =
         Array.fill traces 0 nprocs None;

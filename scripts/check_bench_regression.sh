@@ -1,0 +1,73 @@
+#!/bin/sh
+# Plan-throughput regression guard: compare a freshly measured
+# BENCH-style JSON against the committed snapshot and fail when any
+# guarded rate drops by more than the tolerance.
+#
+#   usage: check_bench_regression.sh BASELINE.json FRESH.json
+#
+# Sequential rates are always compared. Parallel rates are compared
+# only when both runs resolved to the same effective jobs (a 1-core CI
+# runner clamps --jobs 2 down to 1; comparing its "parallel" leg
+# against a 4-core baseline would guard noise, not a regression).
+# Cache-dominated batch throughput swings with machine load, so it is
+# guarded with double the tolerance.
+#
+# CKPTWF_BENCH_TOLERANCE overrides the allowed fractional drop
+# (default 0.30, i.e. fail on a >30% slowdown).
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BASELINE.json FRESH.json" >&2
+    exit 2
+fi
+baseline=$1
+fresh=$2
+tolerance=${CKPTWF_BENCH_TOLERANCE:-0.30}
+
+field() {
+    # field FILE KEY -> numeric value (empty if absent)
+    sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" "$1" | head -n 1
+}
+
+fail=0
+
+check() {
+    # check KEY TOL: fresh >= baseline * (1 - TOL)
+    key=$1
+    tol=$2
+    base=$(field "$baseline" "$key")
+    new=$(field "$fresh" "$key")
+    if [ -z "$base" ] || [ -z "$new" ]; then
+        echo "  skip  $key (missing in baseline or fresh run)"
+        return 0
+    fi
+    if awk -v b="$base" -v n="$new" -v t="$tol" \
+        'BEGIN { exit !(n < b * (1 - t)) }'; then
+        echo "  FAIL  $key: $new < $base - $(awk -v t="$tol" 'BEGIN { printf "%.0f", t * 100 }')%" >&2
+        fail=1
+    else
+        echo "  ok    $key: $new (baseline $base)"
+    fi
+}
+
+echo "bench regression guard: $fresh vs $baseline (tolerance $tolerance)"
+check genome_plans_per_sec_seq "$tolerance"
+check random_plans_per_sec_seq "$tolerance"
+check degrade_trials_per_sec "$tolerance"
+
+base_jobs=$(field "$baseline" jobs)
+new_jobs=$(field "$fresh" jobs)
+if [ -n "$base_jobs" ] && [ "$base_jobs" = "$new_jobs" ]; then
+    check genome_plans_per_sec_par "$tolerance"
+    check random_plans_per_sec_par "$tolerance"
+else
+    echo "  skip  parallel legs (effective jobs: baseline ${base_jobs:-?}, fresh ${new_jobs:-?})"
+fi
+
+check random_plans_per_sec_batch $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench regression guard: FAILED" >&2
+    exit 1
+fi
+echo "bench regression guard: passed"

@@ -1,0 +1,175 @@
+(* Equivalence suite for the monotone (Knuth/Monge) placement DP.
+
+   Strategy: on Monge cost tables built from integer-valued convex
+   surfaces the divide-and-conquer solver must return the exact
+   reference optimum (sums of small integers are exact in floats, so
+   no rounding slack is needed); on arbitrary random tables the Monge
+   guard must reject and the [auto] entry points must be bitwise
+   identical to the packed O(n²) scan they fall back to. *)
+
+module Toueg = Ckpt_core.Toueg
+module Rng = Ckpt_prob.Rng
+
+(* A guaranteed-Monge packed table: B[c][j] = g(j - c) + u_c + v_j
+   with g convex nondecreasing makes every 2x2 quadrangle inequality
+   an instance of g's convexity, and the separable u/v terms cancel.
+   In packed coordinates the entry for row j, column c is
+   tri.(j*(j+1)/2 + c) with 0 <= c <= j.  Integer-valued so candidate
+   sums are exact. *)
+let monge_table rng n =
+  let g = Array.make (n + 1) 0. in
+  (* convex: second differences are nonnegative random integers *)
+  let slope = ref (float_of_int (Rng.int rng 3)) in
+  for d = 1 to n do
+    g.(d) <- g.(d - 1) +. !slope;
+    slope := !slope +. float_of_int (Rng.int rng 4)
+  done;
+  let u = Array.init (n + 1) (fun _ -> float_of_int (Rng.int rng 20)) in
+  let v = Array.init n (fun _ -> float_of_int (Rng.int rng 20)) in
+  let tri = Array.make (Toueg.tri_size n) 0. in
+  for j = 0 to n - 1 do
+    for c = 0 to j do
+      tri.((j * (j + 1) / 2) + c) <- g.(j - c) +. u.(c) +. v.(j)
+    done
+  done;
+  tri
+
+let cost_of_tri tri i j = tri.((j * (j + 1) / 2) + i)
+
+let random_tri rng n =
+  Array.init (Toueg.tri_size n) (fun _ -> 0.1 +. Rng.float rng 10.)
+
+(* --- monotone solver: exact optimum on Monge tables ------------- *)
+
+let prop_monotone_optimal =
+  QCheck.Test.make ~count:300 ~name:"solve_packed_monotone optimal on Monge tables"
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let n = 1 + Rng.int rng 60 in
+      let tri = monge_table rng n in
+      assert (Toueg.tri_is_monge ~n ~tri);
+      let ref_v, _ = Toueg.reference_solve ~n ~cost:(cost_of_tri tri) in
+      let etime = Array.make n 0. and last_ckpt = Array.make n 0 in
+      let v, p = Toueg.solve_packed_monotone ~n ~tri ~etime ~last_ckpt in
+      (* integer-valued costs: the optimum value must match exactly,
+         and the returned positions must realise it *)
+      let realised =
+        (* positions always end with n-1: each segment closes with a
+           checkpoint, the last after the final task *)
+        let rec total start = function
+          | [] -> 0.
+          | q :: rest -> cost_of_tri tri start q +. total (q + 1) rest
+        in
+        total 0 p
+      in
+      v = ref_v && realised = v)
+
+let prop_budget_monotone_optimal =
+  QCheck.Test.make ~count:300
+    ~name:"solve_budget_packed_monotone optimal on Monge tables" QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 101) in
+      let n = 1 + Rng.int rng 40 in
+      let budget = 1 + Rng.int rng n in
+      let tri = monge_table rng n in
+      assert (Toueg.tri_is_monge ~n ~tri);
+      let ref_v, ref_p = Toueg.reference_solve_budget ~n ~cost:(cost_of_tri tri) ~budget in
+      let v, p = Toueg.solve_budget_packed_monotone ~n ~tri ~budget in
+      v = ref_v && List.length p = List.length ref_p)
+
+(* --- guard: random tables are rejected, auto stays bitwise ------ *)
+
+let prop_random_not_monge =
+  (* a continuous random table violates some quadrangle inequality
+     with overwhelming probability once there are a few squares *)
+  QCheck.Test.make ~count:200 ~name:"tri_is_monge rejects random tables"
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 211) in
+      let n = 6 + Rng.int rng 40 in
+      not (Toueg.tri_is_monge ~n ~tri:(random_tri rng n)))
+
+let prop_auto_bitwise_fallback =
+  QCheck.Test.make ~count:200 ~name:"solve_packed_auto = solve_packed on non-Monge tables"
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 307) in
+      let n = 1 + Rng.int rng 50 in
+      let tri = random_tri rng n in
+      let etime = Array.make n 0. and last_ckpt = Array.make n 0 in
+      let v1, p1 = Toueg.solve_packed ~n ~tri ~etime ~last_ckpt in
+      let v2, p2 = Toueg.solve_packed_auto ~n ~tri ~etime ~last_ckpt in
+      v1 = v2 && p1 = p2)
+
+let prop_budget_auto_bitwise_fallback =
+  QCheck.Test.make ~count:200
+    ~name:"solve_budget_packed_auto = solve_budget_packed on non-Monge tables"
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 401) in
+      let n = 1 + Rng.int rng 40 in
+      let budget = 1 + Rng.int rng n in
+      let tri = random_tri rng n in
+      let v1, p1 = Toueg.solve_budget_packed ~n ~tri ~budget in
+      let v2, p2 = Toueg.solve_budget_packed_auto ~n ~tri ~budget in
+      v1 = v2 && p1 = p2)
+
+(* --- auto above the cutoff on Monge tables still optimal -------- *)
+
+let prop_auto_monge_above_cutoff =
+  QCheck.Test.make ~count:30 ~name:"solve_packed_auto optimal above monotone_cutoff"
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 503) in
+      let n = Toueg.monotone_cutoff + Rng.int rng 64 in
+      let tri = monge_table rng n in
+      let ref_v, _ = Toueg.reference_solve ~n ~cost:(cost_of_tri tri) in
+      let etime = Array.make n 0. and last_ckpt = Array.make n 0 in
+      let v, _ = Toueg.solve_packed_auto ~n ~tri ~etime ~last_ckpt in
+      v = ref_v)
+
+(* --- degenerate shapes ------------------------------------------ *)
+
+let test_n1 () =
+  let tri = [| 3. |] in
+  let etime = Array.make 1 0. and last_ckpt = Array.make 1 0 in
+  let v, p = Toueg.solve_packed_monotone ~n:1 ~tri ~etime ~last_ckpt in
+  Alcotest.(check (float 0.)) "n=1 value" 3. v;
+  Alcotest.(check (list int)) "n=1 positions" [ 0 ] p;
+  let vb, pb = Toueg.solve_budget_packed_monotone ~n:1 ~tri ~budget:1 in
+  Alcotest.(check (float 0.)) "n=1 budget value" 3. vb;
+  Alcotest.(check (list int)) "n=1 budget positions" [ 0 ] pb
+
+let test_uniform_cost () =
+  (* constant table is (weakly) Monge; a segmentation into k segments
+     costs k*c, so the optimum is the single segment 0..n-1 *)
+  let n = 23 in
+  let tri = Array.make (Toueg.tri_size n) 5. in
+  Alcotest.(check bool) "uniform is Monge" true (Toueg.tri_is_monge ~n ~tri);
+  let etime = Array.make n 0. and last_ckpt = Array.make n 0 in
+  let v, p = Toueg.solve_packed_monotone ~n ~tri ~etime ~last_ckpt in
+  Alcotest.(check (float 0.)) "uniform value" 5. v;
+  Alcotest.(check (list int)) "uniform positions" [ n - 1 ] p
+
+let test_cutoff_routing () =
+  (* below the cutoff a Monge table must still take the packed scan:
+     bitwise-identical etime/last_ckpt side arrays prove it ran *)
+  let rng = Rng.create 7 in
+  let n = Toueg.monotone_cutoff - 1 in
+  let tri = monge_table rng n in
+  let e1 = Array.make n 0. and l1 = Array.make n 0 in
+  let e2 = Array.make n 0. and l2 = Array.make n 0 in
+  let v1, p1 = Toueg.solve_packed ~n ~tri ~etime:e1 ~last_ckpt:l1 in
+  let v2, p2 = Toueg.solve_packed_auto ~n ~tri ~etime:e2 ~last_ckpt:l2 in
+  Alcotest.(check bool) "value+positions" true (v1 = v2 && p1 = p2);
+  Alcotest.(check bool) "side arrays bitwise" true (e1 = e2 && l1 = l2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_monotone_optimal;
+    QCheck_alcotest.to_alcotest prop_budget_monotone_optimal;
+    QCheck_alcotest.to_alcotest prop_random_not_monge;
+    QCheck_alcotest.to_alcotest prop_auto_bitwise_fallback;
+    QCheck_alcotest.to_alcotest prop_budget_auto_bitwise_fallback;
+    QCheck_alcotest.to_alcotest prop_auto_monge_above_cutoff;
+    Alcotest.test_case "n=1 degenerate" `Quick test_n1;
+    Alcotest.test_case "uniform cost table" `Quick test_uniform_cost;
+    Alcotest.test_case "cutoff routes small Monge to packed scan" `Quick
+      test_cutoff_routing;
+  ]

@@ -713,6 +713,34 @@ let plan_throughput ?json ~jobs () =
   Printf.printf
     "  daemon   n=%d  plans/sec batch=%.0f  (%d requests, %d plan hit(s), %d miss(es))\n"
     n_random random_batch batch_requests svc.Service.plan_hits svc.Service.plan_misses;
+  (* concurrent daemon leg: the same 512-request load issued by 4
+     simultaneous connections — each domain plays one connection
+     handler hammering a shared Service. Once the four strategies are
+     cached the throughput prices the mutex-guarded lookup path under
+     contention (racing duplicate computes land in [plan_races]). *)
+  let conc_clients = 4 in
+  let per_client = batch_requests / conc_clients in
+  let conc_service = Service.create () in
+  let t0 = Unix.gettimeofday () in
+  let clients =
+    List.init conc_clients (fun c ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_client - 1 do
+              let kind = batch_kinds.((c + i) mod Array.length batch_kinds) in
+              ignore
+                (Sys.opaque_identity
+                   (Service.plan conc_service
+                      ~key:(Printf.sprintf "bench|large|%s" (Strategy.kind_name kind))
+                      (fun () -> plan_known ~kind ~jobs:1 ())))
+            done))
+  in
+  List.iter Domain.join clients;
+  let conc_wall = Unix.gettimeofday () -. t0 in
+  let random_conc = float_of_int (conc_clients * per_client) /. conc_wall in
+  let conc_svc = Service.stats conc_service in
+  Printf.printf
+    "  daemon   n=%d  plans/sec concurrent=%.0f  (%d clients x %d requests, %d race(s))\n"
+    n_random random_conc conc_clients per_client conc_svc.Service.plan_races;
   (* degraded-mode replanning: 120-trial repair batches on the
      standard small scenario, replan cache on *)
   let dag50 = Spec.generate Spec.Genome ~seed:1 ~tasks:50 () in
@@ -755,6 +783,9 @@ let plan_throughput ?json ~jobs () =
       \  \"random_plans_per_sec_seq\": %.2f,\n\
       \  \"random_plans_per_sec_par\": %.2f,\n\
       \  \"random_plans_per_sec_batch\": %.2f,\n\
+      \  \"random_plans_per_sec_concurrent\": %.2f,\n\
+      \  \"concurrent_clients\": %d,\n\
+      \  \"service_plan_races\": %d,\n\
       \  \"batch_requests\": %d,\n\
       \  \"service_plan_hits\": %d,\n\
       \  \"service_plan_misses\": %d,\n\
@@ -766,7 +797,8 @@ let plan_throughput ?json ~jobs () =
       \  \"speedup_vs_seed\": %.2f\n\
        }\n"
       jobs_requested jobs cores reps n_genome genome_seq genome_par n_random random_seq
-      random_par random_batch batch_requests svc.Service.plan_hits svc.Service.plan_misses
+      random_par random_batch random_conc conc_clients conc_svc.Service.plan_races
+      batch_requests svc.Service.plan_hits svc.Service.plan_misses
       degrade_rate hits misses hit_rate seed_baseline_plans_per_sec
       (genome_seq /. seed_baseline_plans_per_sec)
   in

@@ -1371,7 +1371,10 @@ type serve_state = {
   service : Service.t;
   (* one degraded-mode replan cache per plan, shared across requests:
      repeated degrade traffic against the same plan hits the
-     structural replan cache instead of replanning *)
+     structural replan cache instead of replanning. [dlock] guards the
+     table itself — concurrent connection handlers share it (each
+     [Degrade.prepared] is internally domain-safe already). *)
+  dlock : Mutex.t;
   degraded : (string, Degrade.prepared) Hashtbl.t;
 }
 
@@ -1445,11 +1448,12 @@ let serve_plan state ~prefetched pr =
       (Service.store_plan state.service ~key:pr.preq_key plan, "miss")
 
 let replan_cache_totals state =
-  Hashtbl.fold
-    (fun _ prepared (h, m) ->
-      let hits, misses = Degrade.cache_stats prepared in
-      (h + hits, m + misses))
-    state.degraded (0, 0)
+  Mutex.protect state.dlock (fun () ->
+      Hashtbl.fold
+        (fun _ prepared (h, m) ->
+          let hits, misses = Degrade.cache_stats prepared in
+          (h + hits, m + misses))
+        state.degraded (0, 0))
 
 let handle_request state ~jobs ~prefetched req =
   let t0 = Unix.gettimeofday () in
@@ -1515,12 +1519,13 @@ let handle_request state ~jobs ~prefetched req =
       let seed = req_int req "seed" ~default:1 in
       let plan, cache = serve_plan state ~prefetched pr in
       let prepared =
-        match Hashtbl.find_opt state.degraded pr.preq_key with
-        | Some p -> p
-        | None ->
-            let p = Degrade.prepare plan in
-            Hashtbl.add state.degraded pr.preq_key p;
-            p
+        Mutex.protect state.dlock (fun () ->
+            match Hashtbl.find_opt state.degraded pr.preq_key with
+            | Some p -> p
+            | None ->
+                let p = Degrade.prepare plan in
+                Hashtbl.add state.degraded pr.preq_key p;
+                p)
       in
       let lambda_death =
         Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
@@ -1552,8 +1557,11 @@ let handle_request state ~jobs ~prefetched req =
       finish
         [ ("setup_hits", Json.Num (float_of_int s.Service.setup_hits));
           ("setup_misses", Json.Num (float_of_int s.Service.setup_misses));
+          ("setup_evictions", Json.Num (float_of_int s.Service.setup_evictions));
           ("plan_hits", Json.Num (float_of_int s.Service.plan_hits));
           ("plan_misses", Json.Num (float_of_int s.Service.plan_misses));
+          ("plan_evictions", Json.Num (float_of_int s.Service.plan_evictions));
+          ("plan_races", Json.Num (float_of_int s.Service.plan_races));
           ("replan_cache_hits", Json.Num (float_of_int hits));
           ("replan_cache_misses", Json.Num (float_of_int misses));
           ("effective_jobs", Json.Num (float_of_int jobs));
@@ -1566,31 +1574,66 @@ let parse_request line =
   | _ -> malformed "request must be a JSON object"
   | exception Json.Malformed m -> malformed m
 
-(* read every request first, front-load the distinct missing plans as
-   one Pipeline.plan_many batch over the resident pool, then answer in
-   order — the amortisation the daemon exists for *)
-let serve_batch state ~jobs input output =
-  let lines = ref [] in
-  (try
-     while true do
-       let line = input_line input in
-       if String.trim line <> "" then lines := line :: !lines
-     done
-   with End_of_file -> ());
-  let requests = Array.of_list (List.rev_map parse_request !lines) in
+(* Daemon-mode error discipline: over stdin a malformed request is a
+   usage error (exit 2, the one-shot CLI contract), but a long-lived
+   daemon must answer {"ok":false,...} and keep serving — one hostile
+   or confused client must not take the process down. *)
+type answer_mode = Fatal | Structured
+
+let error_kind = function
+  | Rerror.Parse _ -> "parse"
+  | Rerror.Deadline_exceeded _ -> "deadline"
+  | Rerror.Invalid_dag _ -> "invalid"
+  | _ -> "error"
+
+let error_answer ?req e =
+  let copied key =
+    match req with
+    | Some r -> (
+        match Json.member key r with Some v -> [ (key, v) ] | None -> [])
+    | None -> []
+  in
+  Json.Obj
+    (copied "id" @ copied "op"
+    @ [ ("ok", Json.Bool false);
+        ("error", Json.Str (error_kind e));
+        ("message", Json.Str (Rerror.to_string e)) ])
+
+(* answer one batch of already-read request lines: parse, front-load
+   the distinct missing plans as one Pipeline.plan_many batch over the
+   resident pool, then answer in order — the amortisation the daemon
+   exists for. Each line carries the Deadline started when it was
+   received; a request still unanswered when its deadline lapses gets
+   a structured "deadline" answer instead of a stale result. *)
+let answer_batch state ~jobs ~mode ~output lines =
+  let parsed =
+    Array.map
+      (fun (line, deadline) ->
+        match parse_request line with
+        | req -> Ok (req, deadline)
+        | exception Rerror.E e when mode = Structured -> Error e)
+      lines
+  in
   let prefetched = Hashtbl.create 16 in
   let missing = Hashtbl.create 16 in
   Array.iter
-    (fun req ->
-      match req_str req "op" ~default:"" with
-      | "plan" | "degrade" ->
-          let pr = plan_request state req in
-          if
-            (not (Hashtbl.mem missing pr.preq_key))
-            && Service.find_plan state.service ~key:pr.preq_key = None
-          then Hashtbl.add missing pr.preq_key pr
-      | _ -> ())
-    requests;
+    (fun entry ->
+      match entry with
+      | Error _ -> ()
+      | Ok (req, _) -> (
+          match req_str req "op" ~default:"" with
+          | "plan" | "degrade" -> (
+              (* a malformed plan/degrade request surfaces at answer
+                 time; the prefetch just skips it *)
+              match plan_request state req with
+              | pr ->
+                  if
+                    (not (Hashtbl.mem missing pr.preq_key))
+                    && Service.find_plan state.service ~key:pr.preq_key = None
+                  then Hashtbl.add missing pr.preq_key pr
+              | exception Rerror.E _ when mode = Structured -> ())
+          | _ -> ()))
+    parsed;
   let batch = Array.of_list (Hashtbl.fold (fun _ pr acc -> pr :: acc) missing []) in
   let plans =
     Pipeline.plan_many ~jobs
@@ -1602,8 +1645,28 @@ let serve_batch state ~jobs input output =
       Hashtbl.replace prefetched pr.preq_key ())
     batch;
   Array.iter
-    (fun req -> output (Json.to_string (handle_request state ~jobs ~prefetched req)))
-    requests
+    (fun entry ->
+      match entry with
+      | Error e -> output (Json.to_string (error_answer e))
+      | Ok (req, deadline) -> (
+          match
+            Deadline.check deadline ~completed:0;
+            handle_request state ~jobs ~prefetched req
+          with
+          | answer -> output (Json.to_string answer)
+          | exception Rerror.E e when mode = Structured ->
+              output (Json.to_string (error_answer ~req e))))
+    parsed
+
+let never_lines input =
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line input in
+       if String.trim line <> "" then lines := (line, Deadline.never) :: !lines
+     done
+   with End_of_file -> ());
+  Array.of_list (List.rev !lines)
 
 let serve_stream state ~jobs input output =
   let prefetched = Hashtbl.create 1 in
@@ -1615,44 +1678,311 @@ let serve_stream state ~jobs input output =
     done
   with End_of_file -> ()
 
-let serve_run socket once jobs =
-  protect @@ fun () ->
-  let state = { service = Service.create (); degraded = Hashtbl.create 16 } in
-  let jobs = Pool.effective_jobs jobs in
-  match socket with
+(* --- the hardened daemon: concurrent connections, deadlines,
+       shedding, graceful lifecycle ---------------------------------- *)
+
+type server = {
+  state : serve_state;
+  jobs : int;
+  request_timeout : float option;
+      (* per-request budget, started when the request line is awaited:
+         covers the read (slowloris guard) and the queueing until the
+         answer; a plan already computing is not preempted *)
+  max_clients : int;
+  active : int Atomic.t;  (* connection handlers in flight *)
+  stop : bool Atomic.t;  (* a signal asked us to drain and exit *)
+}
+
+let request_deadline server =
+  match server.request_timeout with
+  | None -> Deadline.never
+  | Some seconds -> Deadline.make ~seconds ()
+
+exception Read_timeout
+
+(* block until [fd] is readable or [deadline] lapses *)
+let rec wait_readable fd deadline =
+  match Unix.select [ fd ] [] [] (Deadline.select_timeout deadline) with
+  | [], _, _ -> raise Read_timeout
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Deadline.expired deadline then raise Read_timeout
+      else wait_readable fd deadline
+
+type conn = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable pending : string;  (* bytes received but not yet consumed *)
+  mutable conn_eof : bool;
+}
+
+let make_conn fd = { fd; chunk = Bytes.create 8192; pending = ""; conn_eof = false }
+
+(* next newline-terminated line ([None] at EOF, where a non-empty
+   unterminated tail still counts as a final line); raises
+   [Read_timeout] when [deadline] lapses first *)
+let rec conn_line conn deadline =
+  match String.index_opt conn.pending '\n' with
+  | Some i ->
+      let line = String.sub conn.pending 0 i in
+      conn.pending <-
+        String.sub conn.pending (i + 1) (String.length conn.pending - i - 1);
+      Some line
   | None ->
+      if conn.conn_eof then
+        if conn.pending = "" then None
+        else begin
+          let line = conn.pending in
+          conn.pending <- "";
+          Some line
+        end
+      else begin
+        wait_readable conn.fd deadline;
+        let n =
+          let rec read () =
+            try Unix.read conn.fd conn.chunk 0 (Bytes.length conn.chunk)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> read ()
+          in
+          read ()
+        in
+        if n = 0 then conn.conn_eof <- true
+        else conn.pending <- conn.pending ^ Bytes.sub_string conn.chunk 0 n;
+        conn_line conn deadline
+      end
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let output_line fd line =
+  let line = line ^ "\n" in
+  write_all fd line 0 (String.length line)
+
+let deadline_line budget =
+  Json.to_string
+    (Json.Obj
+       [ ("ok", Json.Bool false);
+         ("error", Json.Str "deadline");
+         ( "message",
+           Json.Str
+             (Printf.sprintf
+                "request not received within the %gs request timeout" budget) ) ])
+
+let busy_line max_clients =
+  Json.to_string
+    (Json.Obj
+       [ ("ok", Json.Bool false);
+         ("error", Json.Str "busy");
+         ("max_clients", Json.Num (float_of_int max_clients));
+         ("message", Json.Str "daemon at max-clients; retry later") ])
+
+(* one connection = one batch: requests to EOF, then answers; caches
+   persist across connections. A hung client (no newline within the
+   request timeout) still gets answers for the complete requests it
+   sent, then a structured deadline line, then the close. *)
+let handle_connection server fd =
+  let conn = make_conn fd in
+  let timed_out = ref None in
+  let lines = ref [] in
+  (try
+     let rec read_loop () =
+       let deadline = request_deadline server in
+       match conn_line conn deadline with
+       | Some line ->
+           if String.trim line <> "" then lines := (line, deadline) :: !lines;
+           read_loop ()
+       | None -> ()
+     in
+     read_loop ()
+   with Read_timeout ->
+     timed_out := Some (Option.value server.request_timeout ~default:0.));
+  answer_batch server.state ~jobs:server.jobs ~mode:Structured
+    ~output:(output_line fd)
+    (Array.of_list (List.rev !lines));
+  Option.iter (fun budget -> output_line fd (deadline_line budget)) !timed_out
+
+(* catch-everything wrapper: a vanished client (EPIPE/ECONNRESET) or a
+   handler bug must cost one connection, never the daemon *)
+let run_connection server fd =
+  (try handle_connection server fd with
+  | Unix.Unix_error _ | Sys_error _ | Read_timeout -> ()
+  | e ->
+      Printf.eprintf "ckptwf: connection handler failed: %s\n%!"
+        (Printexc.to_string e));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Atomic.decr server.active
+
+(* a Unix-socket path may be left behind by a daemon that was killed
+   mid-request; claim it only after probing that nobody answers it *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      Rerror.raise_
+        (Rerror.Io { path; message = "a live daemon is already serving on this socket" });
+    Printf.eprintf "ckptwf: removing stale socket %s\n%!" path;
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let listen_unix path =
+  claim_socket_path path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  sock
+
+let listen_tcp port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 64;
+  sock
+
+(* accept loop: EINTR-safe, sheds over-cap connections with one busy
+   line, spawns a domain per accepted client, drains on SIGINT/SIGTERM
+   (stop accepting, finish in-flight batches, remove the socket file,
+   exit 0). The listen sockets are polled with a short select timeout
+   so a signal is noticed within a quarter second even when no
+   connection ever arrives. *)
+let daemon_loop server listeners ~once =
+  let spawned = ref [] in
+  let reap ~all =
+    if all then begin
+      List.iter (fun (d, _) -> Domain.join d) !spawned;
+      spawned := []
+    end
+    else
+      spawned :=
+        List.filter
+          (fun (d, finished) ->
+            if Atomic.get finished then begin
+              Domain.join d;
+              false
+            end
+            else true)
+          !spawned
+  in
+  let served_once = ref false in
+  let accept_ready listen_fd =
+    match Unix.accept listen_fd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+      ->
+        ()
+    | client, _ ->
+        if Atomic.get server.active >= server.max_clients then begin
+          (* shed: one busy line, then hang up — never block the
+             accept loop behind a full house *)
+          (try output_line client (busy_line server.max_clients)
+           with Unix.Unix_error _ -> ());
+          try Unix.close client with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Atomic.incr server.active;
+          served_once := true;
+          if once then run_connection server client
+          else begin
+            let finished = Atomic.make false in
+            match
+              Domain.spawn (fun () ->
+                  run_connection server client;
+                  Atomic.set finished true)
+            with
+            | d -> spawned := (d, finished) :: !spawned
+            | exception _ ->
+                (* out of domains: shed exactly like over-cap *)
+                Atomic.decr server.active;
+                (try output_line client (busy_line server.max_clients)
+                 with Unix.Unix_error _ -> ());
+                (try Unix.close client with Unix.Unix_error _ -> ())
+          end
+        end
+  in
+  let rec loop () =
+    if Atomic.get server.stop || (once && !served_once) then ()
+    else begin
+      (match Unix.select listeners [] [] 0.25 with
+      | ready, _, _ -> List.iter accept_ready ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      reap ~all:false;
+      loop ()
+    end
+  in
+  loop ();
+  (* drain: stop accepting, let in-flight batches finish *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  reap ~all:true
+
+let serve_daemon state ~jobs ~request_timeout ~max_clients socket tcp ~once =
+  let server =
+    {
+      state;
+      jobs;
+      request_timeout;
+      max_clients;
+      active = Atomic.make 0;
+      stop = Atomic.make false;
+    }
+  in
+  (* a client that dies mid-answer must surface as EPIPE on the write,
+     not as a process-killing SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  List.iter
+    (fun signal ->
+      Sys.set_signal signal
+        (Sys.Signal_handle (fun _ -> Atomic.set server.stop true)))
+    [ Sys.sigint; Sys.sigterm ];
+  let unix_listener = Option.map listen_unix socket in
+  let tcp_listener = Option.map listen_tcp tcp in
+  let listeners = List.filter_map Fun.id [ unix_listener; tcp_listener ] in
+  let cleanup () =
+    Option.iter
+      (fun path -> try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      socket
+  in
+  Printf.eprintf "ckptwf: serving on %s%s\n%!"
+    (String.concat " + "
+       (List.filter_map Fun.id
+          [ socket; Option.map (Printf.sprintf "tcp:%d") tcp ]))
+    (if once then " (once)" else "");
+  Fun.protect ~finally:cleanup (fun () ->
+      daemon_loop server listeners ~once;
+      if Atomic.get server.stop then
+        Printf.eprintf "ckptwf: drained %s, exiting\n%!"
+          (Option.value socket ~default:"tcp"))
+
+let serve_run socket tcp once jobs request_timeout max_clients cache_cap =
+  protect @@ fun () ->
+  let state =
+    {
+      service = Service.create ?max_setups:cache_cap ?max_plans:cache_cap ();
+      dlock = Mutex.create ();
+      degraded = Hashtbl.create 16;
+    }
+  in
+  let jobs = Pool.effective_jobs jobs in
+  match (socket, tcp) with
+  | None, None ->
       let output line =
         print_string line;
         print_newline ();
         flush stdout
       in
-      if once then serve_batch state ~jobs stdin output
+      if once then answer_batch state ~jobs ~mode:Fatal ~output (never_lines stdin)
       else serve_stream state ~jobs stdin output
-  | Some path ->
-      if Sys.file_exists path then Sys.remove path;
-      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
-      Printf.eprintf "ckptwf: serving on %s%s\n%!" path (if once then " (once)" else "");
-      let serve_connection () =
-        let fd, _ = Unix.accept sock in
-        let input = Unix.in_channel_of_descr fd in
-        let out = Unix.out_channel_of_descr fd in
-        let output line =
-          output_string out line;
-          output_char out '\n';
-          flush out
-        in
-        (* each connection is one batch: requests to EOF, then answers;
-           caches persist across connections *)
-        serve_batch state ~jobs input output;
-        try Unix.close fd with Unix.Unix_error _ -> ()
-      in
-      if once then serve_connection ()
-      else
-        while true do
-          serve_connection ()
-        done
+  | _ ->
+      serve_daemon state ~jobs ~request_timeout ~max_clients socket tcp ~once
 
 let serve_cmd =
   let socket =
@@ -1662,7 +1992,18 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Serve over a Unix domain socket at $(docv) instead of stdin/stdout; each \
-             connection is one request batch.")
+             connection is one request batch, connections are handled concurrently. A \
+             stale socket file left by a killed daemon is removed at startup when no \
+             live daemon answers it.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Also (or only) listen on 127.0.0.1:$(docv) with the same one-batch-per-\
+             connection NDJSON protocol — for actual remote traffic.")
   in
   let once =
     Arg.(
@@ -1673,13 +2014,58 @@ let serve_cmd =
             "Handle one batch (stdin to EOF, or a single connection), answer every \
              request in order, and exit — for scripting.")
   in
+  let request_timeout =
+    Arg.(
+      value
+      & opt (some positive_float_conv) None
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request budget, started when the daemon begins waiting for the request \
+             line: a client that hangs mid-request (slowloris) or a request still queued \
+             when the budget lapses gets a structured {\"error\":\"deadline\"} answer \
+             instead of blocking its connection forever. Unset means wait forever.")
+  in
+  let max_clients =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (`Msg "expected a positive client count")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Format.pp_print_int)) 32
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection bound: excess connections are shed immediately with a \
+             one-line {\"error\":\"busy\"} answer instead of queueing behind a full \
+             house.")
+  in
+  let cache_cap =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (`Msg "expected a positive cache capacity")
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, Format.pp_print_int))) None
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "Bound the setup and plan caches to $(docv) entries each with LRU eviction \
+             (eviction counters appear in the stats op). Unset means unbounded — the \
+             pre-daemon behaviour.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Batched planning daemon: newline-delimited JSON plan/evaluate/degrade/stats \
-          requests over stdin or a Unix socket, with compiled DAG views, placement arenas \
-          and the structural replan cache shared across requests (extension).")
-    Term.(const serve_run $ socket $ once $ jobs_arg)
+          requests over stdin, a Unix socket or TCP, with compiled DAG views, placement \
+          arenas and the structural replan cache shared across requests; concurrent \
+          connections, per-request deadlines, bounded caches and SIGTERM draining \
+          (extension).")
+    Term.(
+      const serve_run $ socket $ tcp $ once $ jobs_arg $ request_timeout $ max_clients
+      $ cache_cap)
 
 (* --- export --- *)
 

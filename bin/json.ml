@@ -1,7 +1,9 @@
 (* Minimal JSON support for the serve daemon (no JSON library is baked
    into this environment). Covers the full grammar except that parsed
    numbers are all floats; object member order is preserved on
-   output. *)
+   output. Nesting is bounded ([max_depth]) so a hostile request like
+   "[[[[..." is a Malformed diagnostic, not a Stack_overflow that
+   kills a daemon connection handler. *)
 
 type t =
   | Null
@@ -105,7 +107,10 @@ let parse_number c =
   | Some f -> Num f
   | None -> fail c "bad number"
 
-let rec parse_value c =
+let max_depth = 256
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -123,7 +128,7 @@ let rec parse_value c =
           let k = parse_string c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value c (depth + 1) in
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -145,7 +150,7 @@ let rec parse_value c =
       end
       else begin
         let rec elements acc =
-          let v = parse_value c in
+          let v = parse_value c (depth + 1) in
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -165,7 +170,7 @@ let rec parse_value c =
 
 let parse s =
   let c = { s; pos = 0 } in
-  let v = parse_value c in
+  let v = parse_value c 0 in
   skip_ws c;
   if c.pos <> String.length s then fail c "trailing garbage";
   v

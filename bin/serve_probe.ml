@@ -1,0 +1,134 @@
+(* serve_probe — a deliberately misbehaving test client for the
+   [ckptwf serve] daemon's fault-injection harness.
+
+   A well-behaved client connects, sends one NDJSON request batch,
+   half-closes (EOF), prints the answers and exits. The flags turn it
+   into each of the daemon's adversaries:
+
+     --partial STR   send STR with no trailing newline (a torn request)
+     --hold SECONDS  never send EOF; sit silent for SECONDS first
+                     (slowloris / hung client)
+     --abort         disappear right after sending, reading nothing
+                     (a client killed mid-request)
+
+   usage: serve_probe (--unix PATH | --tcp PORT)
+            [--send FILE] [--partial STR] [--hold SECONDS] [--abort]
+            [--timeout SECONDS]
+
+   Request lines come from --send FILE, or stdin when the flag is
+   absent and stdin is not a tty. Exit codes: 0 done, 2 usage,
+   3 could not connect, 9 gave up waiting for answers (--timeout,
+   default 60s — the probe must never hang the harness). *)
+
+let usage () =
+  prerr_endline
+    "usage: serve_probe (--unix PATH | --tcp PORT) [--send FILE] [--partial STR] \
+     [--hold SECONDS] [--abort] [--timeout SECONDS]";
+  exit 2
+
+let () =
+  let unix_path = ref None
+  and tcp_port = ref None
+  and send_file = ref None
+  and partial = ref None
+  and hold = ref 0.
+  and abort = ref false
+  and timeout = ref 60. in
+  let rec parse = function
+    | [] -> ()
+    | "--unix" :: v :: rest ->
+        unix_path := Some v;
+        parse rest
+    | "--tcp" :: v :: rest ->
+        (match int_of_string_opt v with Some p -> tcp_port := Some p | None -> usage ());
+        parse rest
+    | "--send" :: v :: rest ->
+        send_file := Some v;
+        parse rest
+    | "--partial" :: v :: rest ->
+        partial := Some v;
+        parse rest
+    | "--hold" :: v :: rest ->
+        (match float_of_string_opt v with Some s -> hold := s | None -> usage ());
+        parse rest
+    | "--abort" :: rest ->
+        abort := true;
+        parse rest
+    | "--timeout" :: v :: rest ->
+        (match float_of_string_opt v with Some s -> timeout := s | None -> usage ());
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let addr =
+    match (!unix_path, !tcp_port) with
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, Some port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+    | _ -> usage ()
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd =
+    Unix.socket
+      (match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "serve_probe: connect: %s\n%!" (Unix.error_message e);
+     exit 3);
+  let rec write_all s off len =
+    if len > 0 then
+      match Unix.write_substring fd s off len with
+      | n -> write_all s (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all s off len
+  in
+  let send line =
+    (* the daemon may have already shed or timed this connection out;
+       a refused write is part of the scenario, not a probe failure *)
+    try write_all line 0 (String.length line) with Unix.Unix_error _ -> ()
+  in
+  (let input =
+     match !send_file with
+     | Some path -> Some (open_in path)
+     | None -> if Unix.isatty Unix.stdin then None else Some stdin
+   in
+   match input with
+   | None -> ()
+   | Some ch ->
+       (try
+          while true do
+            send (input_line ch ^ "\n")
+          done
+        with End_of_file -> ());
+       if ch != stdin then close_in ch);
+  Option.iter send !partial;
+  if !abort then begin
+    Unix.close fd;
+    exit 0
+  end;
+  (* a holding client never half-closes: the daemon must time it out,
+     not wait politely for an EOF that will never come *)
+  if !hold > 0. then Unix.sleepf !hold
+  else (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (* drain the answers, bounded by --timeout so a wedged daemon fails
+     the harness loudly instead of hanging it *)
+  let give_up = Unix.gettimeofday () +. !timeout in
+  let chunk = Bytes.create 8192 in
+  let rec drain () =
+    let budget = give_up -. Unix.gettimeofday () in
+    if budget <= 0. then exit 9;
+    match Unix.select [ fd ] [] [] budget with
+    | [], _, _ -> exit 9
+    | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            print_string (Bytes.sub_string chunk 0 n);
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  flush stdout;
+  (try Unix.close fd with Unix.Unix_error _ -> ())

@@ -249,6 +249,12 @@ if [ "$(wc -l < "$TMP/serve.err")" -ne 1 ]; then
     exit 1
 fi
 
+echo "== serve daemon robustness: fault-injection harness =="
+# concurrent clients, hung client, malformed flood, shedding, SIGTERM
+# drain, stale-socket restart, TCP — scripts/serve_fault.sh asserts
+# the well-formed answers stay identical to the one-shot CLI throughout
+sh scripts/serve_fault.sh "${SERVE_FAULT_LOG:-$TMP/serve_fault.log}"
+
 echo "== planning-throughput bench smoke (--plan-only, history recorded) =="
 dune build bench/main.exe
 CKPTWF_BENCH_REPS=2 CKPTWF_BENCH_DIR="$TMP/benchres" \

@@ -6,43 +6,108 @@
    caller-chosen string keys, with double-checked locking: the mutex
    guards only table lookups/inserts, the expensive compute runs
    outside it, and a racing duplicate compute is benign because both
-   sides produce identical values (planning is deterministic). *)
+   sides produce identical values (planning is deterministic).
+
+   A long-lived daemon must not grow without bound, so each table can
+   carry an LRU capacity ([?max_setups] / [?max_plans]): every hit and
+   insert stamps the entry with a logical clock tick, and an insert
+   that pushes the table over its cap evicts the least recently used
+   entry (an O(size) scan — caps are request-cache sized, not
+   database sized). Unbounded by default, so existing call sites are
+   bitwise unchanged. *)
 
 type stats = {
   setup_hits : int;
   setup_misses : int;
+  setup_evictions : int;
   plan_hits : int;
   plan_misses : int;
+  plan_evictions : int;
+  plan_races : int;
 }
+
+(* one cached value and the logical time it was last touched *)
+type 'a entry = { value : 'a; mutable tick : int }
 
 type t = {
   lock : Mutex.t;
-  setups : (string, Pipeline.setup) Hashtbl.t;
-  plans : (string, Strategy.plan) Hashtbl.t;
+  max_setups : int option;
+  max_plans : int option;
+  setups : (string, Pipeline.setup entry) Hashtbl.t;
+  plans : (string, Strategy.plan entry) Hashtbl.t;
+  mutable clock : int;
   setup_hits : int Atomic.t;
   setup_misses : int Atomic.t;
+  setup_evictions : int Atomic.t;
   plan_hits : int Atomic.t;
   plan_misses : int Atomic.t;
+  plan_evictions : int Atomic.t;
+  plan_races : int Atomic.t;
 }
 
-let create () =
+let check_cap what = function
+  | Some c when c < 1 -> invalid_arg (Printf.sprintf "Service.create: %s < 1" what)
+  | c -> c
+
+let create ?max_setups ?max_plans () =
   {
     lock = Mutex.create ();
+    max_setups = check_cap "max_setups" max_setups;
+    max_plans = check_cap "max_plans" max_plans;
     setups = Hashtbl.create 64;
     plans = Hashtbl.create 64;
+    clock = 0;
     setup_hits = Atomic.make 0;
     setup_misses = Atomic.make 0;
+    setup_evictions = Atomic.make 0;
     plan_hits = Atomic.make 0;
     plan_misses = Atomic.make 0;
+    plan_evictions = Atomic.make 0;
+    plan_races = Atomic.make 0;
   }
 
-let memo t table hits misses ~key f =
+(* all three below run with [t.lock] held *)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let touch t e = e.tick <- tick t
+
+(* evict least-recently-used entries until [table] fits [cap] again;
+   the scan is O(size) but only runs on an over-cap insert *)
+let enforce_cap table cap evictions =
+  match cap with
+  | None -> ()
+  | Some cap ->
+      while Hashtbl.length table > cap do
+        let victim =
+          Hashtbl.fold
+            (fun key e acc ->
+              match acc with
+              | Some (_, best) when best <= e.tick -> acc
+              | _ -> Some (key, e.tick))
+            table None
+        in
+        match victim with
+        | None -> ()
+        | Some (key, _) ->
+            Hashtbl.remove table key;
+            Atomic.incr evictions
+      done
+
+let insert t table cap evictions ~key value =
+  Hashtbl.replace table key { value; tick = tick t };
+  enforce_cap table cap evictions
+
+let memo t table cap hits misses evictions ~key f =
   Mutex.lock t.lock;
   match Hashtbl.find_opt table key with
-  | Some v ->
+  | Some e ->
+      touch t e;
       Mutex.unlock t.lock;
       Atomic.incr hits;
-      v
+      e.value
   | None ->
       Mutex.unlock t.lock;
       Atomic.incr misses;
@@ -52,30 +117,57 @@ let memo t table hits misses ~key f =
         (* a racing compute may have landed first: keep the incumbent
            so every caller sees one physical value per key *)
         match Hashtbl.find_opt table key with
-        | Some w -> w
+        | Some e ->
+            touch t e;
+            e.value
         | None ->
-            Hashtbl.replace table key v;
+            insert t table cap evictions ~key v;
             v
       in
       Mutex.unlock t.lock;
       v
 
-let setup t ~key f = memo t t.setups t.setup_hits t.setup_misses ~key f
-let plan t ~key f = memo t t.plans t.plan_hits t.plan_misses ~key f
+let setup t ~key f =
+  memo t t.setups t.max_setups t.setup_hits t.setup_misses t.setup_evictions ~key f
+
+let plan t ~key f =
+  memo t t.plans t.max_plans t.plan_hits t.plan_misses t.plan_evictions ~key f
 
 let find_plan t ~key =
   Mutex.lock t.lock;
-  let v = Hashtbl.find_opt t.plans key in
+  let v =
+    match Hashtbl.find_opt t.plans key with
+    | Some e ->
+        touch t e;
+        Some e.value
+    | None -> None
+  in
   Mutex.unlock t.lock;
   v
+
+(* planning is deterministic, so a racing insert under the same key
+   must have produced a structurally identical plan; the assert guards
+   exactly that invariant in debug builds (dev profile keeps asserts,
+   release drops them) *)
+let same_plan (a : Strategy.plan) (b : Strategy.plan) =
+  a.Strategy.kind = b.Strategy.kind
+  && a.Strategy.checkpoint_count = b.Strategy.checkpoint_count
+  && a.Strategy.replicas = b.Strategy.replicas
+  && Strategy.checkpoint_positions a = Strategy.checkpoint_positions b
 
 let store_plan t ~key plan =
   Mutex.lock t.lock;
   let v =
     match Hashtbl.find_opt t.plans key with
-    | Some w -> w
+    | Some e ->
+        (* the racing insert won: count the duplicate compute once
+           instead of silently discarding it *)
+        Atomic.incr t.plan_races;
+        assert (same_plan e.value plan);
+        touch t e;
+        e.value
     | None ->
-        Hashtbl.replace t.plans key plan;
+        insert t t.plans t.max_plans t.plan_evictions ~key plan;
         plan
   in
   Mutex.unlock t.lock;
@@ -85,8 +177,11 @@ let stats t =
   {
     setup_hits = Atomic.get t.setup_hits;
     setup_misses = Atomic.get t.setup_misses;
+    setup_evictions = Atomic.get t.setup_evictions;
     plan_hits = Atomic.get t.plan_hits;
     plan_misses = Atomic.get t.plan_misses;
+    plan_evictions = Atomic.get t.plan_evictions;
+    plan_races = Atomic.get t.plan_races;
   }
 
 let note_plan_hit t = Atomic.incr t.plan_hits

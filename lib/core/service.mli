@@ -12,18 +12,33 @@
     are mutex-guarded; the compute callback runs outside the lock, and
     when two domains race on the same missing key both compute but
     only the first insert wins — benign because planning is
-    deterministic, so the values are identical. *)
+    deterministic, so the values are identical (the loser is counted
+    in [plan_races] rather than silently discarded).
+
+    Capacity: a daemon that must not grow without bound passes
+    [?max_setups] / [?max_plans] to {!create}; each table then evicts
+    its least-recently-used entry on an over-cap insert (hits and
+    inserts both refresh recency). Unbounded by default, so existing
+    call sites are bitwise unchanged. *)
 
 type t
 
 type stats = {
   setup_hits : int;
   setup_misses : int;
+  setup_evictions : int;  (** LRU evictions from the setup table *)
   plan_hits : int;
   plan_misses : int;
+  plan_evictions : int;  (** LRU evictions from the plan table *)
+  plan_races : int;
+      (** racing duplicate computes whose insert lost to an incumbent *)
 }
 
-val create : unit -> t
+val create : ?max_setups:int -> ?max_plans:int -> unit -> t
+(** [create ?max_setups ?max_plans ()] — each cap bounds its table's
+    entry count with LRU eviction; omitted means unbounded.
+
+    @raise Invalid_argument when a cap is [< 1]. *)
 
 val setup : t -> key:string -> (unit -> Pipeline.setup) -> Pipeline.setup
 (** [setup t ~key f] returns the cached setup for [key], computing and
@@ -35,12 +50,15 @@ val plan : t -> key:string -> (unit -> Strategy.plan) -> Strategy.plan
 val find_plan : t -> key:string -> Strategy.plan option
 (** Lookup without computing — lets a batch caller collect the missing
     keys first and plan them together ({!Pipeline.plan_many}), then
-    {!store_plan} the results. Does not touch the hit/miss counters;
-    pair with {!note_plan_hit} / {!note_plan_miss}. *)
+    {!store_plan} the results. Refreshes LRU recency on a hit but does
+    not touch the hit/miss counters; pair with {!note_plan_hit} /
+    {!note_plan_miss}. *)
 
 val store_plan : t -> key:string -> Strategy.plan -> Strategy.plan
 (** Insert a plan computed out-of-band; returns the incumbent if a
-    racing insert got there first. *)
+    racing insert got there first (counted in [plan_races], and
+    asserted structurally equal to the offered plan in debug builds —
+    planning is deterministic, so a mismatch is a keying bug). *)
 
 val note_plan_hit : t -> unit
 

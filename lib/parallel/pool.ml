@@ -75,6 +75,7 @@ let inside_batch = Domain.DLS.new_key (fun () -> false)
 type t = {
   size : int;  (* workers per batch at most, the caller included *)
   mutable domains : unit Domain.t list;
+  submit : Mutex.t;  (* serialises whole batches: held for a batch's full extent *)
   m : Mutex.t;
   work : Condition.t;  (* a new batch was published, or [stopping] *)
   finished : Condition.t;  (* a helper finished its share of the batch *)
@@ -125,6 +126,7 @@ let create ?jobs () =
     {
       size;
       domains = [];
+      submit = Mutex.create ();
       m = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -144,12 +146,16 @@ let run_in t ~jobs body =
   let jobs = min (effective_jobs jobs) t.size in
   if jobs = 1 || Domain.DLS.get inside_batch then body ~worker:0
   else begin
-    (* one submitter at a time: batches are published by the
-       orchestrating domain, never from inside another batch *)
+    (* one batch at a time: [submit] is held for the batch's whole
+       extent, so several domains (daemon connection handlers, the
+       orchestrating CLI) can share one pool — late submitters queue
+       here instead of corrupting the published batch *)
+    Mutex.lock t.submit;
     Atomic.set t.failed None;
     Mutex.lock t.m;
     if t.stopping then begin
       Mutex.unlock t.m;
+      Mutex.unlock t.submit;
       invalid_arg "Pool.run_in: pool is shut down"
     end;
     t.body <- Some body;
@@ -165,6 +171,7 @@ let run_in t ~jobs body =
     done;
     t.body <- None;
     Mutex.unlock t.m;
+    Mutex.unlock t.submit;
     match Atomic.get t.failed with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

@@ -63,7 +63,10 @@ type t
 (** A long-lived pool of helper domains. Helpers are spawned by
     {!create} and parked on a condition variable between batches;
     {!shutdown} joins them. At most one batch runs at a time per pool;
-    batches must be submitted from outside any running batch body. *)
+    concurrent submissions from different domains are safe and simply
+    queue on an internal submit lock ([ckptwf serve] connection
+    handlers share the one resident pool this way). Submitting from
+    {e inside} a running batch body still runs inline. *)
 
 val create : ?jobs:int -> unit -> t
 (** [create ?jobs ()] spawns a pool with capacity [jobs] (caller
@@ -81,7 +84,9 @@ val run_in : t -> jobs:int -> (worker:int -> unit) -> unit
     the caller plus parked helpers — and returns once all are done,
     re-raising the first worker exception. When the clamped width is 1,
     or when called from inside a batch body, [body ~worker:0] runs
-    inline on the caller with no synchronisation.
+    inline on the caller with no synchronisation. Concurrent callers
+    on different domains serialise: each waits its turn for the whole
+    pool rather than interleaving batches.
 
     @raise Invalid_argument when [jobs < 1] or [t] was shut down. *)
 

@@ -16,6 +16,12 @@ let remaining = function
 
 let budget = function Never -> infinity | At { seconds; _ } -> seconds
 
+(* [Unix.select] wants a finite timeout or -1 for "forever"; clamp a
+   live deadline's remaining budget into that shape *)
+let select_timeout = function
+  | Never -> -1.
+  | At _ as t -> remaining t
+
 let check t ~completed =
   match t with
   | Never -> ()

@@ -29,6 +29,12 @@ val remaining : t -> float
 val budget : t -> float
 (** The original budget in seconds; [infinity] for {!never}. *)
 
+val select_timeout : t -> float
+(** The deadline as a [Unix.select]-shaped timeout: seconds remaining
+    (possibly [0.]) for a live deadline, [-1.] ("wait forever") for
+    {!never} — so I/O loops can block exactly until the budget runs
+    out. *)
+
 val check : t -> completed:int -> unit
 (** Raises [Error.E (Deadline_exceeded _)] when expired, recording how
     many units of work completed in time. *)

@@ -65,6 +65,7 @@ else
 fi
 
 check random_plans_per_sec_batch $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
+check random_plans_per_sec_concurrent $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
 
 if [ "$fail" -ne 0 ]; then
     echo "bench regression guard: FAILED" >&2

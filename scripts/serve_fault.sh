@@ -1,0 +1,230 @@
+#!/bin/sh
+# Fault-injection harness for the hardened `ckptwf serve` daemon.
+#
+# Drives the daemon through the fail-stop events its serving layer must
+# survive — concurrent clients, a hung (slowloris) client, a malformed
+# flood, over-capacity shedding, SIGTERM mid-traffic, kill -9 leaving a
+# stale socket — and asserts that well-formed clients keep getting
+# answers identical (modulo timing fields) to the one-shot CLI, that
+# the bad clients get structured NDJSON errors, and that the lifecycle
+# contract holds (drain exits 0, socket file removed, stale socket
+# reclaimed on restart).
+#
+#   usage: serve_fault.sh [LOGFILE]
+#
+# The full transcript goes to LOGFILE (default serve_fault.log — CI
+# uploads it as an artifact); the console gets one line per scenario.
+set -eu
+cd "$(dirname "$0")/.."
+
+CKPTWF=${CKPTWF:-_build/default/bin/ckptwf.exe}
+PROBE=${PROBE:-_build/default/bin/serve_probe.exe}
+LOG=${1:-serve_fault.log}
+PORT=${SERVE_FAULT_PORT:-17423}
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ckptwf-serve-fault.XXXXXX")
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2> /dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$TMP/daemon.sock"
+
+# timing fields and the racing hit/miss marker differ run to run; the
+# rest of every answer must be byte-identical
+normalize() {
+    sed -e 's/"elapsed_ms":[0-9.e+-]*/"elapsed_ms":0/' \
+        -e 's/"cache":"\(hit\|miss\)"/"cache":"_"/' "$1"
+}
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+start_daemon() {
+    # start_daemon EXTRA-ARGS...: launches on $SOCK and waits for the
+    # "serving on" banner — the socket file alone is not enough, since
+    # a stale file from a killed daemon predates the restart
+    : > "$TMP/daemon.err"
+    "$CKPTWF" serve --socket "$SOCK" "$@" 2>> "$TMP/daemon.err" &
+    DPID=$!
+    i=0
+    while ! grep -q "serving on" "$TMP/daemon.err" 2> /dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "daemon did not come up on $SOCK"
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    # graceful stop; asserts the drain contract every time
+    kill -TERM "$DPID"
+    status=0
+    wait "$DPID" || status=$?
+    DPID=""
+    [ "$status" -eq 0 ] || fail "SIGTERM drain exited $status, want 0"
+    [ -e "$SOCK" ] && fail "drained daemon left its socket file behind"
+    return 0
+}
+
+main() {
+    echo "# serve fault-injection harness: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+    cat > "$TMP/reqs.ndjson" <<'EOF'
+{"id": 1, "op": "plan", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5, "strategy": "some"}
+{"id": 2, "op": "evaluate", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5}
+{"id": 3, "op": "plan", "workflow": "genome", "tasks": 50, "seed": 7, "processors": 5, "strategy": "all"}
+EOF
+
+    echo "== baseline: one-shot CLI answers for the same batch =="
+    "$CKPTWF" serve --once < "$TMP/reqs.ndjson" > "$TMP/baseline.ndjson" 2> /dev/null
+    normalize "$TMP/baseline.ndjson" > "$TMP/baseline.norm"
+    cat "$TMP/baseline.norm"
+    # cross-check against the actual one-shot subcommand, not just serve
+    em_once=$("$CKPTWF" evaluate --workflow genome --tasks 50 --seed 7 --processors 5 \
+        2> /dev/null | sed -n 's/.*EM(CKPTSOME) = \([0-9.]*\) s.*/\1/p')
+    grep -q "\"em_some\":\"$em_once\"" "$TMP/baseline.norm" \
+        || fail "serve baseline em_some does not match one-shot evaluate ($em_once)"
+
+    echo "== scenario 1: 4 concurrent clients, one hung, one flooding malformed =="
+    start_daemon --request-timeout 2 --max-clients 8
+    for i in $(seq 60); do printf '{"op": [[[[\n'; done > "$TMP/flood.ndjson"
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/good1.ndjson" &
+    G1=$!
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/good2.ndjson" &
+    G2=$!
+    "$PROBE" --unix "$SOCK" --partial '{"op": "pl' --hold 4 > "$TMP/hung.ndjson" &
+    HU=$!
+    "$PROBE" --unix "$SOCK" --send "$TMP/flood.ndjson" > "$TMP/flood.out" &
+    FL=$!
+    wait "$G1" || fail "good client 1 failed"
+    wait "$G2" || fail "good client 2 failed"
+    wait "$FL" || fail "flood client failed"
+    wait "$HU" || fail "hung client failed"
+    normalize "$TMP/good1.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "good client 1 answers differ from one-shot CLI"
+    normalize "$TMP/good2.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "good client 2 answers differ from one-shot CLI"
+    [ "$(grep -c '"error":"parse"' "$TMP/flood.out")" -eq 60 ] \
+        || fail "flood client: want 60 structured parse errors, got $(grep -c '"error":"parse"' "$TMP/flood.out" || true)"
+    grep -q '"error":"deadline"' "$TMP/hung.ndjson" \
+        || fail "hung client got no structured deadline answer"
+    kill -0 "$DPID" 2> /dev/null || fail "daemon died during scenario 1"
+    # and it still answers fresh traffic afterwards
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/after.ndjson"
+    normalize "$TMP/after.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "post-fault client answers differ from one-shot CLI"
+    stop_daemon
+    echo "scenario 1 ok"
+
+    echo "== scenario 2: --max-clients sheds with a one-line busy answer =="
+    start_daemon --request-timeout 5 --max-clients 2
+    "$PROBE" --unix "$SOCK" --hold 3 > /dev/null &
+    H1=$!
+    "$PROBE" --unix "$SOCK" --hold 3 > /dev/null &
+    H2=$!
+    sleep 0.5
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/shed.ndjson"
+    grep -q '"error":"busy"' "$TMP/shed.ndjson" \
+        || fail "over-cap client was not shed with a busy answer"
+    [ "$(wc -l < "$TMP/shed.ndjson")" -eq 1 ] \
+        || fail "busy response must be exactly one line"
+    wait "$H1" "$H2" || true
+    # capacity freed: the same client is served now
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/unshed.ndjson"
+    normalize "$TMP/unshed.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "client after shed window differs from one-shot CLI"
+    stop_daemon
+    echo "scenario 2 ok"
+
+    echo "== scenario 3: SIGTERM drains the in-flight connection, exits 0, removes socket =="
+    start_daemon --request-timeout 3
+    "$PROBE" --unix "$SOCK" --partial '{"op": "st' --hold 1 > "$TMP/drain.ndjson" &
+    DR=$!
+    sleep 0.5
+    kill -TERM "$DPID"
+    status=0
+    wait "$DPID" || status=$?
+    DPID=""
+    [ "$status" -eq 0 ] || fail "SIGTERM with in-flight connection exited $status, want 0"
+    [ -e "$SOCK" ] && fail "SIGTERM drain left the socket file behind"
+    wait "$DR" || fail "in-flight client failed during drain"
+    grep -q '"error":"deadline"' "$TMP/drain.ndjson" \
+        || fail "in-flight hung client was not answered during the drain"
+    echo "scenario 3 ok"
+
+    echo "== scenario 4: kill -9 mid-request leaves a stale socket; restart reclaims it =="
+    start_daemon --request-timeout 5
+    "$PROBE" --unix "$SOCK" --partial '{"op": "pl' --hold 5 > /dev/null &
+    K9=$!
+    sleep 0.3
+    kill -9 "$DPID"
+    wait "$DPID" 2> /dev/null || true
+    DPID=""
+    wait "$K9" || true
+    [ -S "$SOCK" ] || fail "kill -9 did not leave a stale socket (test premise broken)"
+    start_daemon
+    grep -q "removing stale socket" "$TMP/daemon.err" \
+        || fail "restart did not report reclaiming the stale socket"
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > "$TMP/reclaim.ndjson"
+    normalize "$TMP/reclaim.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "restarted daemon answers differ from one-shot CLI"
+    stop_daemon
+    echo "scenario 4 ok"
+
+    echo "== scenario 5: a second daemon refuses a live socket =="
+    start_daemon
+    status=0
+    "$CKPTWF" serve --socket "$SOCK" 2> "$TMP/second.err" || status=$?
+    [ "$status" -eq 2 ] || fail "second daemon on a live socket exited $status, want 2"
+    grep -q "already serving" "$TMP/second.err" \
+        || fail "second daemon printed no already-serving diagnostic"
+    kill -0 "$DPID" 2> /dev/null || fail "incumbent daemon died"
+    "$PROBE" --unix "$SOCK" --send "$TMP/reqs.ndjson" > /dev/null \
+        || fail "incumbent daemon stopped serving"
+    stop_daemon
+    echo "scenario 5 ok"
+
+    echo "== scenario 6: TCP listener speaks the same protocol =="
+    start_daemon --tcp "$PORT" --request-timeout 2
+    "$PROBE" --tcp "$PORT" --send "$TMP/reqs.ndjson" > "$TMP/tcp.ndjson"
+    normalize "$TMP/tcp.ndjson" | diff -u "$TMP/baseline.norm" - \
+        || fail "TCP answers differ from one-shot CLI"
+    stop_daemon
+    echo "scenario 6 ok"
+
+    echo "== scenario 7: --cache-cap bounds the resident caches (evictions in stats) =="
+    start_daemon --cache-cap 2
+    {
+        for seed in 1 2 3 4; do
+            printf '{"op": "plan", "workflow": "genome", "tasks": 40, "seed": %d, "processors": 5}\n' "$seed"
+        done
+        printf '{"op": "stats"}\n'
+    } > "$TMP/cap.ndjson"
+    "$PROBE" --unix "$SOCK" --send "$TMP/cap.ndjson" > "$TMP/cap.out"
+    stats_line=$(grep '"op":"stats"' "$TMP/cap.out")
+    echo "$stats_line"
+    # 4 distinct configurations through cap-2 caches must evict (the
+    # exact count depends on the prefetch/answer interleaving), and the
+    # counters must be visible in the stats answer
+    echo "$stats_line" | grep -q '"setup_evictions":[1-9]' \
+        || fail "want nonzero setup_evictions in stats: $stats_line"
+    echo "$stats_line" | grep -q '"plan_evictions":[1-9]' \
+        || fail "want nonzero plan_evictions in stats: $stats_line"
+    stop_daemon
+    echo "scenario 7 ok"
+
+    echo "# all serve fault scenarios passed"
+}
+
+: > "$LOG"
+if main >> "$LOG" 2>&1; then
+    grep -E '^(#|==|scenario)' "$LOG"
+else
+    echo "serve_fault.sh: FAILED — transcript follows" >&2
+    cat "$LOG" >&2
+    exit 1
+fi

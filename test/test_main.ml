@@ -29,6 +29,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("recovery", Test_recovery.suite);
       ("plan-equiv", Test_plan_equiv.suite);
+      ("service", Test_service.suite);
       ("degrade-cache", Test_degrade_cache.suite);
       ("storage", Test_storage.suite);
       ("cloud", Test_cloud.suite);

@@ -19,7 +19,8 @@
    --jobs N fans figure cells and Monte-Carlo trials over N worker
    domains, 0 meaning all available, without changing any output;
    --json FILE writes the Monte-Carlo throughput record to FILE;
-   --mc-only runs just that benchmark and exits)
+   --mc-only, --plan-only and --sweep-only run just that benchmark
+   and exit)
 
    The figure series and the accuracy table — the long-running parts —
    are crash-tolerant: with --journal FILE every completed cell is
@@ -573,6 +574,14 @@ let cloud_revocation_table ?journal ?(jobs = 1) () =
    baseline lives in BENCH_mc.json at the repository root). *)
 let mc_throughput ?json ~jobs () =
   Printf.printf "== Monte-Carlo throughput (GENOME, CKPTALL prob-DAG) ==\n";
+  let cores = Domain.recommended_domain_count () in
+  let jobs_requested = jobs in
+  let jobs = Pool.effective_jobs jobs in
+  if jobs_requested > cores then
+    Printf.eprintf
+      "bench: --jobs %d exceeds the %d available core(s); parallel legs run at the \
+       clamped effective width %d\n%!"
+      jobs_requested cores jobs;
   let trials = 10_000 in
   let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:1000 () in
   let setup = Pipeline.prepare ~dag ~processors:61 ~pfail:0.001 ~ccr:0.01 () in
@@ -590,9 +599,9 @@ let mc_throughput ?json ~jobs () =
   let record =
     Printf.sprintf
       "{\n  \"benchmark\": \"montecarlo-throughput\",\n  \"workflow\": \"genome\",\n\
-      \  \"n\": %d,\n  \"trials\": %d,\n  \"jobs\": %d,\n  \"wall_seconds\": %.6f,\n\
-      \  \"trials_per_sec\": %.0f\n}\n"
-      n trials jobs wall rate
+      \  \"n\": %d,\n  \"trials\": %d,\n  \"jobs_requested\": %d,\n  \"jobs\": %d,\n\
+      \  \"cores\": %d,\n  \"wall_seconds\": %.6f,\n  \"trials_per_sec\": %.0f\n}\n"
+      n trials jobs_requested jobs cores wall rate
   in
   Option.iter (fun path -> History.write_file path record) json;
   ignore (History.record ~name:"mc" record)
@@ -805,6 +814,122 @@ let plan_throughput ?json ~jobs () =
   Option.iter (fun path -> History.write_file path record) json;
   ignore (History.record ~name:"plan" record)
 
+(* ------------------------------------------------------------------ *)
+(* Sweep-cell throughput benchmark                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The figure the analytic expected-makespan engine is measured by: a
+   pinned Figure-5 sweep (GENOME n=300, p=35, pfail=0.001, the 9
+   default CCR points of `ckptwf sweep`) evaluated per cell by the
+   closed-form analytic engine and by the 10k-trial MONTECARLO
+   estimator. Setups and plans are prepared once outside the timed
+   region — planning throughput is BENCH_plan.json's figure — so the
+   two rates isolate the estimator cost, which is what `--eval
+   analytic|mc` switches inside an already-planned sweep. The analytic
+   value is additionally asserted to lie inside the MC 95% confidence
+   interval on every cell and both strategies; the tracked baseline
+   lives in BENCH_sweep.json at the repository root. *)
+let sweep_throughput ?json ~jobs () =
+  let module Analytic = Ckpt_analytic.Analytic in
+  Printf.printf "== Sweep-cell throughput (GENOME n=300 p=35: analytic vs 10k-trial MC) ==\n";
+  let cores = Domain.recommended_domain_count () in
+  let jobs_requested = jobs in
+  let jobs = Pool.effective_jobs jobs in
+  if jobs_requested > cores then
+    Printf.eprintf
+      "bench: --jobs %d exceeds the %d available core(s); parallel legs run at the \
+       clamped effective width %d\n%!"
+      jobs_requested cores jobs;
+  let trials = 10_000 in
+  let reps = History.reps ~default:5 in
+  let dag = Spec.generate Spec.Genome ~seed:1 ~tasks:300 () in
+  let ccrs = logspace 1e-4 1e-2 9 in
+  let cells =
+    List.map
+      (fun ccr ->
+        let setup = Pipeline.prepare ~dag ~processors:35 ~pfail:0.001 ~ccr () in
+        let plans = [ Pipeline.plan setup Strategy.Ckpt_some; Pipeline.plan setup Strategy.Ckpt_all ] in
+        (ccr, plans))
+      ccrs
+  in
+  let n_cells = List.length cells in
+  (* containment first: |analytic − MC mean| <= the MC 95% half-width,
+     cell by cell, strategy by strategy *)
+  let worst_gap = ref 0. in
+  let within_ci =
+    List.for_all
+      (fun (_, plans) ->
+        List.for_all
+          (fun (plan : Strategy.plan) ->
+            let pd = Option.get plan.Strategy.prob_dag in
+            let st = Ckpt_eval.Montecarlo.estimate_with_stats ~trials ~seed:1 ~jobs pd in
+            let gap =
+              abs_float (Analytic.expected_makespan plan -. Ckpt_prob.Stats.mean st)
+            in
+            let hw = Ckpt_prob.Stats.ci95_halfwidth st in
+            if hw > 0. && gap /. hw > !worst_gap then worst_gap := gap /. hw;
+            gap <= hw)
+          plans)
+      cells
+  in
+  (* timed phases: one "pass" prices every cell of the sweep *)
+  let time_pass passes f =
+    ignore (f ());
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to passes do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    float_of_int (passes * n_cells) /. (Unix.gettimeofday () -. t0)
+  in
+  let eval_with f () =
+    List.iter (fun (_, plans) -> List.iter (fun p -> ignore (Sys.opaque_identity (f p))) plans) cells
+  in
+  (* the analytic pass is microseconds per cell: scale the pass count
+     up so the timed region stays measurable *)
+  let analytic_rate =
+    time_pass (reps * 100) (eval_with (fun p -> Analytic.expected_makespan p))
+  in
+  let mc_rate =
+    time_pass reps
+      (eval_with (fun (p : Strategy.plan) ->
+           Ckpt_eval.Montecarlo.estimate ~trials ~seed:1 ~jobs
+             (Option.get p.Strategy.prob_dag)))
+  in
+  let speedup = analytic_rate /. mc_rate in
+  Printf.printf
+    "  cells=%d trials=%d jobs=%d cells/sec analytic=%.0f mc=%.2f (%.0fx) within_ci=%b \
+     (worst gap %.2f of CI)\n\n"
+    n_cells trials jobs analytic_rate mc_rate speedup within_ci !worst_gap;
+  let record =
+    Printf.sprintf
+      "{\n\
+      \  \"benchmark\": \"sweep-throughput\",\n\
+      \  \"workflow\": \"genome\",\n\
+      \  \"n\": %d,\n\
+      \  \"processors\": 35,\n\
+      \  \"cells\": %d,\n\
+      \  \"trials\": %d,\n\
+      \  \"jobs_requested\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"cores\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"sweep_cells_per_sec_analytic\": %.2f,\n\
+      \  \"sweep_cells_per_sec_mc\": %.4f,\n\
+      \  \"analytic_speedup\": %.2f,\n\
+      \  \"analytic_within_ci\": %b,\n\
+      \  \"worst_gap_ci_fraction\": %.4f\n\
+       }\n"
+      (Dag.n_tasks dag) n_cells trials jobs_requested jobs cores reps analytic_rate mc_rate
+      speedup within_ci !worst_gap
+  in
+  Option.iter (fun path -> History.write_file path record) json;
+  ignore (History.record ~name:"sweep" record);
+  if not within_ci then begin
+    prerr_endline "bench: analytic expected makespan left the MC 95% CI";
+    exit 1
+  end
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let resume = Array.exists (fun a -> a = "--resume") Sys.argv in
@@ -843,6 +968,10 @@ let () =
     plan_throughput ?json ~jobs ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "--sweep-only") Sys.argv then begin
+    sweep_throughput ?json ~jobs ();
+    exit 0
+  end;
   let journal =
     match journal_path with
     | None -> None
@@ -862,6 +991,7 @@ let () =
   run_benchmarks ();
   mc_throughput ?json ~jobs ();
   plan_throughput ~jobs ();
+  sweep_throughput ~jobs ();
   accuracy_table ?journal ();
   linearization_ablation ();
   policy_ablation ();

@@ -13,6 +13,7 @@ module Strategy = Ckpt_core.Strategy
 module Schedule = Ckpt_core.Schedule
 module Superchain = Ckpt_core.Superchain
 module Evaluator = Ckpt_eval.Evaluator
+module Analytic = Ckpt_analytic.Analytic
 module Runner = Ckpt_sim.Runner
 module Stats = Ckpt_prob.Stats
 module Rerror = Ckpt_resilience.Error
@@ -96,6 +97,27 @@ let method_arg =
     & opt method_conv Evaluator.Pathapprox
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:"Expected-makespan estimator: montecarlo, dodin, normal or pathapprox.")
+
+let eval_conv =
+  let parse s =
+    match Analytic.eval_of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown evaluator %S (analytic|mc|auto)" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Analytic.eval_name e))
+
+let eval_arg =
+  Arg.(
+    value
+    & opt (some eval_conv) None
+    & info [ "eval" ] ~docv:"EVAL"
+        ~doc:
+          "Sweep-cell evaluator: $(b,analytic) (closed-form expected makespan, no \
+           sampling), $(b,mc) (10k-trial Monte-Carlo), or $(b,auto) (analytic exactly \
+           when the failure model is exponential and no storage/contention knob is \
+           live — always the case for sweep cells, which model neither). Omitting the \
+           flag keeps the historic $(b,--method) estimator and its bitwise-identical \
+           output.")
 
 let trials_arg =
   Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"T" ~doc:"Simulation trials.")
@@ -472,9 +494,18 @@ let default_ccrs workflow =
 
 (* One sweep cell, rendered to the exact output line. The line is what
    gets journaled, so a resumed sweep replays it verbatim. *)
-let sweep_row ~csv ~dag ~processors ~pfail ~method_ ccr =
+let sweep_row ~csv ~dag ~processors ~pfail ~method_ ~eval ccr =
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
-  let cmp = Pipeline.compare_strategies ~method_ setup in
+  let cmp =
+    match eval with
+    | None -> Pipeline.compare_strategies ~method_ setup
+    | Some e -> (
+        (* sweep cells are exponential-model, storage/contention-free
+           by construction, so Auto resolves analytic here *)
+        match Analytic.resolve e with
+        | `Analytic -> Analytic.compare_strategies setup
+        | `Mc -> Pipeline.compare_strategies ~method_:Evaluator.default_montecarlo setup)
+  in
   if csv then
     Printf.sprintf "%s,%d,%d,%g,%g,%.4f,%.4f,%.4f,%.4f,%.4f,%d" (Dag.name dag)
       (Dag.n_tasks dag) processors pfail ccr cmp.Pipeline.em_some cmp.Pipeline.em_all
@@ -485,11 +516,19 @@ let sweep_row ~csv ~dag ~processors ~pfail ~method_ ccr =
       cmp.Pipeline.em_some cmp.Pipeline.em_all cmp.Pipeline.em_none cmp.Pipeline.rel_all
       cmp.Pipeline.rel_none cmp.Pipeline.ckpts_some
 
-let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr =
-  Printf.sprintf "sweep|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|m=%s|csv=%b|ccr=%.17g"
-    (Dag.name dag) (Dag.n_tasks dag) seed processors pfail (Evaluator.name method_) csv ccr
+let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ~eval ccr =
+  let base =
+    Printf.sprintf "sweep|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|m=%s|csv=%b|ccr=%.17g"
+      (Dag.name dag) (Dag.n_tasks dag) seed processors pfail (Evaluator.name method_) csv
+      ccr
+  in
+  (* the suffix appears only when --eval is given, so pre-existing
+     journals keep resuming and the default key stays byte-identical *)
+  match eval with
+  | None -> base
+  | Some e -> Printf.sprintf "%s|eval=%s" base (Analytic.eval_name e)
 
-let sweep_run dax workflow tasks seed processors pfail method_ csv journal resume
+let sweep_run dax workflow tasks seed processors pfail method_ eval csv journal resume
     fail_after jobs =
   protect @@ fun () ->
   let dag = source dax workflow tasks seed in
@@ -509,7 +548,7 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
   let stored =
     Array.map
       (fun ccr ->
-        let key = sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ccr in
+        let key = sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ~eval ccr in
         (key, Option.bind journal (fun j -> Journal.find j key)))
       ccrs
   in
@@ -524,7 +563,7 @@ let sweep_run dax workflow tasks seed processors pfail method_ csv journal resum
         | _, Some row -> row
         | key, None ->
             locked (fun () -> Faulty.inject faulty "sweep cell");
-            let row = sweep_row ~csv ~dag ~processors ~pfail ~method_ ccrs.(i) in
+            let row = sweep_row ~csv ~dag ~processors ~pfail ~method_ ~eval ccrs.(i) in
             Option.iter (fun j -> locked (fun () -> journal_append j ~key ~value:row)) journal;
             row)
   in
@@ -547,7 +586,7 @@ let sweep_cmd =
           7).")
     Term.(
       const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ method_arg $ csv $ journal_path_arg "sweep" $ resume_arg
+      $ pfail_arg $ method_arg $ eval_arg $ csv $ journal_path_arg "sweep" $ resume_arg
       $ fail_after_arg "cell" $ jobs_arg)
 
 (* --- accuracy (Section VI-B) --- *)
@@ -612,6 +651,7 @@ let strategy_of_string str =
     | "all" | "ckpt-all" -> Ok Strategy.Ckpt_all
     | "some" | "ckpt-some" -> Ok Strategy.Ckpt_some
     | "none" | "ckpt-none" -> Ok Strategy.Ckpt_none
+    | "restart" | "ckpt-restart" -> Ok Strategy.Ckpt_restart
     | s -> (
         let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
         let suffix p = String.sub s (String.length p) (String.length s - String.length p) in
@@ -623,7 +663,15 @@ let strategy_of_string str =
           match int_of_string_opt (suffix "budget-") with
           | Some k when k >= 1 -> Ok (Strategy.Ckpt_budget k)
           | _ -> Error (`Msg "bad budget")
-        else Error (`Msg (Printf.sprintf "unknown strategy %S (all|some|none|every-K|budget-K)" s)))
+        else if prefixed "hybrid-" then
+          match int_of_string_opt (suffix "hybrid-") with
+          | Some t when t >= 0 -> Ok (Strategy.Ckpt_hybrid t)
+          | _ -> Error (`Msg "bad hybrid threshold")
+        else
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "unknown strategy %S (all|some|none|restart|every-K|budget-K|hybrid-T)" s)))
 
 let strategy_conv =
   Arg.conv (strategy_of_string, fun fmt k -> Format.pp_print_string fmt (Strategy.kind_name k))
@@ -633,7 +681,11 @@ let strategy_arg =
     value
     & opt strategy_conv Strategy.Ckpt_some
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-        ~doc:"Checkpointing strategy: all, some, none, every-K or budget-K.")
+        ~doc:
+          "Checkpointing strategy: all, some, none, restart (no intra-superchain \
+           checkpoints — re-execute from the last natural boundary), every-K, budget-K \
+           or hybrid-T (superchains of at most T tasks restart, longer ones get \
+           Algorithm-2 placement).")
 
 let gantt_run dax workflow tasks seed processors pfail ccr strategy output sim_seed =
   protect @@ fun () ->
@@ -1491,19 +1543,43 @@ let handle_request state ~jobs ~prefetched req =
         | Some m -> m
         | None -> malformed (Printf.sprintf "unknown method %S" name)
       in
+      (* optional "eval" field mirrors `ckptwf sweep --eval`: absent
+         keeps the historic method-driven estimator byte-for-byte *)
+      let eval =
+        match req_str req "eval" ~default:"" with
+        | "" -> None
+        | name -> (
+            match Analytic.eval_of_name name with
+            | Some e -> Some e
+            | None -> malformed (Printf.sprintf "unknown eval %S (analytic|mc|auto)" name))
+      in
       (* field formatting matches the one-shot `ckptwf evaluate` output
          (%.2f makespans, %.4f relatives) so scripted round-trips can
          compare the two verbatim *)
-      let cmp = Pipeline.compare_strategies ~method_ setup in
+      let cmp =
+        match eval with
+        | None -> Pipeline.compare_strategies ~method_ setup
+        | Some e -> (
+            match Analytic.resolve e with
+            | `Analytic -> Analytic.compare_strategies setup
+            | `Mc ->
+                Pipeline.compare_strategies ~method_:Evaluator.default_montecarlo setup)
+      in
+      let eval_field =
+        match eval with
+        | None -> []
+        | Some e -> [ ("eval", Json.Str (Analytic.eval_name e)) ]
+      in
       finish
-        [ ("method", Json.Str (Evaluator.name method_));
-          ("em_some", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_some));
-          ("ckpts_some", Json.Num (float_of_int cmp.Pipeline.ckpts_some));
-          ("em_all", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_all));
-          ("ckpts_all", Json.Num (float_of_int cmp.Pipeline.ckpts_all));
-          ("rel_all", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_all));
-          ("em_none", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_none));
-          ("rel_none", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_none)) ]
+        (eval_field
+        @ [ ("method", Json.Str (Evaluator.name method_));
+            ("em_some", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_some));
+            ("ckpts_some", Json.Num (float_of_int cmp.Pipeline.ckpts_some));
+            ("em_all", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_all));
+            ("ckpts_all", Json.Num (float_of_int cmp.Pipeline.ckpts_all));
+            ("rel_all", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_all));
+            ("em_none", Json.Str (Printf.sprintf "%.2f" cmp.Pipeline.em_none));
+            ("rel_none", Json.Str (Printf.sprintf "%.4f" cmp.Pipeline.rel_none)) ])
   | "degrade" ->
       let pr = plan_request state req in
       if pr.preq_kind = Strategy.Ckpt_none then

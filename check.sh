@@ -262,4 +262,37 @@ CKPTWF_BENCH_REPS=2 CKPTWF_BENCH_DIR="$TMP/benchres" \
 test -s "$TMP/plan.json"
 test -s "$TMP/benchres/plan-latest.json"
 
+echo "== analytic and MC sweep evaluators agree, analytic is faster =="
+# same pinned sweep priced by both evaluators: every expected-makespan
+# column must agree within 1%, and the closed-form path must finish
+# the sweep in less wall-clock time than the 10k-trial MC path
+t0=$(date +%s%N)
+$CKPTWF sweep $SWEEP --eval analytic > "$TMP/eval_analytic.csv"
+t1=$(date +%s%N)
+$CKPTWF sweep $SWEEP --eval mc > "$TMP/eval_mc.csv"
+t2=$(date +%s%N)
+awk -F, 'NR == 1 { getline other < mc; next }
+    { getline other < mc; split(other, m, ",")
+      for (c = 6; c <= 8; c++)
+          if ((($c - m[c]) > 0 ? $c - m[c] : m[c] - $c) > 0.01 * m[c]) {
+              printf "FAIL: row %d col %d: analytic %s vs mc %s\n", NR, c, $c, m[c]
+              exit 1
+          } }' mc="$TMP/eval_mc.csv" "$TMP/eval_analytic.csv"
+analytic_ns=$((t1 - t0)); mc_ns=$((t2 - t1))
+if [ "$analytic_ns" -ge "$mc_ns" ]; then
+    echo "FAIL: analytic sweep (${analytic_ns}ns) not faster than mc (${mc_ns}ns)" >&2
+    exit 1
+fi
+# auto resolves to the analytic path on sweeps (exponential model, no
+# storage/contention knobs): byte-identical output
+$CKPTWF sweep $SWEEP --eval auto > "$TMP/eval_auto.csv"
+diff -u "$TMP/eval_analytic.csv" "$TMP/eval_auto.csv"
+
+echo "== sweep-cell bench smoke (--sweep-only, history recorded) =="
+CKPTWF_BENCH_REPS=2 CKPTWF_BENCH_DIR="$TMP/benchres" \
+    _build/default/bench/main.exe --sweep-only --json "$TMP/sweep.json" > /dev/null
+test -s "$TMP/sweep.json"
+test -s "$TMP/benchres/sweep-latest.json"
+grep -q '"analytic_within_ci": true' "$TMP/sweep.json"
+
 echo "== all checks passed =="

@@ -1,0 +1,200 @@
+module Strategy = Ckpt_core.Strategy
+module Placement = Ckpt_core.Placement
+module Pipeline = Ckpt_core.Pipeline
+module Schedule = Ckpt_core.Schedule
+module Superchain = Ckpt_core.Superchain
+module Platform = Ckpt_platform.Platform
+module Prob_dag = Ckpt_eval.Prob_dag
+
+type model = First_order | Exact
+
+let segment_time model ~lambda s =
+  if s < 0. then invalid_arg "Analytic.segment_time: negative duration";
+  if lambda < 0. then invalid_arg "Analytic.segment_time: negative rate";
+  if lambda <= 0. || s = 0. then s
+  else
+    match model with
+    | First_order -> Placement.first_order ~lambda s
+    | Exact -> Float.expm1 (lambda *. s) /. lambda
+
+let restart_time model ~rate wpar =
+  if wpar < 0. then invalid_arg "Analytic.restart_time: negative Wpar";
+  if rate < 0. then invalid_arg "Analytic.restart_time: negative rate";
+  match model with
+  | First_order -> Ckpt_eval.Ckptnone.expected_makespan_rate ~wpar ~rate
+  | Exact -> if rate <= 0. || wpar = 0. then wpar else Float.expm1 (rate *. wpar) /. rate
+
+(* aggregate failure process over the processors the schedule actually
+   uses — the same reduction Strategy.expected_makespan applies to
+   CKPTNONE plans, so the First_order value is bitwise identical *)
+let used_rate (plan : Strategy.plan) =
+  let used = Hashtbl.create 16 in
+  Array.iter
+    (fun (sc : Superchain.t) -> Hashtbl.replace used sc.Superchain.processor ())
+    plan.Strategy.schedule.Schedule.superchains;
+  Hashtbl.fold (fun p () acc -> acc +. Platform.rate_of plan.Strategy.platform p) used 0.
+
+(* Expected duration of every 2-state node. Under First_order this is
+   the mean of the node's own two-point distribution — the value the
+   MC estimator's sample average converges to. Under Exact the segment
+   is re-priced from its physical cost and its processor's rate; the
+   node count equals the segment count by construction
+   (Strategy.build_prob_dag adds exactly one node per segment). *)
+let node_times model (plan : Strategy.plan) pd =
+  let n = Prob_dag.n_nodes pd in
+  match model with
+  | First_order ->
+      Array.init n (fun i ->
+          let nd = Prob_dag.node pd i in
+          ((1. -. nd.Prob_dag.pfail) *. nd.Prob_dag.base)
+          +. (nd.Prob_dag.pfail *. nd.Prob_dag.degraded))
+  | Exact ->
+      if Array.length plan.Strategy.segments <> n then
+        invalid_arg "Analytic.expected_makespan: plan segments and DAG nodes disagree";
+      Array.init n (fun i ->
+          let seg = plan.Strategy.segments.(i) in
+          let sc = plan.Strategy.schedule.Schedule.superchains.(seg.Placement.chain) in
+          let lambda = Platform.rate_of plan.Strategy.platform sc.Superchain.processor in
+          let s = seg.Placement.read +. seg.Placement.work +. seg.Placement.write in
+          segment_time Exact ~lambda s)
+
+(* Longest base path through every node, split as top.(i) (ending just
+   before i) and bottom.(i) (starting just after i) — one forward and
+   one backward sweep in topological order. *)
+let through_paths pd base =
+  let n = Prob_dag.n_nodes pd in
+  let order = Prob_dag.topological_order pd in
+  let top = Array.make n 0. in
+  Array.iter
+    (fun u ->
+      let d = top.(u) +. base u in
+      List.iter (fun v -> if d > top.(v) then top.(v) <- d) (Prob_dag.succs pd u))
+    order;
+  let bottom = Array.make n 0. in
+  for k = n - 1 downto 0 do
+    let u = order.(k) in
+    List.iter
+      (fun v ->
+        let d = bottom.(v) +. base v in
+        if d > bottom.(u) then bottom.(u) <- d)
+      (Prob_dag.succs pd u)
+  done;
+  (top, bottom)
+
+(* Closed-form first-order expansion of the expected longest path.
+
+   With M(S) the makespan when exactly the nodes of S run degraded,
+   independence gives E[M] = Σ_S Pr[S]·M(S) = M(∅) + Σ_i p_i·(M({i}) −
+   M(∅)) + O((λs)²) — and each single-failure makespan M({i}) is exact
+   in O(1) from the through-path split: the best path either avoids i
+   (≤ M(∅)) or passes through it (top_i + degraded_i + bottom_i, which
+   dominates M(∅) whenever the critical path contains i). So the
+   truncation error is confined to simultaneous-failure configurations,
+   the same O((λs)²) order the 2-state model itself discards; on a
+   chain every path passes through every node and the expansion
+   collapses to the exact Σ_i E[T_i]. This is precisely the functional
+   {!Ckpt_eval.Pathapprox} estimates (pinned bitwise by the test
+   suite); it is re-derived here as the trials → ∞ limit of the MC
+   estimator rather than as one estimator among several. *)
+let first_order_expansion pd =
+  let n = Prob_dag.n_nodes pd in
+  if n = 0 then 0.
+  else begin
+    let top, bottom = through_paths pd (fun i -> (Prob_dag.node pd i).Prob_dag.base) in
+    let m0 = ref 0. in
+    for i = 0 to n - 1 do
+      let through = top.(i) +. (Prob_dag.node pd i).Prob_dag.base +. bottom.(i) in
+      if through > !m0 then m0 := through
+    done;
+    let correction = ref 0. in
+    for i = 0 to n - 1 do
+      let nd = Prob_dag.node pd i in
+      if nd.Prob_dag.pfail > 0. then begin
+        let mi = Float.max !m0 (top.(i) +. nd.Prob_dag.degraded +. bottom.(i)) in
+        correction := !correction +. (nd.Prob_dag.pfail *. (mi -. !m0))
+      end
+    done;
+    !m0 +. !correction
+  end
+
+let expected_makespan ?(model = First_order) (plan : Strategy.plan) =
+  match plan.Strategy.prob_dag with
+  | None -> restart_time model ~rate:(used_rate plan) plan.Strategy.wpar
+  | Some pd -> (
+      match model with
+      | First_order -> first_order_expansion pd
+      | Exact ->
+          (* exact per-segment expectations composed over the DAG's
+             longest path: exact on chains (the Sodre regimes), a
+             lower first-order estimate across parallel joins *)
+          let times = node_times Exact plan pd in
+          Prob_dag.longest_path_with pd (fun i -> times.(i)))
+
+let schedule_makespan ?(model = First_order) (plan : Strategy.plan) =
+  match plan.Strategy.prob_dag with
+  | None -> restart_time model ~rate:(used_rate plan) plan.Strategy.wpar
+  | Some pd ->
+      (* the Engine recurrence with each attempt loop collapsed to its
+         expectation: ready = max over DAG predecessors, start = max of
+         ready and the processor's last completion, completion = start
+         + E[T]. Segments are topologically index-ordered (Engine
+         enforces this on the same arrays). *)
+      let times = node_times model plan pd in
+      let n = Prob_dag.n_nodes pd in
+      let completion = Array.make n 0. in
+      let proc_free = Hashtbl.create 16 in
+      let finish = ref 0. in
+      for i = 0 to n - 1 do
+        let seg = plan.Strategy.segments.(i) in
+        let proc =
+          plan.Strategy.schedule.Schedule.superchains.(seg.Placement.chain)
+            .Superchain.processor
+        in
+        let ready =
+          List.fold_left
+            (fun acc p ->
+              if p >= i then
+                invalid_arg "Analytic.schedule_makespan: segments not topologically ordered";
+              Float.max acc completion.(p))
+            0. (Prob_dag.preds pd i)
+        in
+        let free = Option.value ~default:0. (Hashtbl.find_opt proc_free proc) in
+        let done_at = Float.max ready free +. times.(i) in
+        completion.(i) <- done_at;
+        Hashtbl.replace proc_free proc done_at;
+        if done_at > !finish then finish := done_at
+      done;
+      !finish
+
+let compare_strategies ?model setup =
+  let some = Pipeline.plan setup Strategy.Ckpt_some in
+  let all = Pipeline.plan setup Strategy.Ckpt_all in
+  let none = Pipeline.plan setup Strategy.Ckpt_none in
+  let em_some = expected_makespan ?model some in
+  let em_all = expected_makespan ?model all in
+  let em_none = expected_makespan ?model none in
+  {
+    Pipeline.em_some;
+    em_all;
+    em_none;
+    rel_all = em_all /. em_some;
+    rel_none = em_none /. em_some;
+    ckpts_some = some.Strategy.checkpoint_count;
+    ckpts_all = all.Strategy.checkpoint_count;
+  }
+
+type eval = Analytic | Mc | Auto
+
+let eval_name = function Analytic -> "analytic" | Mc -> "mc" | Auto -> "auto"
+
+let eval_of_name s =
+  match String.lowercase_ascii s with
+  | "analytic" -> Some Analytic
+  | "mc" | "montecarlo" -> Some Mc
+  | "auto" -> Some Auto
+  | _ -> None
+
+let resolve ?(exponential = true) ?(storage_off = true) = function
+  | Analytic -> `Analytic
+  | Mc -> `Mc
+  | Auto -> if exponential && storage_off then `Analytic else `Mc

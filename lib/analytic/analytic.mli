@@ -1,0 +1,109 @@
+(** Closed-form expected-makespan evaluation (the analytic fast path).
+
+    Every sweep cell the CLI computes today prices a plan by sampling
+    its 2-state probabilistic DAG ~10k times, yet under the paper's
+    exponential fail-stop model the per-segment expectation is known in
+    closed form — the same Toueg/Daly-style cost the Algorithm-2 DP
+    already prices ({!Ckpt_core.Placement.first_order}). This module
+    composes those per-segment expectations over the plan exactly the
+    way the estimators and the simulation engine do, so one O(nodes)
+    longest-path pass replaces the whole Monte-Carlo loop:
+
+    - {!expected_makespan} is the trial-count → ∞ limit of
+      {!Ckpt_eval.Montecarlo.estimate} on the plan's probabilistic
+      DAG, closed under the first-order failure expansion: E[M] =
+      M(no failure) + Σᵢ pᵢ·(M(only i fails) − M(no failure)), every
+      single-failure makespan exact, the truncation confined to the
+      simultaneous-failure O((λs)²) configurations the 2-state model
+      itself discards. Exact on chains; inside the MC 95% confidence
+      interval on the tracked sweep cells (asserted by the bench) and
+      within three half-widths on randomised M-SPGs (QCheck — the
+      estimator's own 95% interval excludes the true mean 5% of the
+      time by construction, so strict containment is not a property
+      even an exact evaluator could satisfy);
+    - {!schedule_makespan} replays the {!Ckpt_sim.Engine} recurrence
+      (predecessor joins plus same-processor serialisation) with each
+      segment at its expected duration — the limit of
+      {!Ckpt_sim.Runner.sample_makespans} under the same caveat.
+
+    Two per-segment models are available: {!First_order} is the
+    paper's 2-state cost (bitwise the mean the MC estimator converges
+    to), {!Exact} is the exact exponential expectation
+    [E(T) = (e^{λs} − 1)/λ] that stays valid when [λs] is not small —
+    the regime where Sodre's restart-vs-checkpoint asymptotics
+    (arXiv 1802.07455) bite. *)
+
+module Strategy := Ckpt_core.Strategy
+module Pipeline := Ckpt_core.Pipeline
+
+(** Per-segment expectation model. *)
+type model =
+  | First_order
+      (** [(1 − p)·s + p·(3/2)s] with [p = min(1, λs)] — Eq. 2 of the
+          paper, the distribution the 2-state DAG samples. *)
+  | Exact
+      (** [(e^{λs} − 1)/λ]: expected completion of an [s]-second
+          segment under Poisson failures of rate λ with instant
+          restart from the segment's start. Agrees with [First_order]
+          to O((λs)²); diverges exponentially where restart-heavy
+          policies pay. *)
+
+val segment_time : model -> lambda:float -> float -> float
+(** [segment_time model ~lambda s] is the expected wall-clock time to
+    complete [s] seconds of work on a processor of failure rate
+    [lambda]. [lambda <= 0] yields [s] under both models. *)
+
+val restart_time : model -> rate:float -> float -> float
+(** [restart_time model ~rate wpar] is the expected makespan of a
+    CKPTNONE execution: [wpar] failure-free seconds re-executed from
+    scratch on any failure of the aggregate process of rate [rate].
+    [First_order] is bitwise {!Ckpt_eval.Ckptnone.expected_makespan_rate};
+    [Exact] is the limit of {!Ckpt_sim.Engine.restart_rate_makespan}. *)
+
+val expected_makespan : ?model:model -> Strategy.plan -> float
+(** Closed-form expected makespan of a plan, O(nodes + edges), no
+    sampling. [First_order] (the default) is the exact first-order
+    failure expansion of the 2-state DAG's expected longest path —
+    the value {!Ckpt_eval.Montecarlo.estimate} converges to, without
+    the trials. [Exact] composes the exact exponential per-segment
+    expectations over the longest path (exact on chains — the Sodre
+    asymptotic regimes — where [First_order] degrades for large λs).
+    CKPTNONE plans use {!restart_time} over the processors the
+    schedule actually uses, exactly as
+    {!Ckpt_core.Strategy.expected_makespan} aggregates them. *)
+
+val schedule_makespan : ?model:model -> Strategy.plan -> float
+(** Expected makespan composed by the simulation engine's recurrence:
+    segments in index order, each starting at the max of its
+    predecessors' completions and its processor's availability. Under
+    {!Exact} this equals {!expected_makespan} whenever no two
+    superchains share a processor (the serialisation is then already a
+    DAG edge); under {!First_order} it composes the per-segment
+    2-state expectations through the recurrence without the failure
+    expansion. Either way it is the closed-form counterpart of what
+    {!Ckpt_sim.Runner} simulates. *)
+
+val compare_strategies : ?model:model -> Pipeline.setup -> Pipeline.comparison
+(** Drop-in analytic replacement for
+    {!Ckpt_core.Pipeline.compare_strategies}: same plans, same
+    comparison record, {!expected_makespan} instead of an estimator —
+    the O(1)-per-cell sweep path. *)
+
+(** {2 Evaluator dispatch}
+
+    How a sweep cell should be priced. [Auto] resolves to the analytic
+    path exactly when it is a faithful stand-in for Monte-Carlo: the
+    failure model is exponential and no storage/contention knob is
+    live (those effects exist only in the simulators). *)
+
+type eval = Analytic | Mc | Auto
+
+val eval_name : eval -> string
+val eval_of_name : string -> eval option
+
+val resolve : ?exponential:bool -> ?storage_off:bool -> eval -> [ `Analytic | `Mc ]
+(** [resolve eval] applies the [Auto] rule. [exponential] (default
+    [true]) — the platform failure model is exponential; [storage_off]
+    (default [true]) — storage-fault and contention knobs are at their
+    reliable defaults. [Auto] answers [`Analytic] only when both
+    hold. *)

@@ -42,6 +42,12 @@ type segment = {
   write : float;  (** C, in seconds *)
 }
 
+val first_order : lambda:float -> float -> float
+(** [first_order ~lambda s]: first-order expected completion of [s]
+    seconds of exposed work, [(1 − p)·s + p·(3/2)s] with
+    [p = min(1, λs)] — the scalar kernel of Eq. (2), exported for the
+    analytic evaluator ({!Ckpt_analytic.Analytic}). *)
+
 val expected_time : lambda:float -> segment -> float
 (** Eq. (2). *)
 

@@ -9,6 +9,8 @@ type kind =
   | Ckpt_none
   | Ckpt_every of int
   | Ckpt_budget of int
+  | Ckpt_restart
+  | Ckpt_hybrid of int
 
 let kind_name = function
   | Ckpt_all -> "ckpt-all"
@@ -16,6 +18,8 @@ let kind_name = function
   | Ckpt_none -> "ckpt-none"
   | Ckpt_every k -> Printf.sprintf "ckpt-every-%d" k
   | Ckpt_budget b -> Printf.sprintf "ckpt-budget-%d" b
+  | Ckpt_restart -> "ckpt-restart"
+  | Ckpt_hybrid t -> Printf.sprintf "ckpt-hybrid-%d" t
 
 type plan = {
   kind : kind;
@@ -131,7 +135,7 @@ let plan_of_positions ?(jobs = 1) ?(replicas = 1) ~kind ~raw ~schedule ~platform
     (* superchain-structured strategies rely on the completed graph's
        synchronisations; CKPTALL is a baseline on the raw workflow *)
     match kind with
-    | Ckpt_some | Ckpt_every _ | Ckpt_budget _ -> dag
+    | Ckpt_some | Ckpt_every _ | Ckpt_budget _ | Ckpt_restart | Ckpt_hybrid _ -> dag
     | Ckpt_all | Ckpt_none -> raw
   in
   let pd = build_prob_dag ~dep_dag ~schedule ~platform ~segments ~segment_of_task in
@@ -168,7 +172,7 @@ let plan ?(jobs = 1) ?(replicas = 1) kind ~raw ~schedule ~platform =
         checkpoint_count = 0;
         replicas;
       }
-  | Ckpt_all | Ckpt_some | Ckpt_every _ | Ckpt_budget _ ->
+  | Ckpt_all | Ckpt_some | Ckpt_every _ | Ckpt_budget _ | Ckpt_restart | Ckpt_hybrid _ ->
       (* Effective width: clamp to cores (jobs beyond the core count
          only oversubscribe), then fall back to the sequential
          shared-arena path when the fan-out cannot pay for itself —
@@ -196,6 +200,18 @@ let plan ?(jobs = 1) ?(replicas = 1) kind ~raw ~schedule ~platform =
             snd
               (Placement.optimal_positions_budget ?arena:shared ~replicas platform dag sc
                  ~budget)
+        (* RESTART: no checkpoint inside the superchain — a failure
+           re-executes from the last natural boundary (the previous
+           superchain's forced final checkpoint), i.e. one segment
+           spanning the whole chain *)
+        | Ckpt_restart -> [ Superchain.n_tasks sc - 1 ]
+        (* hybrid restart/checkpoint: short superchains (<= threshold
+           tasks) restart, long ones get the Algorithm-2 placement —
+           pay checkpoint I/O only where a restart would forfeit a lot
+           of work *)
+        | Ckpt_hybrid threshold ->
+            if Superchain.n_tasks sc <= threshold then [ Superchain.n_tasks sc - 1 ]
+            else snd (Placement.optimal_positions ?arena:shared ~replicas platform dag sc)
         | Ckpt_some | Ckpt_none ->
             snd (Placement.optimal_positions ?arena:shared ~replicas platform dag sc)
       in

@@ -32,6 +32,17 @@ type kind =
   | Ckpt_budget of int
       (** extension: optimal placement under a per-superchain budget
           of at most k checkpoints (budget-constrained DP) *)
+  | Ckpt_restart
+      (** RESTART: no intra-superchain checkpoints — each superchain
+          is one segment re-executed from its natural boundary (the
+          forced checkpoint ending the previous superchain) on
+          failure. The zero-I/O baseline of Sodre's restart-vs-
+          checkpoint asymptotics (arXiv 1802.07455). *)
+  | Ckpt_hybrid of int
+      (** hybrid restart/checkpoint policy: superchains with at most
+          [t] tasks restart (as {!Ckpt_restart}), longer ones get the
+          Algorithm-2 optimal placement — checkpoint I/O is paid only
+          where a restart would forfeit a lot of work *)
 
 val kind_name : kind -> string
 

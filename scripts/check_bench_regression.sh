@@ -67,6 +67,13 @@ fi
 check random_plans_per_sec_batch $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
 check random_plans_per_sec_concurrent $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
 
+# sweep-cell evaluation rates (BENCH_sweep.json): the analytic path is
+# microseconds per cell and timing-noise sensitive, so it gets double
+# tolerance like the cache-dominated legs; the MC leg is long enough
+# to be stable at the base tolerance.
+check sweep_cells_per_sec_analytic $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
+check sweep_cells_per_sec_mc "$tolerance"
+
 if [ "$fail" -ne 0 ]; then
     echo "bench regression guard: FAILED" >&2
     exit 1

@@ -33,4 +33,5 @@ let () =
       ("degrade-cache", Test_degrade_cache.suite);
       ("storage", Test_storage.suite);
       ("cloud", Test_cloud.suite);
+      ("analytic", Test_analytic.suite);
     ]

@@ -445,7 +445,7 @@ let degraded_mode_table ?journal ?(jobs = 1) () =
              in
              let config =
                { Degrade.lambda_death; max_losses = 1; kind = Strategy.Ckpt_some;
-                 storage = Ckpt_storage.Storage.default }
+                 store = Ckpt_storage.Store.default }
              in
              let summary mode =
                Degrade.summarize (Degrade.sample ~trials ~seed:13 ~jobs ~mode config plan)
@@ -481,8 +481,11 @@ let storage_crossover_table ?journal ?(jobs = 1) () =
         p
   in
   let em ~replicas ~corrupt_prob =
-    let storage = { Storage.default with Storage.corrupt_prob; replicas } in
-    let sample = Runner.sample_storage ~trials ~seed:13 ~jobs ~storage (plan_for replicas) in
+    let store =
+      { Ckpt_storage.Store.default with
+        Ckpt_storage.Store.faults = { Storage.default with Storage.corrupt_prob; replicas } }
+    in
+    let sample = Runner.sample_storage ~trials ~seed:13 ~jobs ~store (plan_for replicas) in
     Array.fold_left (fun acc t -> acc +. t.Runner.makespan) 0. sample
     /. float_of_int (Array.length sample)
   in
@@ -546,7 +549,7 @@ let cloud_revocation_table ?journal ?(jobs = 1) () =
              in
              let config =
                { Cloud.lambda_revoke; grace; max_revocations = 2;
-                 kind = Strategy.Ckpt_some; storage = Ckpt_storage.Storage.default }
+                 kind = Strategy.Ckpt_some; store = Ckpt_storage.Store.default }
              in
              let summary mode =
                Cloud.summarize
@@ -761,7 +764,7 @@ let plan_throughput ?json ~jobs () =
         Platform.lambda_of_pfail ~pfail:0.2 ~mean_weight:plan50.Strategy.wpar;
       max_losses = 1;
       kind = Strategy.Ckpt_some;
-      storage = Ckpt_storage.Storage.default;
+      store = Ckpt_storage.Store.default;
     }
   in
   let trials = 120 in
@@ -775,8 +778,38 @@ let plan_throughput ?json ~jobs () =
   let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
   let degrade_rate = batches *. float_of_int trials in
   Printf.printf
-    "  degrade  n=50 p=5  trials/sec=%.0f  replan cache: %d hit(s), %d miss(es) (%.0f%%)\n\n"
+    "  degrade  n=50 p=5  trials/sec=%.0f  replan cache: %d hit(s), %d miss(es) (%.0f%%)\n"
     degrade_rate hits misses (100. *. hit_rate);
+  (* disk-store commit throughput: durable commits through the
+     crash-consistent journal — one atomic tmp+fsync+rename per fresh
+     record, so this prices the I/O floor a `--store disk` resumable
+     run pays per recovery line *)
+  let module Store = Ckpt_storage.Store in
+  let store_commits = 128 in
+  let store_path = Filename.temp_file "ckptwf_bench_store" ".journal" in
+  let store_rate =
+    match
+      Store.open_persist ~path:store_path
+        ~fingerprint:(Store.fingerprint [ "bench|plan-throughput" ])
+        ()
+    with
+    | Result.Error _ -> 0.
+    | Ok persist ->
+        let cfg =
+          { Store.default with Store.backend = Store.Disk { path = store_path } }
+        in
+        let st = Store.create ~persist cfg (Ckpt_prob.Rng.create 3) in
+        let t0 = Unix.gettimeofday () in
+        for seg = 0 to store_commits - 1 do
+          ignore
+            (Sys.opaque_identity (Store.commit st ~seg ~write:0.1 ~at:(float_of_int seg)))
+        done;
+        let wall = Unix.gettimeofday () -. t0 in
+        float_of_int store_commits /. wall
+  in
+  (try Sys.remove store_path with Sys_error _ -> ());
+  Printf.printf "  store    disk commits/sec=%.0f  (%d durable commits, fsynced append each)\n\n"
+    store_rate store_commits;
   let record =
     Printf.sprintf
       "{\n\
@@ -802,13 +835,16 @@ let plan_throughput ?json ~jobs () =
       \  \"replan_cache_hits\": %d,\n\
       \  \"replan_cache_misses\": %d,\n\
       \  \"replan_cache_hit_rate\": %.4f,\n\
+      \  \"store_commits\": %d,\n\
+      \  \"store_commits_per_sec\": %.2f,\n\
       \  \"seed_baseline_plans_per_sec\": %.2f,\n\
       \  \"speedup_vs_seed\": %.2f\n\
        }\n"
       jobs_requested jobs cores reps n_genome genome_seq genome_par n_random random_seq
       random_par random_batch random_conc conc_clients conc_svc.Service.plan_races
       batch_requests svc.Service.plan_hits svc.Service.plan_misses
-      degrade_rate hits misses hit_rate seed_baseline_plans_per_sec
+      degrade_rate hits misses hit_rate store_commits store_rate
+      seed_baseline_plans_per_sec
       (genome_seq /. seed_baseline_plans_per_sec)
   in
   Option.iter (fun path -> History.write_file path record) json;

@@ -23,6 +23,7 @@ module Deadline = Ckpt_resilience.Deadline
 module Faulty = Ckpt_resilience.Faulty
 module Pool = Ckpt_parallel.Pool
 module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 (* --- error boundary ---
 
@@ -253,6 +254,225 @@ let check_storage cfg =
   try Storage.validate cfg
   with Invalid_argument message -> die (Rerror.Io { path = "--storage flags"; message })
 
+(* --- checkpoint-store flags (the Ckpt_storage.Store layer; shared by
+   simulate / degrade / storm / cloud, accepted-but-planning-only on
+   sweep) --- *)
+
+type store_flags = {
+  sf_backend : [ `Memory | `Disk | `Replicated | `Remote ];
+  sf_path : string option;
+  sf_policy : Store.policy;
+  sf_commit_latency : float;
+  sf_read_latency : float;
+  sf_fail_after : int option;
+}
+
+let store_backend_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "memory" -> Ok `Memory
+    | "disk" -> Ok `Disk
+    | "replicated" -> Ok `Replicated
+    | "remote" -> Ok `Remote
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "unknown store backend %S (memory|disk|replicated|remote)" s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with
+      | `Memory -> "memory"
+      | `Disk -> "disk"
+      | `Replicated -> "replicated"
+      | `Remote -> "remote")
+  in
+  Arg.conv (parse, print)
+
+let store_backend_arg =
+  Arg.(
+    value
+    & opt store_backend_conv `Memory
+    & info [ "store" ] ~docv:"BACKEND"
+        ~doc:
+          "Checkpoint-store backend: $(b,memory) (in-process, the bitwise-identical \
+           default), $(b,disk) (crash-consistent journal of committed recovery lines at \
+           $(b,--store-path), fingerprint-validated on resume), $(b,replicated) (the \
+           store owns the replica count from $(b,--replicas), priced k*C by the \
+           planner), or $(b,remote) (fixed $(b,--store-latency)/$(b,--store-read-latency) \
+           charged per durable commit / recovery read).")
+
+let store_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-path" ] ~docv:"FILE"
+        ~doc:
+          "Store file of the $(b,disk) backend: every durable commit is appended with an \
+           atomic rename, so a fail-stop error mid-commit never leaves a readable \
+           partial, and a rerun resumes only records whose (schema, DAG hash, segment, \
+           CRC) fingerprint validates.")
+
+let store_policy_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Store.parse_policy s) in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Store.policy_name p))
+
+let store_policy_arg =
+  Arg.(
+    value
+    & opt store_policy_conv Store.Every_segment
+    & info [ "store-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Durability policy: $(b,every-segment) (every commit durable — the paper's \
+           model, default), $(b,every-K) (only each K-th commit per trial durable, e.g. \
+           every-3), or $(b,on-interrupt) (only grace-window rescue commits durable). \
+           Policies never change simulated timing, only what survives a recovery line.")
+
+let store_commit_latency_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "latency") 0.
+    & info [ "store-latency" ] ~docv:"SECONDS"
+        ~doc:"Simulated latency added to every durable commit by the remote backend.")
+
+let store_read_latency_arg =
+  Arg.(
+    value
+    & opt (nonneg_float_conv "latency") 0.
+    & info [ "store-read-latency" ] ~docv:"SECONDS"
+        ~doc:"Simulated latency added to every recovery read by the remote backend.")
+
+let store_fail_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "store-fail-after" ] ~docv:"N"
+        ~doc:
+          "Store-level fault injection (testing aid): crash with a simulated fail-stop \
+           error at the ($(docv)+1)-th store operation (commit, read, invalidate or \
+           physical store write).")
+
+let store_flags_term =
+  let make sf_backend sf_path sf_policy sf_commit_latency sf_read_latency sf_fail_after =
+    { sf_backend; sf_path; sf_policy; sf_commit_latency; sf_read_latency; sf_fail_after }
+  in
+  Term.(
+    const make $ store_backend_arg $ store_path_arg $ store_policy_arg
+    $ store_commit_latency_arg $ store_read_latency_arg $ store_fail_after_arg)
+
+(* resolve the flags against a command's capabilities: the disk file is
+   a single-domain plan-fingerprinted journal, so only the commands
+   that run one plan set per invocation (simulate, storm) accept it;
+   storm sweeps --replicas itself so a replicated store would fight
+   the sweep *)
+let store_config ~cmd ?(allow_disk = false) ?(allow_replicated = true) flags
+    (faults : Storage.config) =
+  let bad message = die (Rerror.Io { path = "--store"; message }) in
+  let backend =
+    match flags.sf_backend with
+    | `Memory -> Store.Memory
+    | `Disk ->
+        if not allow_disk then
+          bad
+            (Printf.sprintf
+               "the disk backend is not supported by %s (use memory, replicated or remote)"
+               cmd)
+        else (
+          match flags.sf_path with
+          | Some path -> Store.Disk { path }
+          | None ->
+              die
+                (Rerror.Io
+                   { path = "--store-path"; message = "the disk backend needs --store-path FILE" }))
+    | `Replicated ->
+        if not allow_replicated then
+          bad (Printf.sprintf "%s sweeps --replicas itself; use memory, disk or remote" cmd)
+        else Store.Replicated { k = faults.Storage.replicas }
+    | `Remote ->
+        Store.Remote
+          {
+            commit_latency = flags.sf_commit_latency;
+            read_latency = flags.sf_read_latency;
+          }
+  in
+  let cfg = { Store.backend; policy = flags.sf_policy; faults } in
+  (try Store.validate cfg
+   with Invalid_argument message -> die (Rerror.Io { path = "--store flags"; message }));
+  cfg
+
+let store_faulty flags =
+  match flags.sf_fail_after with None -> Faulty.never () | Some k -> Faulty.after k
+
+(* open the disk store file, validating its header fingerprint against
+   the plans this run will execute; load-time notices mirror the cell
+   journal's recovered-tail note and add the fingerprint-rejected
+   record count *)
+let open_store_persist ~faulty cfg plans =
+  match cfg.Store.backend with
+  | Store.Disk { path } -> (
+      let fingerprint = Store.fingerprint (List.map Runner.plan_signature (plans ())) in
+      match
+        Store.open_persist
+          ~inject:(fun () -> Faulty.inject faulty "store persist write")
+          ~path ~fingerprint ()
+      with
+      | Ok p ->
+          if Store.persist_torn p then
+            Printf.eprintf
+              "ckptwf: store %s: dropped a truncated trailing record (recovered)\n%!" path;
+          if Store.persist_rejected p > 0 then
+            Printf.eprintf
+              "ckptwf: store %s: %d record(s) rejected by fingerprint validation (their \
+               segments will re-commit)\n\
+               %!"
+              path (Store.persist_rejected p);
+          if Store.persist_loaded p > 0 then
+            Printf.eprintf "ckptwf: store %s: %d committed record(s) loaded\n%!" path
+              (Store.persist_loaded p);
+          Some p
+      | Error e -> Rerror.raise_ e)
+  | _ -> None
+
+(* end-of-run disk-store accounting on stderr: how much of the run was
+   resumed from disk versus freshly committed, and how many records
+   were rejected by fingerprint validation along the way *)
+let store_persist_summary p =
+  Printf.eprintf
+    "ckptwf: store %s: %d commit(s) resumed from disk, %d appended, %d rejected by \
+     fingerprint\n\
+     %!"
+    (Store.persist_path p) (Store.persist_resumed p) (Store.persist_appended p)
+    (Store.persist_rejected p)
+
+(* aggregated per-trial store counters on stderr (degrade / storm /
+   simulate when the store is live) *)
+let store_totals_notice (s : Store.stats) =
+  Printf.eprintf
+    "ckptwf: store: %d commit(s) (%d skipped, %d resumed), %d retr%s, %d rejected \
+     read(s), %d corrupt read(s), %d eviction(s)\n\
+     %!"
+    s.Store.commits s.Store.skipped s.Store.resumed s.Store.commit_retries
+    (if s.Store.commit_retries = 1 then "y" else "ies")
+    s.Store.rejected_reads s.Store.corrupt_reads s.Store.evictions
+
+(* whether this store config leaves the historic output byte-identical:
+   the gate for printing any store-specific extras *)
+let store_is_default (c : Store.config) =
+  c.Store.backend = Store.Memory && c.Store.policy = Store.Every_segment
+
+(* journal-cell key suffix for the store knobs; empty for the default
+   backend/policy so pre-existing journals keep resuming *)
+let store_part (c : Store.config) =
+  if store_is_default c then ""
+  else
+    Printf.sprintf "|sb=%s|sp=%s"
+      (match c.Store.backend with
+      | Store.Memory -> "memory"
+      | Store.Disk { path } -> "disk:" ^ path
+      | Store.Replicated { k } -> Printf.sprintf "replicated:%d" k
+      | Store.Remote { commit_latency; read_latency } ->
+          Printf.sprintf "remote:%.17g:%.17g" commit_latency read_latency)
+      (Store.policy_name c.Store.policy)
+
 (* --- journal / resume / fault-injection flags (shared by the sweeping
    commands: sweep, degrade, storm, cloud) --- *)
 
@@ -437,18 +657,42 @@ let evaluate_cmd =
 (* --- simulate --- *)
 
 let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jobs storage
-    =
+    sflags =
   protect @@ fun () ->
   check_storage storage;
+  let store_cfg = store_config ~cmd:"simulate" ~allow_disk:true sflags storage in
+  let sfaulty = store_faulty sflags in
   let dag = source dax workflow tasks seed in
   let setup = Pipeline.prepare ~dag ~processors ~pfail ~ccr () in
   let deadline = Deadline.of_seconds deadline in
-  let storage_on = not (Storage.reliable storage) in
+  (* the store path is exercised whenever the store could behave
+     differently from perfectly-reliable memory, or when the fault
+     harness wants to crash inside it *)
+  let store_on = (not (Store.passthrough store_cfg)) || sflags.sf_fail_after <> None in
+  if
+    (match store_cfg.Store.backend with Store.Disk _ -> true | _ -> false) && jobs <> 1
+  then
+    die
+      (Rerror.Io
+         { path = "--store-path"; message = "the disk store file is single-domain; use --jobs 1" });
   Format.printf "workflow=%s n=%d p=%d pfail=%g ccr=%g trials=%d@." (Dag.name dag)
     (Dag.n_tasks dag) processors pfail ccr trials;
+  let plans =
+    List.map
+      (fun kind -> (kind, Pipeline.plan ~replicas:(Store.plan_replicas store_cfg) setup kind))
+      [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ]
+  in
+  (* the disk store's header fingerprints every plan this run commits
+     under — a store written for a different workflow or build refuses
+     to resume (exit 3) instead of replaying foreign checkpoints *)
+  let persist =
+    open_store_persist ~faulty:sfaulty store_cfg (fun () ->
+        List.filter_map
+          (fun (kind, plan) -> if kind = Strategy.Ckpt_none then None else Some plan)
+          plans)
+  in
   List.iter
-    (fun kind ->
-      let plan = Pipeline.plan ~replicas:storage.Storage.replicas setup kind in
+    (fun (kind, plan) ->
       let est = Strategy.expected_makespan plan in
       let stats = Runner.simulate ~trials ~deadline ~jobs plan in
       Format.printf "  %-10s estimate %10.2f | simulated %10.2f +- %.2f (min %.2f max %.2f)@."
@@ -457,8 +701,11 @@ let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jo
       if Stats.count stats < trials then
         Format.printf "  %-10s deadline hit: %d/%d trials completed@."
           (Strategy.kind_name kind) (Stats.count stats) trials;
-      if storage_on && kind <> Strategy.Ckpt_none then begin
-        let sample = Runner.sample_storage ~trials ~jobs ~storage plan in
+      if store_on && kind <> Strategy.Ckpt_none then begin
+        let sample =
+          Runner.sample_storage ~trials ~jobs ~inject:(Faulty.inject sfaulty) ?persist
+            ~scope:(Strategy.kind_name kind) ~store:store_cfg plan
+        in
         let n = float_of_int (Array.length sample) in
         let mean f = Array.fold_left (fun acc t -> acc +. f t) 0. sample /. n in
         Format.printf
@@ -468,16 +715,37 @@ let simulate_run dax workflow tasks seed processors pfail ccr trials deadline jo
           (mean (fun t -> t.Runner.makespan))
           (mean (fun t -> float_of_int t.Runner.commit_retries))
           (mean (fun t -> float_of_int t.Runner.corrupt_reads))
-          (mean (fun t -> float_of_int t.Runner.rollbacks))
+          (mean (fun t -> float_of_int t.Runner.rollbacks));
+        (* store-level counters only appear for a non-default
+           backend/policy, so the historic flag space stays
+           byte-identical *)
+        if not (store_is_default store_cfg) then begin
+          let tot =
+            Array.fold_left (fun acc t -> Store.add acc t.Runner.store) Store.zero sample
+          in
+          (* [resumed] is deliberately left to the stderr summary: it
+             depends on what an earlier run left in the store file, and
+             stdout must be byte-identical across crash/resume *)
+          Format.printf
+            "  %-10s store [%s/%s]: %d commits (%d skipped) | %d rejected reads | %d \
+             evictions@."
+            (Strategy.kind_name kind)
+            (Store.backend_name store_cfg.Store.backend)
+            (Store.policy_name store_cfg.Store.policy)
+            tot.Store.commits tot.Store.skipped tot.Store.rejected_reads
+            tot.Store.evictions
+        end
       end)
-    [ Strategy.Ckpt_some; Strategy.Ckpt_all; Strategy.Ckpt_none ]
+    plans;
+  Option.iter store_persist_summary persist
 
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Failure-injected simulation versus the analytical estimate.")
     Term.(
       const simulate_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
-      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg $ jobs_arg $ storage_term)
+      $ pfail_arg $ ccr_arg $ trials_arg $ deadline_arg $ jobs_arg $ storage_term
+      $ store_flags_term)
 
 (* --- sweep (the figure series) --- *)
 
@@ -529,11 +797,23 @@ let sweep_cell_key ~csv ~dag ~seed ~processors ~pfail ~method_ ~eval ccr =
   | Some e -> Printf.sprintf "%s|eval=%s" base (Analytic.eval_name e)
 
 let sweep_run dax workflow tasks seed processors pfail method_ eval csv journal resume
-    fail_after jobs =
+    fail_after jobs sflags =
   protect @@ fun () ->
   let dag = source dax workflow tasks seed in
   let faulty = match fail_after with None -> Faulty.never () | Some k -> Faulty.after k in
   let journal = open_journal ~resume journal in
+  (* sweep cells are analytic — nothing commits, so the store flags are
+     accepted (scripts can share one flag set across subcommands) but
+     a non-default choice is called out rather than silently dropped *)
+  if
+    sflags.sf_backend <> `Memory
+    || sflags.sf_policy <> Store.Every_segment
+    || sflags.sf_fail_after <> None
+  then
+    Printf.eprintf
+      "ckptwf: sweep evaluates plans analytically and commits no checkpoints; --store \
+       flags are ignored\n\
+       %!";
   if csv then print_endline "workflow,tasks,processors,pfail,ccr,em_some,em_all,em_none,rel_all,rel_none,ckpts_some"
   else
     Format.printf "%-8s %6s %10s %10s %10s %8s %8s %6s@." "wf" "ccr" "EM(some)" "EM(all)"
@@ -587,7 +867,7 @@ let sweep_cmd =
     Term.(
       const sweep_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ method_arg $ eval_arg $ csv $ journal_path_arg "sweep" $ resume_arg
-      $ fail_after_arg "cell" $ jobs_arg)
+      $ fail_after_arg "cell" $ jobs_arg $ store_flags_term)
 
 (* --- accuracy (Section VI-B) --- *)
 
@@ -789,11 +1069,11 @@ let default_pdeaths = [ 0.01; 0.05; 0.1; 0.2; 0.5 ]
    death probability. The rendered line is what gets journaled, so a
    resumed sweep replays it verbatim. *)
 let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs ~cache_totals
-    ~storage_config (plan : Strategy.plan) pdeath =
+    ~store_totals ~store_cfg (plan : Strategy.plan) pdeath =
   let lambda_death =
     Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
   in
-  let config = { Degrade.lambda_death; max_losses; kind; storage = storage_config } in
+  let config = { Degrade.lambda_death; max_losses; kind; store = store_cfg } in
   (* one replan cache per cell, shared by the paired repair/restart
      samples; results are identical with or without it *)
   let prepared = Degrade.prepare plan in
@@ -805,11 +1085,14 @@ let degrade_row ~csv ~dag ~processors ~kind ~max_losses ~trials ~seed ~jobs ~cac
   (let hits, misses = Degrade.cache_stats prepared in
    let th, tm = !cache_totals in
    cache_totals := (th + hits, tm + misses));
+  store_totals :=
+    Store.add !store_totals
+      (Store.add repair.Degrade.store_totals restart.Degrade.store_totals);
   let gain = restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan in
-  (* the storage columns appear only when the fault model is on, so the
+  (* the storage columns appear only when the store is live, so the
      default configuration's rows are bitwise the pre-storage ones *)
   let storage_cols =
-    if Storage.reliable storage_config then ""
+    if Store.passthrough store_cfg then ""
     else
       Printf.sprintf ",%.4f,%.4f" repair.Degrade.mean_rollbacks
         repair.Degrade.mean_invalidated
@@ -837,17 +1120,30 @@ let storage_key (c : Storage.config) =
       c.Storage.commit_fail_prob c.Storage.corrupt_prob c.Storage.storage_lambda
       c.Storage.outage_rate c.Storage.outage_mean c.Storage.replicas
 
+(* a store config's journal-key fragment: the fault fields exactly as
+   before (pre-existing journals keep resuming) plus the backend and
+   policy only when they leave the default *)
+let store_key (c : Store.config) = storage_key c.Store.faults ^ store_part c
+
 let degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind ~max_losses ~trials
-    ~storage_config pdeath =
+    ~store_cfg pdeath =
   Printf.sprintf
     "degrade|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|losses=%d|trials=%d|csv=%b%s|pdeath=%.17g"
     (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
-    max_losses trials csv (storage_key storage_config) pdeath
+    max_losses trials csv (store_key store_cfg) pdeath
 
 let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths max_losses
-    trials csv journal resume fail_after jobs storage =
+    trials csv journal resume fail_after jobs storage sflags =
   protect @@ fun () ->
   check_storage storage;
+  let store_cfg = store_config ~cmd:"degrade" sflags storage in
+  if sflags.sf_fail_after <> None then
+    die
+      (Rerror.Io
+         {
+           path = "--store-fail-after";
+           message = "store fault injection is supported by simulate and storm";
+         });
   if strategy = Strategy.Ckpt_none then
     die
       (Rerror.Io
@@ -861,7 +1157,7 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
   if csv then
     print_endline
       ("workflow,tasks,processors,strategy,losses,trials,pdeath,em_repair,em_restart,gain,mean_losses,mean_replans,mean_restarts,stranded_repair,stranded_restart"
-      ^ if Storage.reliable storage then "" else ",mean_rollbacks,mean_invalidated")
+      ^ if Store.passthrough store_cfg then "" else ",mean_rollbacks,mean_invalidated")
   else
     Format.printf "%-8s %6s %11s %11s %8s %7s %8s %9s %5s@." "wf" "pdeath" "EM(repair)"
       "EM(restart)" "gain" "losses" "replans" "restarts" "strnd";
@@ -874,17 +1170,18 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
      bitwise independent of --jobs, so the bytes on stdout are too. *)
   let plan =
     lazy
-      (Pipeline.plan ~replicas:storage.Storage.replicas
+      (Pipeline.plan ~replicas:(Store.plan_replicas store_cfg)
          (Pipeline.prepare ~dag ~processors ~pfail ~ccr ())
          strategy)
   in
   let cache_totals = ref (0, 0) in
+  let store_totals = ref Store.zero in
   let rows =
     Array.map
       (fun pdeath ->
         let key =
           degrade_cell_key ~csv ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy
-            ~max_losses ~trials ~storage_config:storage pdeath
+            ~max_losses ~trials ~store_cfg pdeath
         in
         match Option.bind journal (fun j -> Journal.find j key) with
         | Some row -> (row, true)
@@ -892,13 +1189,14 @@ let degrade_run dax workflow tasks seed processors pfail ccr strategy pdeaths ma
             Faulty.inject faulty "degrade cell";
             let row =
               degrade_row ~csv ~dag ~processors ~kind:strategy ~max_losses ~trials ~seed
-                ~jobs ~cache_totals ~storage_config:storage (Lazy.force plan) pdeath
+                ~jobs ~cache_totals ~store_totals ~store_cfg (Lazy.force plan) pdeath
             in
             Option.iter (fun j -> journal_append j ~key ~value:row) journal;
             (row, false))
       pdeaths
   in
   Array.iter (fun (row, _) -> print_endline row) rows;
+  if not (Store.passthrough store_cfg) then store_totals_notice !store_totals;
   (let hits, misses = !cache_totals in
    if hits + misses > 0 then
      Printf.eprintf "ckptwf: replan cache: %d hit(s), %d miss(es) (%.0f%% hit rate)\n%!"
@@ -942,7 +1240,7 @@ let degrade_cmd =
       const degrade_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ pdeaths $ max_losses $ trials $ csv
       $ journal_path_arg "degrade sweep" $ resume_arg $ fail_after_arg "cell" $ jobs_arg
-      $ storage_term)
+      $ storage_term $ store_flags_term)
 
 (* --- storm (unreliable stable storage: replication crossover) --- *)
 
@@ -964,7 +1262,7 @@ let storm_row_em row =
   | _ -> invalid_arg ("storm: unparsable row: " ^ row)
 
 let storm_run dax workflow tasks seed processors pfail ccr strategy trials corrupt_probs
-    replicas_list base journal resume fail_after jobs =
+    replicas_list base journal resume fail_after jobs sflags =
   protect @@ fun () ->
   if strategy = Strategy.Ckpt_none then
     die
@@ -975,6 +1273,14 @@ let storm_run dax workflow tasks seed processors pfail ccr strategy trials corru
   let outage_rate = base.Storage.outage_rate in
   let outage_mean = base.Storage.outage_mean in
   check_storage base;
+  let store_base = store_config ~cmd:"storm" ~allow_disk:true ~allow_replicated:false sflags base in
+  let sfaulty = store_faulty sflags in
+  if
+    (match store_base.Store.backend with Store.Disk _ -> true | _ -> false) && jobs <> 1
+  then
+    die
+      (Rerror.Io
+         { path = "--store-path"; message = "the disk store file is single-domain; use --jobs 1" });
   let corrupt_probs =
     match corrupt_probs with [] -> [ 0.; 0.02; 0.05; 0.1; 0.2 ] | ps -> ps
   in
@@ -1002,23 +1308,44 @@ let storm_run dax workflow tasks seed processors pfail ccr strategy trials corru
   let cells =
     List.concat_map (fun k -> List.map (fun cp -> (k, cp)) corrupt_probs) replicas_list
   in
+  (* the disk store's header fingerprints every swept plan (one per
+     replication factor, in sweep order); a mismatched store refuses
+     to resume instead of replaying foreign checkpoints *)
+  let persist =
+    open_store_persist ~faulty:sfaulty store_base (fun () ->
+        List.map plan_for replicas_list)
+  in
   (* cells run in sequence — the parallelism lives inside
      Runner.sample_storage, whose result is bitwise independent of
      --jobs, so the bytes on stdout are too *)
+  let store_totals = ref Store.zero in
   let rows =
     List.map
       (fun (k, cp) ->
         let key =
           storm_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy ~trials
             ~storage_lambda ~commit_fail_prob ~outage_rate ~outage_mean ~replicas:k cp
+          ^ store_part store_base
         in
         match Option.bind journal (fun j -> Journal.find j key) with
         | Some row -> ((k, cp), row, true)
         | None ->
             Faulty.inject faulty "storm cell";
             let plan = plan_for k in
-            let cfg = { base with Storage.corrupt_prob = cp; replicas = k } in
-            let sample = Runner.sample_storage ~trials ~seed ~jobs ~storage:cfg plan in
+            let cfg =
+              { store_base with
+                Store.faults = { base with Storage.corrupt_prob = cp; replicas = k }
+              }
+            in
+            let sample =
+              Runner.sample_storage ~trials ~seed ~jobs ~inject:(Faulty.inject sfaulty)
+                ?persist
+                ~scope:(Printf.sprintf "k%d,cp%.17g" k cp)
+                ~store:cfg plan
+            in
+            store_totals :=
+              Array.fold_left (fun acc t -> Store.add acc t.Runner.store) !store_totals
+                sample;
             let n = float_of_int (Array.length sample) in
             let mean f = Array.fold_left (fun acc t -> acc +. f t) 0. sample /. n in
             let row =
@@ -1063,6 +1390,8 @@ let storm_run dax workflow tasks seed processors pfail ccr strategy trials corru
               Printf.eprintf
                 "ckptwf: storm: replicas=%d never beats replicas=1 in this sweep\n%!" k)
       replicas_list;
+  if not (store_is_default store_base) then store_totals_notice !store_totals;
+  Option.iter store_persist_summary persist;
   Option.iter
     (fun j ->
       let reused =
@@ -1103,7 +1432,7 @@ let storm_cmd =
       const storm_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ trials $ corrupt_probs $ replicas_list
       $ storage_base_term $ journal_path_arg "storm" $ resume_arg $ fail_after_arg "cell"
-      $ jobs_arg)
+      $ jobs_arg $ store_flags_term)
 
 (* --- cloud (spot-instance revocation on priced platforms) --- *)
 
@@ -1122,18 +1451,26 @@ let cloud_row_lost row =
   | _ -> invalid_arg ("cloud: unparsable row: " ^ row)
 
 let cloud_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind ~trials ~revocations ~price
-    ~spot_discount ~spot_speed ~storage_config ~prevoke ~grace spot_fraction =
+    ~spot_discount ~spot_speed ~store_cfg ~prevoke ~grace spot_fraction =
   Printf.sprintf
     "cloud|wf=%s|n=%d|seed=%d|p=%d|pfail=%g|ccr=%g|s=%s|trials=%d|rev=%d|price=%.17g|disc=%.17g|speed=%.17g%s|prevoke=%.17g|grace=%.17g|sf=%.17g"
     (Dag.name dag) (Dag.n_tasks dag) seed processors pfail ccr (Strategy.kind_name kind)
-    trials revocations price spot_discount spot_speed (storage_key storage_config) prevoke
+    trials revocations price spot_discount spot_speed (store_key store_cfg) prevoke
     grace spot_fraction
 
 let cloud_run dax workflow tasks seed processors pfail ccr strategy trials prevokes graces
-    spot_fractions spot_discount spot_speed price revocations storage journal resume
-    fail_after jobs =
+    spot_fractions spot_discount spot_speed price revocations storage sflags journal
+    resume fail_after jobs =
   protect @@ fun () ->
   check_storage storage;
+  let store_cfg = store_config ~cmd:"cloud" sflags storage in
+  if sflags.sf_fail_after <> None then
+    die
+      (Rerror.Io
+         {
+           path = "--store-fail-after";
+           message = "store fault injection is supported by simulate and storm";
+         });
   if strategy = Strategy.Ckpt_none then
     die
       (Rerror.Io
@@ -1197,7 +1534,7 @@ let cloud_run dax workflow tasks seed processors pfail ccr strategy trials prevo
         let setup =
           Pipeline.prepare ~platform:(platform_for sf) ~dag ~processors ~pfail ~ccr ()
         in
-        let plan = Pipeline.plan ~replicas:storage.Storage.replicas setup strategy in
+        let plan = Pipeline.plan ~replicas:(Store.plan_replicas store_cfg) setup strategy in
         let v = (plan, Cloud.prepare plan) in
         Hashtbl.add prepared_for sf v;
         v
@@ -1218,8 +1555,7 @@ let cloud_run dax workflow tasks seed processors pfail ccr strategy trials prevo
       (fun (prevoke, grace, sf) ->
         let key =
           cloud_cell_key ~dag ~seed ~processors ~pfail ~ccr ~kind:strategy ~trials
-            ~revocations ~price ~spot_discount ~spot_speed ~storage_config:storage
-            ~prevoke ~grace sf
+            ~revocations ~price ~spot_discount ~spot_speed ~store_cfg ~prevoke ~grace sf
         in
         match Option.bind journal (fun j -> Journal.find j key) with
         | Some row -> ((prevoke, grace, sf), row, true)
@@ -1237,7 +1573,7 @@ let cloud_run dax workflow tasks seed processors pfail ccr strategy trials prevo
                 grace;
                 max_revocations = revocations;
                 kind = strategy;
-                storage;
+                store = store_cfg;
               }
             in
             let summary mode =
@@ -1386,7 +1722,7 @@ let cloud_cmd =
     Term.(
       const cloud_run $ dax_arg $ workflow_arg $ tasks_arg $ seed_arg $ processors_arg
       $ pfail_arg $ ccr_arg $ strategy_arg $ trials $ prevokes $ graces $ spot_fractions
-      $ spot_discount $ spot_speed $ price $ revocations $ storage_term
+      $ spot_discount $ spot_speed $ price $ revocations $ storage_term $ store_flags_term
       $ journal_path_arg "cloud sweep" $ resume_arg $ fail_after_arg "cell" $ jobs_arg)
 
 (* --- serve (planning as a service) --- *)
@@ -1428,6 +1764,15 @@ type serve_state = {
      [Degrade.prepared] is internally domain-safe already). *)
   dlock : Mutex.t;
   degraded : (string, Degrade.prepared) Hashtbl.t;
+  (* daemon-lifetime checkpoint-store counters, accumulated from every
+     degrade request's summary under [slock] — concurrent handler
+     domains land their totals here, and the stats op reports them.
+     [store_ops] counts the requests that ran a live (non-passthrough)
+     store; while it is 0 the stats answer omits the store fields, so
+     store-free traffic keeps the historic bytes. *)
+  slock : Mutex.t;
+  mutable store_totals : Store.stats;
+  mutable store_ops : int;
 }
 
 type plan_request = {
@@ -1498,6 +1843,57 @@ let serve_plan state ~prefetched pr =
         Pipeline.plan ~jobs:1 ~replicas:pr.preq_replicas pr.preq_setup pr.preq_kind
       in
       (Service.store_plan state.service ~key:pr.preq_key plan, "miss")
+
+(* the optional checkpoint-store fields of a degrade request: backend
+   ("store": memory|replicated|remote — the disk journal is a one-shot
+   CLI affair), policy ("store_policy"), and the PR-5 fault channels;
+   everything defaults to the passthrough store, keeping store-free
+   requests byte-identical *)
+let store_of_req req =
+  let faults =
+    {
+      Storage.default with
+      Storage.commit_fail_prob = req_float req "commit_fail_prob" ~default:0.;
+      corrupt_prob = req_float req "corrupt_prob" ~default:0.;
+      storage_lambda = req_float req "storage_lambda" ~default:0.;
+      outage_rate = req_float req "outage_rate" ~default:0.;
+      outage_mean = req_float req "outage_mean" ~default:0.;
+      replicas = req_int req "replicas" ~default:1;
+    }
+  in
+  let backend =
+    match req_str req "store" ~default:"memory" with
+    | "memory" -> Store.Memory
+    | "replicated" -> Store.Replicated { k = faults.Storage.replicas }
+    | "remote" ->
+        Store.Remote
+          {
+            commit_latency = req_float req "store_latency" ~default:0.;
+            read_latency = req_float req "store_read_latency" ~default:0.;
+          }
+    | "disk" -> malformed "store: the disk backend is one-shot CLI only (simulate, storm)"
+    | other -> malformed (Printf.sprintf "unknown store %S (memory|replicated|remote)" other)
+  in
+  let policy =
+    match Store.parse_policy (req_str req "store_policy" ~default:"every-segment") with
+    | Ok p -> p
+    | Error m -> malformed m
+  in
+  let cfg = { Store.backend; policy; faults } in
+  (try Store.validate cfg with Invalid_argument m -> malformed m);
+  cfg
+
+let note_store_totals state ~live totals =
+  Mutex.protect state.slock (fun () ->
+      state.store_totals <- Store.add state.store_totals totals;
+      if live then state.store_ops <- state.store_ops + 1)
+
+let store_stats_fields (s : Store.stats) =
+  [ ("store_commits", Json.Num (float_of_int s.Store.commits));
+    ("store_commit_retries", Json.Num (float_of_int s.Store.commit_retries));
+    ("store_rejected_reads", Json.Num (float_of_int s.Store.rejected_reads));
+    ("store_corrupt_reads", Json.Num (float_of_int s.Store.corrupt_reads));
+    ("store_evictions", Json.Num (float_of_int s.Store.evictions)) ]
 
 let replan_cache_totals state =
   Mutex.protect state.dlock (fun () ->
@@ -1606,8 +2002,9 @@ let handle_request state ~jobs ~prefetched req =
       let lambda_death =
         Platform.lambda_of_pfail ~pfail:pdeath ~mean_weight:plan.Strategy.wpar
       in
+      let store_cfg = store_of_req req in
       let config =
-        { Degrade.lambda_death; max_losses; kind = pr.preq_kind; storage = Storage.default }
+        { Degrade.lambda_death; max_losses; kind = pr.preq_kind; store = store_cfg }
       in
       let summary mode =
         Degrade.summarize
@@ -1615,33 +2012,55 @@ let handle_request state ~jobs ~prefetched req =
       in
       let repair = summary Degrade.Repair in
       let restart = summary Degrade.Restart in
+      let live = not (Store.passthrough store_cfg) in
+      let totals =
+        Store.add repair.Degrade.store_totals restart.Degrade.store_totals
+      in
+      note_store_totals state ~live totals;
       let hits, misses = replan_cache_totals state in
       finish
-        [ ("pdeath", Json.Num pdeath);
-          ("em_repair", Json.Str (Printf.sprintf "%.4f" repair.Degrade.mean_makespan));
-          ("em_restart", Json.Str (Printf.sprintf "%.4f" restart.Degrade.mean_makespan));
-          ( "gain",
-            Json.Str
-              (Printf.sprintf "%.4f"
-                 (restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan)) );
-          ("cache", Json.Str cache);
-          ("replan_cache_hits", Json.Num (float_of_int hits));
-          ("replan_cache_misses", Json.Num (float_of_int misses)) ]
+        ([ ("pdeath", Json.Num pdeath);
+           ("em_repair", Json.Str (Printf.sprintf "%.4f" repair.Degrade.mean_makespan));
+           ("em_restart", Json.Str (Printf.sprintf "%.4f" restart.Degrade.mean_makespan));
+           ( "gain",
+             Json.Str
+               (Printf.sprintf "%.4f"
+                  (restart.Degrade.mean_makespan /. repair.Degrade.mean_makespan)) );
+           ("cache", Json.Str cache);
+           ("replan_cache_hits", Json.Num (float_of_int hits));
+           ("replan_cache_misses", Json.Num (float_of_int misses)) ]
+        @
+        (* store fields only when the request ran a live store, so
+           store-free degrade answers keep the historic bytes *)
+        if live then
+          ("store", Json.Str (Store.backend_name store_cfg.Store.backend))
+          :: ("store_policy", Json.Str (Store.policy_name store_cfg.Store.policy))
+          :: store_stats_fields totals
+        else [])
   | "stats" ->
       let s = Service.stats state.service in
       let hits, misses = replan_cache_totals state in
+      let store_totals, store_ops =
+        Mutex.protect state.slock (fun () -> (state.store_totals, state.store_ops))
+      in
       finish
-        [ ("setup_hits", Json.Num (float_of_int s.Service.setup_hits));
-          ("setup_misses", Json.Num (float_of_int s.Service.setup_misses));
-          ("setup_evictions", Json.Num (float_of_int s.Service.setup_evictions));
-          ("plan_hits", Json.Num (float_of_int s.Service.plan_hits));
-          ("plan_misses", Json.Num (float_of_int s.Service.plan_misses));
-          ("plan_evictions", Json.Num (float_of_int s.Service.plan_evictions));
-          ("plan_races", Json.Num (float_of_int s.Service.plan_races));
-          ("replan_cache_hits", Json.Num (float_of_int hits));
-          ("replan_cache_misses", Json.Num (float_of_int misses));
-          ("effective_jobs", Json.Num (float_of_int jobs));
-          ("cores", Json.Num (float_of_int (Pool.available_jobs ()))) ]
+        ([ ("setup_hits", Json.Num (float_of_int s.Service.setup_hits));
+           ("setup_misses", Json.Num (float_of_int s.Service.setup_misses));
+           ("setup_evictions", Json.Num (float_of_int s.Service.setup_evictions));
+           ("plan_hits", Json.Num (float_of_int s.Service.plan_hits));
+           ("plan_misses", Json.Num (float_of_int s.Service.plan_misses));
+           ("plan_evictions", Json.Num (float_of_int s.Service.plan_evictions));
+           ("plan_races", Json.Num (float_of_int s.Service.plan_races));
+           ("replan_cache_hits", Json.Num (float_of_int hits));
+           ("replan_cache_misses", Json.Num (float_of_int misses));
+           ("effective_jobs", Json.Num (float_of_int jobs));
+           ("cores", Json.Num (float_of_int (Pool.available_jobs ()))) ]
+        @
+        (* the store block appears once any request has run a live
+           store; store-free daemons keep the historic stats bytes *)
+        if store_ops > 0 then
+          ("store_ops", Json.Num (float_of_int store_ops)) :: store_stats_fields store_totals
+        else [])
   | other -> malformed (Printf.sprintf "unknown op %S (plan|evaluate|degrade|stats)" other)
 
 let parse_request line =
@@ -2045,6 +2464,9 @@ let serve_run socket tcp once jobs request_timeout max_clients cache_cap =
       service = Service.create ?max_setups:cache_cap ?max_plans:cache_cap ();
       dlock = Mutex.create ();
       degraded = Hashtbl.create 16;
+      slock = Mutex.create ();
+      store_totals = Store.zero;
+      store_ops = 0;
     }
   in
   let jobs = Pool.effective_jobs jobs in

@@ -200,6 +200,93 @@ if [ "$em_cloud" != "$em_degrade" ]; then
     exit 1
 fi
 
+echo "== checkpoint store: explicit default flags reproduce every subcommand bitwise =="
+# the pluggable store's contract with history: the default in-memory
+# every-segment store spelled out explicitly must change nothing, byte
+# for byte, on any subcommand
+STOREDEF="--store memory --store-policy every-segment"
+$CKPTWF simulate $SIM $STOREDEF > "$TMP/sim_store_def.txt" 2> /dev/null
+diff -u "$TMP/sim_plain.txt" "$TMP/sim_store_def.txt"
+$CKPTWF sweep $SWEEP $STOREDEF --jobs 1 > "$TMP/sweep_store_def.csv" 2> /dev/null
+diff -u "$TMP/jobs1.csv" "$TMP/sweep_store_def.csv"
+$CKPTWF degrade $DEGRADE $STOREDEF > "$TMP/deg_store_def.csv" 2> /dev/null
+diff -u "$TMP/deg1.csv" "$TMP/deg_store_def.csv"
+$CKPTWF storm $STORM $STOREDEF > "$TMP/storm_store_def.csv" 2> /dev/null
+diff -u "$STORM_CSV" "$TMP/storm_store_def.csv"
+$CKPTWF cloud $CLOUD $STOREDEF > "$TMP/cloud_store_def.csv" 2> /dev/null
+diff -u "$CLOUD_CSV" "$TMP/cloud_store_def.csv"
+
+echo "== checkpoint store: disk journal crash mid-commit, truncation, fingerprint resume =="
+# reference: an uncrashed disk-store run against a fresh store file
+$CKPTWF simulate $SIM --store disk --store-path "$TMP/ref.store" \
+    > "$TMP/store_ref.txt" 2> /dev/null
+# crash mid-commit (injected fail-stop during a store write): exit 1
+status=0
+$CKPTWF simulate $SIM --store disk --store-path "$TMP/crash.store" --store-fail-after 100 \
+    > /dev/null 2>&1 || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: injected store crash exited $status, want 1" >&2
+    exit 1
+fi
+# tear the last committed record at an arbitrary byte offset (the
+# kill -9 window between write and fsync)
+ssize=$(wc -c < "$TMP/crash.store")
+truncate -s $((ssize - 5)) "$TMP/crash.store" 2>/dev/null \
+    || dd if="$TMP/crash.store" of="$TMP/crash.store.cut" bs=1 count=$((ssize - 5)) 2>/dev/null
+[ -f "$TMP/crash.store.cut" ] && mv "$TMP/crash.store.cut" "$TMP/crash.store"
+# resume: the torn record is detected and dropped (stderr notice), its
+# segment re-executes, and stdout is byte-identical to the uncrashed
+# reference run
+$CKPTWF simulate $SIM --store disk --store-path "$TMP/crash.store" \
+    > "$TMP/store_res.txt" 2> "$TMP/store_res.err"
+diff -u "$TMP/store_ref.txt" "$TMP/store_res.txt"
+if ! grep -q "dropped a truncated trailing record" "$TMP/store_res.err"; then
+    echo "FAIL: resumed store run did not report the torn record:" >&2
+    cat "$TMP/store_res.err" >&2
+    exit 1
+fi
+if ! grep -q "resumed from disk" "$TMP/store_res.err"; then
+    echo "FAIL: resumed store run reported no resumed commits:" >&2
+    cat "$TMP/store_res.err" >&2
+    exit 1
+fi
+# stale records (same workflow, different fault physics) are rejected
+# by fingerprint validation and re-committed, never silently resumed
+$CKPTWF simulate $SIM --commit-fail-prob 0.05 --store disk --store-path "$TMP/crash.store" \
+    > /dev/null 2> "$TMP/store_stale.err"
+rejected=$(sed -n 's/.* \([0-9][0-9]*\) rejected by fingerprint$/\1/p' "$TMP/store_stale.err")
+if [ -z "$rejected" ] || [ "$rejected" -eq 0 ]; then
+    echo "FAIL: stale store records were not fingerprint-rejected:" >&2
+    cat "$TMP/store_stale.err" >&2
+    exit 1
+fi
+# a store written for a different workflow refuses to open: exit 3,
+# one diagnostic line (never a silent replay of foreign checkpoints)
+status=0
+$CKPTWF simulate --workflow genome --tasks 50 --seed 7 --processors 5 --trials 80 \
+    --store disk --store-path "$TMP/crash.store" \
+    > /dev/null 2> "$TMP/store_foreign.err" || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "FAIL: foreign-workflow store resume exited $status, want 3" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$TMP/store_foreign.err")" -ne 1 ]; then
+    echo "FAIL: foreign-workflow store refusal printed more than one line:" >&2
+    cat "$TMP/store_foreign.err" >&2
+    exit 1
+fi
+# transcript of the whole fault sequence, uploaded as a CI artifact
+# (STORE_FAULT_LOG) so a red run shows the store-layer notices
+{
+    echo "# disk-store fault-injection transcript"
+    echo "== resume after injected crash + byte truncation =="
+    cat "$TMP/store_res.err"
+    echo "== stale records rejected by fingerprint =="
+    cat "$TMP/store_stale.err"
+    echo "== foreign-workflow store refused (exit 3) =="
+    cat "$TMP/store_foreign.err"
+} > "${STORE_FAULT_LOG:-$TMP/store_fault.log}"
+
 echo "== serve daemon: batched NDJSON round-trips the one-shot CLI =="
 # the daemon answers with the same %-formatted numbers the one-shot
 # subcommands print, so scripted comparisons are string-exact

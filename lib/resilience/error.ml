@@ -4,6 +4,7 @@ type t =
   | Io of { path : string; message : string }
   | Journal_corrupt of { path : string; line : int; message : string }
   | Journal_version of { path : string; found : string; expected : string }
+  | Store_fingerprint of { path : string; field : string; found : string; expected : string }
   | Deadline_exceeded of { budget : float; completed : int }
   | Retries_exhausted of { attempts : int; last : string }
 
@@ -26,6 +27,12 @@ let to_string = function
         "journal %s: format version %s, this build reads version %s; re-run without \
          --resume to start a fresh journal"
         path found expected
+  | Store_fingerprint { path; field; found; expected } ->
+      Printf.sprintf
+        "checkpoint store %s: %s mismatch (found %s, this run expects %s); the store was \
+         written for a different workflow or build — resuming would replay foreign \
+         checkpoints, use a fresh --store-path"
+        path field found expected
   | Deadline_exceeded { budget; completed } ->
       Printf.sprintf "deadline of %gs exceeded after %d completed units" budget completed
   | Retries_exhausted { attempts; last } ->
@@ -33,6 +40,7 @@ let to_string = function
 
 let exit_code = function
   | Parse _ | Invalid_dag _ | Io _ | Journal_corrupt _ -> 2
-  | Journal_version _ | Deadline_exceeded _ | Retries_exhausted _ -> 3
+  | Journal_version _ | Store_fingerprint _ | Deadline_exceeded _ | Retries_exhausted _ ->
+      3
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)

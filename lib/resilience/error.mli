@@ -21,6 +21,11 @@ type t =
   | Journal_version of { path : string; found : string; expected : string }
       (** A journal written by an incompatible format version (resuming
           against it would replay rows under different semantics). *)
+  | Store_fingerprint of { path : string; field : string; found : string; expected : string }
+      (** A checkpoint store whose header fingerprint ([field] is
+          ["schema"] or ["dag"]) does not match this run — resuming
+          against it would replay checkpoints of a different workflow
+          or build ([Ckpt_storage.Store]). *)
   | Deadline_exceeded of { budget : float; completed : int }
       (** A wall-clock budget of [budget] seconds ran out after
           [completed] units of work. *)
@@ -41,6 +46,7 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Process exit code the CLI maps the error to: [2] for bad input
     (parse / invalid DAG / I/O / journal corruption), [3] for runtime
-    refusal (retries, deadline, journal format-version mismatch). *)
+    refusal (retries, deadline, journal format-version or checkpoint
+    store fingerprint mismatch). *)
 
 val pp : Format.formatter -> t -> unit

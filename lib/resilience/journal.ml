@@ -27,6 +27,10 @@ type t = {
   mutable rev_entries : (string * string) list; (* newest first *)
   index : (string, string) Hashtbl.t; (* first binding wins *)
   mutable tail_dropped : bool;
+  (* the physical file still ends with the torn partial line dropped at
+     load time; the next incremental append must rewrite the file (which
+     truncates the garbage) instead of appending after it *)
+  mutable repair_pending : bool;
 }
 
 let path t = t.jpath
@@ -103,7 +107,14 @@ let read_lines path =
 
 let open_ ?(inject = fun () -> ()) ?(fresh = false) jpath =
   let t =
-    { jpath; inject; rev_entries = []; index = Hashtbl.create 64; tail_dropped = false }
+    {
+      jpath;
+      inject;
+      rev_entries = [];
+      index = Hashtbl.create 64;
+      tail_dropped = false;
+      repair_pending = false;
+    }
   in
   if fresh || not (Sys.file_exists jpath) then Ok t
   else
@@ -130,6 +141,7 @@ let open_ ?(inject = fun () -> ()) ?(fresh = false) jpath =
                        crash mid-write; anything earlier is real damage *)
                     if i = n - 1 then begin
                       t.tail_dropped <- true;
+                      t.repair_pending <- true;
                       Ok ()
                     end
                     else
@@ -158,6 +170,7 @@ let open_ ?(inject = fun () -> ()) ?(fresh = false) jpath =
                    header with entries behind it is real corruption *)
                 if body = [] then begin
                   t.tail_dropped <- true;
+                  t.repair_pending <- true;
                   Ok t
                 end
                 else Error (Error.Journal_corrupt { path = jpath; line = 1; message })))
@@ -178,4 +191,42 @@ let append t ~key ~value =
   if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
   persist t
 
-let sync t = persist t
+(* Incremental durability for high-frequency writers (the checkpoint
+   store's per-commit records): appends ONE framed line with O_APPEND
+   and fsyncs it, instead of rewriting the whole journal — the
+   rewrite-and-rename discipline is quadratic in the record count. A
+   fail-stop error mid-write leaves at most a torn trailing line,
+   which [open_] drops and flags ([recovered_tail]); every line whose
+   fsync returned is durable. Falls back to the atomic rewrite when
+   the file does not exist yet (the version header must lead), and when
+   a torn trailing line was dropped at load time — appending after the
+   surviving partial line would corrupt the file mid-line, so the first
+   write after such a recovery rewrites and truncates it away. *)
+let append_incr t ~key ~value =
+  check_field "key" ~allow_tab:false key;
+  check_field "value" ~allow_tab:true value;
+  t.rev_entries <- (key, value) :: t.rev_entries;
+  if not (Hashtbl.mem t.index key) then Hashtbl.replace t.index key value;
+  if t.repair_pending || not (Sys.file_exists t.jpath) then begin
+    persist t;
+    t.repair_pending <- false
+  end
+  else begin
+    t.inject ();
+    let line = render_line key value ^ "\n" in
+    try
+      let fd = Unix.openfile t.jpath [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let n = String.length line in
+          if Unix.write_substring fd line 0 n <> n then
+            Error.raise_ (Error.Io { path = t.jpath; message = "short append" });
+          Unix.fsync fd)
+    with Unix.Unix_error (err, _, _) ->
+      Error.raise_ (Error.Io { path = t.jpath; message = Unix.error_message err })
+  end
+
+let sync t =
+  persist t;
+  t.repair_pending <- false

@@ -68,6 +68,18 @@ val append : t -> key:string -> value:string -> unit
     containing forbidden characters. Re-appending an existing key is
     allowed; {!find} keeps returning the first binding. *)
 
+val append_incr : t -> key:string -> value:string -> unit
+(** As {!append}, but appends the single framed line with [O_APPEND]
+    and fsyncs it instead of rewriting the whole journal — constant
+    cost per entry, for high-frequency writers (the checkpoint store's
+    per-commit records). Durability is per line: once [append_incr]
+    returns, the entry survives any fail-stop error; a crash mid-write
+    leaves at most a torn trailing line, which {!open_} drops and
+    reports via {!recovered_tail}. Falls back to the atomic rewrite
+    when the file does not exist yet, and on the first append after a
+    torn-tail recovery — the surviving partial line must be truncated
+    away, not appended after. *)
+
 val sync : t -> unit
 (** Rewrites the journal from memory (normally unnecessary — [append]
     already persisted). @raise Error.E ([Io]) on failure. *)

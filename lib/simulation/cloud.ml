@@ -9,7 +9,7 @@ module Mortality = Ckpt_recovery.Mortality
 module Repair = Ckpt_recovery.Repair
 module Pool = Ckpt_parallel.Pool
 module Dag = Ckpt_dag.Dag
-module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 type mode = Checkpoint | Replicate
 
@@ -20,7 +20,7 @@ type config = {
   grace : float;
   max_revocations : int;
   kind : Strategy.kind;
-  storage : Storage.config;
+  store : Store.config;
 }
 
 type trial = {
@@ -253,17 +253,18 @@ let run_trial ~mode config prepared rng =
         traces.(p) <- Some t;
         t
   in
-  (* reliable storage draws nothing, ever, so its state may sit on a
-     constant throwaway stream; faulty storage takes dedicated splits
-     (the second only feeds the baseline's sibling replica) *)
-  let reliable = Storage.reliable config.storage in
+  (* a passthrough store draws nothing, ever, so its state may sit on
+     a constant throwaway stream; a non-passthrough store takes
+     dedicated splits (the second only feeds the baseline's sibling
+     replica) *)
+  let reliable = Store.passthrough config.store in
   let storage_a =
-    if reliable then Storage.create config.storage (Rng.create 0)
-    else Storage.create config.storage (Rng.split rng)
+    if reliable then Store.create config.store (Rng.create 0)
+    else Store.create config.store (Rng.split rng)
   in
   let storage_b =
-    if reliable then Storage.create config.storage (Rng.create 0)
-    else Storage.create config.storage (Rng.split rng)
+    if reliable then Store.create config.store (Rng.create 0)
+    else Store.create config.store (Rng.split rng)
   in
   let warn p = revs.(p).Mortality.warn in
   let kill p = revs.(p).Mortality.kill in
@@ -290,7 +291,7 @@ let run_trial ~mode config prepared rng =
           in
           match
             Engine.execute_until_revocation ~start:0. r.rsegs ~write:r.rwrites ~rescue
-              trace_of ~warn:kill ~kill ~storage:st
+              trace_of ~warn:kill ~kill ~store:st
           with
           | Engine.RFinished run ->
               if run.Engine.sfinish < !makespan then makespan := run.Engine.sfinish
@@ -315,7 +316,7 @@ let run_trial ~mode config prepared rng =
           ~rescued_tasks ~replans ~restarts ~work_lost =
         match
           Engine.execute_until_revocation ~start:clock segs ~write:writes ~rescue
-            trace_of ~warn ~kill ~storage:storage_a
+            trace_of ~warn ~kill ~store:storage_a
         with
         | Engine.RFinished run ->
             {
@@ -357,14 +358,15 @@ let run_trial ~mode config prepared rng =
                   (rescues + 1, rescued_tasks + k, work_lost +. lost -. !bought)
             in
             (* revalidate the committed frontier before the replan key
-               is formed, as in {!Degrade}: latent corruption revealed
-               here rolls the recovery line back *)
+               is formed, as in {!Degrade}: latent corruption (or a
+               policy-volatile / invalidated handle) revealed here
+               rolls the recovery line back *)
             if not reliable then
               for t = 0 to n - 1 do
                 if done_.(t) then
                   match task_ckpt.(t) with
                   | Some ck ->
-                      if not (Storage.read storage_a ck ~at) then begin
+                      if not (Store.recovery_readable storage_a ck ~at) then begin
                         done_.(t) <- false;
                         task_ckpt.(t) <- None
                       end

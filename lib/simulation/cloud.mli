@@ -24,14 +24,14 @@
     Determinism: trial randomness is a pure function of the trial
     index ({!Ckpt_prob.Rng.for_trial}), drawn in a mode-independent
     order (revocations, then one trace substream per processor, then
-    storage), so results are bitwise identical for any [jobs] and the
-    two modes see identical worlds. With [lambda_revoke = 0.] and
-    reliable storage a trial consumes exactly the randomness of a
+    the store), so results are bitwise identical for any [jobs] and
+    the two modes see identical worlds. With [lambda_revoke = 0.] and
+    a passthrough store a trial consumes exactly the randomness of a
     death-free {!Ckpt_sim.Degrade} trial and follows the same
     execution path, bitwise. *)
 
 module Strategy = Ckpt_core.Strategy
-module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 type mode =
   | Checkpoint  (** checkpointing + eviction-aware replanning *)
@@ -49,7 +49,7 @@ type config = {
       (** only the earliest [max_revocations] drawn kills take effect
           (bounds expected makespans, as {!Ckpt_recovery.Mortality}) *)
   kind : Strategy.kind;  (** replan policy (not CKPTNONE) *)
-  storage : Storage.config;  (** storage fault model under everything *)
+  store : Store.config;  (** the checkpoint store under everything *)
 }
 
 type trial = {

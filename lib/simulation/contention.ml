@@ -8,6 +8,7 @@ module Prob_dag = Ckpt_eval.Prob_dag
 module Rng = Ckpt_prob.Rng
 module Stats = Ckpt_prob.Stats
 module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 type seg = {
   processor : int;
@@ -35,11 +36,11 @@ type running = {
 
 let drained (r : running) = r.rem <= 1e-12 *. (1. +. r.total)
 
-let makespan ?storage ~bandwidth segs trace_of_processor =
+let makespan ?store:storage ~bandwidth segs trace_of_processor =
   if bandwidth <= 0. then invalid_arg "Contention.makespan: non-positive bandwidth";
   let n = Array.length segs in
   (* checkpoint handle of each committed segment (only maintained when
-     a storage fault model is attached) *)
+     a checkpoint store is attached) *)
   let ckpts = Array.make (match storage with Some _ -> n | None -> 0) None in
   Array.iteri
     (fun i s ->
@@ -90,37 +91,47 @@ let makespan ?storage ~bandwidth segs trace_of_processor =
           settle proc r
       | Writing -> (
           let idx = r.seg_idx in
-          let step =
-            match storage with
-            | None -> Storage.Committed
-            | Some st ->
-                r.commit_attempts <- r.commit_attempts + 1;
-                Storage.commit_step st ~attempt:r.commit_attempts
+          let complete handle =
+            (match storage with
+            | Some _ -> ckpts.(idx) <- handle
+            | None -> ());
+            completed.(idx) <- true;
+            completion.(idx) <- !now;
+            incr finished;
+            Hashtbl.remove running proc;
+            true
           in
-          match step with
-          | Storage.Committed ->
-              (match storage with
-              | Some st -> ckpts.(idx) <- Some (Storage.fresh_ckpt st ~seg:idx ~at:!now)
-              | None -> ());
-              completed.(idx) <- true;
-              completion.(idx) <- !now;
-              incr finished;
-              Hashtbl.remove running proc;
-              true
-          | Storage.Rewrite ->
-              (* a detected commit failure rewrites the whole replica
-                 set; the shared-bandwidth rewrite itself is the
-                 penalty, so no wall-clock backoff is charged here *)
-              r.rem <- segs.(idx).write_bytes;
-              r.total <- segs.(idx).write_bytes;
-              settle proc r
-          | Storage.Exhausted ->
-              (* give up on this commit cycle: re-execute the segment *)
-              r.commit_attempts <- 0;
-              r.phase <- Reading;
-              r.rem <- segs.(idx).read_bytes;
-              r.total <- segs.(idx).read_bytes;
-              settle proc r)
+          match storage with
+          | None -> complete None
+          | Some st ->
+              (* the policy decision is made at the first attempt of a
+                 commit cycle; rewrites of the same cycle stay durable *)
+              if
+                r.commit_attempts = 0
+                && Store.begin_commit st = `Volatile
+              then complete (Some (Store.volatile_handle st ~seg:idx))
+              else begin
+                r.commit_attempts <- r.commit_attempts + 1;
+                match Store.commit_step st ~attempt:r.commit_attempts with
+                | Storage.Committed ->
+                    complete (Some (Store.fresh_handle st ~seg:idx ~at:!now))
+                | Storage.Rewrite ->
+                    (* a detected commit failure rewrites the whole
+                       replica set; the shared-bandwidth rewrite itself
+                       is the penalty, so no wall-clock backoff is
+                       charged here *)
+                    r.rem <- segs.(idx).write_bytes;
+                    r.total <- segs.(idx).write_bytes;
+                    settle proc r
+                | Storage.Exhausted ->
+                    (* give up on this commit cycle: re-execute the
+                       segment *)
+                    r.commit_attempts <- 0;
+                    r.phase <- Reading;
+                    r.rem <- segs.(idx).read_bytes;
+                    r.total <- segs.(idx).read_bytes;
+                    settle proc r
+              end)
   in
   let start proc idx =
     let r =
@@ -151,7 +162,10 @@ let makespan ?storage ~bandwidth segs trace_of_processor =
                       List.filter
                         (fun p ->
                           match ckpts.(p) with
-                          | Some ck -> not (Storage.read st ck ~at:!now)
+                          | Some ck -> (
+                              match Store.read st ck ~at:!now with
+                              | Ok _ -> false
+                              | Error (Store.Corrupt | Store.Rejected) -> true)
                           | None -> false)
                         segs.(idx).preds
                 in
@@ -260,9 +274,9 @@ let segs_of_plan (plan : Strategy.plan) =
           })
         plan.Strategy.segments
 
-let simulate ?(trials = 1000) ?(seed = 7) ?storage (plan : Strategy.plan) =
+let simulate ?(trials = 1000) ?(seed = 7) ?store (plan : Strategy.plan) =
   if trials < 1 then invalid_arg "Contention.simulate: trials < 1";
-  Option.iter Storage.validate storage;
+  Option.iter Store.validate store;
   let platform = plan.Strategy.platform in
   let bandwidth = platform.Platform.bandwidth in
   let segs = segs_of_plan plan in
@@ -270,13 +284,13 @@ let simulate ?(trials = 1000) ?(seed = 7) ?storage (plan : Strategy.plan) =
   let stats = Stats.create () in
   for _ = 1 to trials do
     let trial_rng = Rng.split master in
-    (* the storage substream splits off the trial's own generator, and
-       only when faults are on: a reliable config draws nothing and
-       reproduces the fault-free trials bitwise *)
+    (* the store substream splits off the trial's own generator, and
+       only when the store is non-passthrough: a passthrough config
+       draws nothing and reproduces the fault-free trials bitwise *)
     let st =
-      match storage with
-      | Some cfg when not (Storage.reliable cfg) ->
-          Some (Storage.create cfg (Rng.split trial_rng))
+      match store with
+      | Some cfg when not (Store.passthrough cfg) ->
+          Some (Store.create cfg (Rng.split trial_rng))
       | _ -> None
     in
     let traces = Hashtbl.create 16 in
@@ -288,6 +302,6 @@ let simulate ?(trials = 1000) ?(seed = 7) ?storage (plan : Strategy.plan) =
           Hashtbl.replace traces p t;
           t
     in
-    Stats.add stats (makespan ?storage:st ~bandwidth segs trace_of)
+    Stats.add stats (makespan ?store:st ~bandwidth segs trace_of)
   done;
   stats

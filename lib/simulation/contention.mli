@@ -13,16 +13,20 @@
     every level) produce I/O bursts, so contention widens the gap the
     paper measures at nominal bandwidth.
 
-    An optional {!Ckpt_storage.Storage} fault model composes with
-    contention: a detected commit failure rewrites the replica set at
-    the shared bandwidth (the rewrite {e is} the backoff — no wall-clock
-    sleep is charged, since the stream already competes for bandwidth),
-    an exhausted commit cycle re-executes its segment, and a corrupt
-    recovery read discovered at dispatch time sends the producing
+    An optional {!Ckpt_storage.Store} composes with contention: the
+    store's policy decides durability at the first write attempt of
+    each commit cycle (a policy-skipped commit is volatile — readable
+    in-run but not a recovery line), a detected commit failure rewrites
+    the replica set at the shared bandwidth (the rewrite {e is} the
+    backoff — no wall-clock sleep is charged, since the stream already
+    competes for bandwidth), an exhausted commit cycle re-executes its
+    segment, and a failed recovery read discovered at dispatch time
+    (corrupt replicas or an invalidated handle) sends the producing
     segment back to the head of its processor's queue (cascading
     transitively) while the consumer waits. Storage outage intervals
-    are {e not} modelled here — contention's fluid bandwidth sharing is
-    itself the storage-availability model of this simulator. *)
+    and remote commit/read latency are {e not} modelled here —
+    contention's fluid bandwidth sharing is itself the
+    storage-availability model of this simulator. *)
 
 type seg = {
   processor : int;
@@ -33,16 +37,17 @@ type seg = {
 }
 
 val makespan :
-  ?storage:Ckpt_storage.Storage.t ->
+  ?store:Ckpt_storage.Store.t ->
   bandwidth:float ->
   seg array ->
   (int -> Ckpt_platform.Failure.t) ->
   float
 (** Execute under fair-shared bandwidth. Preconditions as
     {!Engine.makespan}: topologically ordered, per-processor order
-    respected. [storage] attaches a per-trial storage fault state
-    (commit failures, latent corruption, cascading rollback as
-    described above); omitted, checkpoints are perfectly reliable.
+    respected. [store] attaches a per-trial checkpoint store (commit
+    failures, latent corruption, policy-volatile commits, cascading
+    rollback as described above); omitted, checkpoints are perfectly
+    reliable.
 
     @raise Invalid_argument on a bad ordering or non-positive
     bandwidth. *)
@@ -56,12 +61,12 @@ val segs_of_plan : Ckpt_core.Strategy.plan -> seg array
 val simulate :
   ?trials:int ->
   ?seed:int ->
-  ?storage:Ckpt_storage.Storage.config ->
+  ?store:Ckpt_storage.Store.config ->
   Ckpt_core.Strategy.plan ->
   Ckpt_prob.Stats.t
 (** Monte-Carlo driver under contention, mirroring {!Runner.simulate}.
-    [storage] enables the storage fault model; each trial gets its own
+    [store] attaches the checkpoint store; each trial gets its own
     state on a substream split after the trial generator, and a
-    {!Ckpt_storage.Storage.reliable} config draws nothing — the
+    {!Ckpt_storage.Store.passthrough} config draws nothing — the
     returned statistics are then bitwise those of the fault-free
     driver. *)

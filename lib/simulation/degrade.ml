@@ -9,7 +9,7 @@ module Mortality = Ckpt_recovery.Mortality
 module Repair = Ckpt_recovery.Repair
 module Pool = Ckpt_parallel.Pool
 module Dag = Ckpt_dag.Dag
-module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 type mode = Repair | Restart
 
@@ -19,7 +19,7 @@ type config = {
   lambda_death : float;
   max_losses : int;
   kind : Strategy.kind;
-  storage : Storage.config;
+  store : Store.config;
 }
 
 type trial = {
@@ -29,6 +29,7 @@ type trial = {
   restarts : int;
   rollbacks : int;
   invalidated : int;
+  store_stats : Store.stats;
 }
 
 (* For each segment of a plan, the task ids it covers (in the plan's
@@ -170,13 +171,24 @@ let run_trial ~mode config prepared rng =
         t
   in
   let death p = deaths.(p) in
-  (* the storage substream splits strictly after deaths and traces, and
-     only when storage faults are on: with a reliable config the trial
+  (* the store substream splits strictly after deaths and traces, and
+     only when the store is non-passthrough: a passthrough config
      consumes exactly the legacy randomness and takes the legacy
      execution path, bitwise *)
   let storage =
-    if Storage.reliable config.storage then None
-    else Some (Storage.create config.storage (Rng.split rng))
+    if Store.passthrough config.store then None
+    else Some (Store.create config.store (Rng.split rng))
+  in
+  let finish_trial ~makespan ~losses ~replans ~restarts ~rollbacks ~invalidated =
+    {
+      makespan;
+      losses;
+      replans;
+      restarts;
+      rollbacks;
+      invalidated;
+      store_stats = (match storage with Some st -> Store.stats st | None -> Store.zero);
+    }
   in
   let done_ = Array.make n false in
   (* the checkpoint handle backing each done task — the recovery line:
@@ -200,7 +212,7 @@ let run_trial ~mode config prepared rng =
       | Some st -> (
           match
             Engine.execute_until_death_storage ~start:clock segs ~write:writes trace_of
-              ~death ~storage:st
+              ~death ~store:st
           with
           | Engine.SFinished run ->
               `Finished (run.Engine.sfinish, List.length run.Engine.rollback_log)
@@ -209,14 +221,8 @@ let run_trial ~mode config prepared rng =
     in
     match outcome with
     | `Finished (finish, rb) ->
-        {
-          makespan = finish;
-          losses;
-          replans;
-          restarts;
-          rollbacks = rollbacks + rb;
-          invalidated;
-        }
+        finish_trial ~makespan:finish ~losses ~replans ~restarts
+          ~rollbacks:(rollbacks + rb) ~invalidated
     | `Interrupted (at, completed, ckpts) ->
         let losses = losses + 1 in
         Array.iteri
@@ -230,8 +236,9 @@ let run_trial ~mode config prepared rng =
             end)
           completed;
         (* revalidate the committed frontier at the loss instant,
-           before the replan key is formed: latent corruption revealed
-           here rolls the recovery line back past the corrupt segment *)
+           before the replan key is formed: latent corruption (or a
+           policy-volatile / invalidated handle) revealed here rolls
+           the recovery line back past that segment *)
         let invalidated =
           match storage with
           | None -> invalidated
@@ -241,7 +248,7 @@ let run_trial ~mode config prepared rng =
                 if done_.(t) then
                   match task_ckpt.(t) with
                   | Some ck ->
-                      if not (Storage.read st ck ~at) then begin
+                      if not (Store.recovery_readable st ck ~at) then begin
                         done_.(t) <- false;
                         task_ckpt.(t) <- None;
                         incr fresh
@@ -252,7 +259,8 @@ let run_trial ~mode config prepared rng =
         in
         let survivors = Mortality.survivors deaths ~after:at in
         if survivors = [] then
-          { makespan = infinity; losses; replans; restarts; rollbacks; invalidated }
+          finish_trial ~makespan:infinity ~losses ~replans ~restarts ~rollbacks
+            ~invalidated
         else begin
           let continue_with (segs, writes, seg_tasks) ~replans ~restarts =
             go ~clock:at ~segs ~writes ~seg_tasks ~losses ~replans ~restarts ~rollbacks
@@ -321,6 +329,7 @@ type summary = {
   mean_rollbacks : float;
   mean_invalidated : float;
   stranded : int;
+  store_totals : Store.stats;
 }
 
 let summarize trials =
@@ -337,4 +346,6 @@ let summarize trials =
     mean_rollbacks = sum (fun t -> float_of_int t.rollbacks) /. fn;
     mean_invalidated = sum (fun t -> float_of_int t.invalidated) /. fn;
     stranded = Array.fold_left (fun acc t -> if t.makespan = infinity then acc + 1 else acc) 0 trials;
+    store_totals =
+      Array.fold_left (fun acc t -> Store.add acc t.store_stats) Store.zero trials;
   }

@@ -20,20 +20,22 @@
     first, then one trace generator split per processor, in processor
     order), so repair-vs-restart comparisons are paired.
 
-    Unreliable stable storage ([config.storage]) composes with loss:
-    epochs execute through {!Engine.execute_until_death_storage}, each
+    The checkpoint store ([config.store]) composes with loss: epochs
+    execute through {!Engine.execute_until_death_storage}, each
     completed segment's checkpoint handle is retained as the trial's
     recovery line, and every loss instant revalidates the whole
-    committed frontier — a checkpoint whose recovery read fails is
+    committed frontier — a checkpoint whose recovery read fails
+    (corrupt replicas, or a policy-volatile / invalidated handle) is
     removed from [done_] so the replan re-schedules its producer (and
-    its transitive consumers) instead of trusting corrupt data.
+    its transitive consumers) instead of trusting lost data.
 
     Determinism contract: a trial's randomness is a pure function of
     [(seed, trial)] — deaths first, then one trace split per processor,
-    then (only when storage faults are enabled) one storage split — and
+    then (only when the store is non-passthrough) one store split — and
     results are reassembled in trial order, so {!sample} returns
-    bitwise identical arrays for any [jobs] value, and a reliable
-    storage config reproduces the pre-storage samples bitwise. *)
+    bitwise identical arrays for any [jobs] value, and a
+    {!Ckpt_storage.Store.passthrough} config reproduces the pre-store
+    samples bitwise. *)
 
 module Strategy = Ckpt_core.Strategy
 
@@ -47,12 +49,12 @@ type config = {
   lambda_death : float;  (** per-processor permanent-failure rate *)
   max_losses : int;  (** deaths that actually occur, the rest censored *)
   kind : Strategy.kind;  (** checkpoint policy applied at each replan *)
-  storage : Ckpt_storage.Storage.config;
-      (** stable-storage fault model ({!Ckpt_storage.Storage.default}
-          for the classic reliable store). With a
-          {!Ckpt_storage.Storage.reliable} config the trial consumes
+  store : Ckpt_storage.Store.config;
+      (** the checkpoint store ({!Ckpt_storage.Store.default} for the
+          classic reliable in-memory one). With a
+          {!Ckpt_storage.Store.passthrough} config the trial consumes
           exactly the legacy randomness and execution path, so results
-          are bitwise the pre-storage ones. *)
+          are bitwise the pre-store ones. *)
 }
 
 type trial = {
@@ -66,6 +68,9 @@ type trial = {
   invalidated : int;
       (** done tasks whose checkpoint failed its recovery read at a
           loss instant and were returned to the residual workflow *)
+  store_stats : Ckpt_storage.Store.stats;
+      (** the trial's store counters ({!Ckpt_storage.Store.zero} on the
+          passthrough path) *)
 }
 
 type prepared
@@ -125,6 +130,8 @@ type summary = {
   mean_rollbacks : float;
   mean_invalidated : float;
   stranded : int;
+  store_totals : Ckpt_storage.Store.stats;
+      (** field-wise sum of the per-trial store counters *)
 }
 
 val summarize : trial array -> summary

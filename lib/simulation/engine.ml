@@ -106,20 +106,21 @@ let execute_until_death ?(start = 0.) segs trace_of_processor ~death =
 (* ---------- execution over unreliable stable storage ---------- *)
 
 module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 type storage_run = {
   srecords : record array;
   sfinish : float;
-  ckpts : Storage.ckpt option array;
+  ckpts : Store.handle option array;
   rollback_log : int list;
 }
 
 (* Core shared by the plain and the death-cut storage executors. With a
-   [Storage.reliable] configuration every branch below degenerates to
+   [Store.passthrough] configuration every branch below degenerates to
    the fault-free path — same float operations in the same order, no
    extra randomness — so the result is bitwise identical to
    [execute_from]. *)
-let execute_storage_core ~start segs ~write trace_of_processor ~storage =
+let execute_storage_core ~start segs ~write trace_of_processor ~store =
   let n = Array.length segs in
   if Array.length write <> n then
     invalid_arg "Engine.execute_storage: write-span array size mismatch";
@@ -160,7 +161,7 @@ let execute_storage_core ~start segs ~write trace_of_processor ~storage =
         now seg.preds
     in
     let free = Option.value ~default:start (Hashtbl.find_opt proc_free seg.processor) in
-    let t0 = Storage.available storage (Float.max ready free) in
+    let t0 = Store.available store (Float.max ready free) in
     let tr = trace seg.processor in
     let rec attempt start acc =
       if seg.duration = 0. then
@@ -176,11 +177,11 @@ let execute_storage_core ~start segs ~write trace_of_processor ~storage =
     in
     let rec cycle t0 acc =
       let done_at, acc = attempt t0 acc in
-      match Storage.commit storage ~seg:i ~write:write.(i) ~at:done_at with
+      match Store.commit store ~seg:i ~write:write.(i) ~at:done_at with
       | Ok (commit_at, ck) ->
           ckpts.(i) <- Some ck;
           (commit_at, acc)
-      | Error gave_up_at -> cycle (Storage.available storage gave_up_at) acc
+      | Error gave_up_at -> cycle (Store.available store gave_up_at) acc
     in
     let done_at, acc = cycle t0 rev_attempts.(i) in
     rev_attempts.(i) <- acc;
@@ -191,16 +192,18 @@ let execute_storage_core ~start segs ~write trace_of_processor ~storage =
   and ensure p ~now =
     match ckpts.(p) with
     | None -> assert false (* topological order: predecessors committed first *)
-    | Some ck ->
-        if Storage.read storage ck ~at:now then now
-        else begin
-          (* corrupt recovery read: the recovery line moves back — the
-             producing segment re-executes from ITS last valid inputs,
-             transitively to the workflow inputs if needed *)
-          rev_rollbacks := p :: !rev_rollbacks;
-          let t = run p ~now in
-          ensure p ~now:t
-        end
+    | Some ck -> (
+        match Store.read store ck ~at:now with
+        | Ok ready -> ready
+        | Error (Store.Corrupt | Store.Rejected) ->
+            (* failed recovery read (all replicas corrupt, or the store
+               invalidated the checkpoint): the recovery line moves
+               back — the producing segment re-executes from ITS last
+               valid inputs, transitively to the workflow inputs if
+               needed *)
+            rev_rollbacks := p :: !rev_rollbacks;
+            let t = run p ~now in
+            ensure p ~now:t)
   in
   for i = 0 to n - 1 do
     ignore (run i ~now:start)
@@ -215,9 +218,9 @@ let execute_storage_core ~start segs ~write trace_of_processor ~storage =
   in
   (records, completion, !finish, ckpts, List.rev !rev_rollbacks)
 
-let execute_storage ?(start = 0.) segs ~write trace_of_processor ~storage =
+let execute_storage ?(start = 0.) segs ~write trace_of_processor ~store =
   let srecords, _, sfinish, ckpts, rollback_log =
-    execute_storage_core ~start segs ~write trace_of_processor ~storage
+    execute_storage_core ~start segs ~write trace_of_processor ~store
   in
   { srecords; sfinish; ckpts; rollback_log }
 
@@ -227,18 +230,18 @@ type storage_outcome =
       dead : int;
       at : float;
       completed : bool array;
-      ckpts : Storage.ckpt option array;
+      ckpts : Store.handle option array;
     }
 
 let execute_until_death_storage ?(start = 0.) segs ~write trace_of_processor ~death
-    ~storage =
+    ~store =
   Array.iter
     (fun seg ->
       if death seg.processor <= start then
         invalid_arg "Engine.execute_until_death: segment on an already-dead processor")
     segs;
   let srecords, completion, sfinish, ckpts, rollback_log =
-    execute_storage_core ~start segs ~write trace_of_processor ~storage
+    execute_storage_core ~start segs ~write trace_of_processor ~store
   in
   let death_of = Hashtbl.create 16 in
   Array.iter
@@ -275,8 +278,8 @@ type revocation_outcome =
       at : float;
       kill : float;
       completed : bool array;
-      ckpts : Storage.ckpt option array;
-      rescue : (int * int * Storage.ckpt) option;
+      ckpts : Store.handle option array;
+      rescue : (int * int * Store.handle) option;
       lost : float;
     }
 
@@ -293,7 +296,7 @@ type revocation_outcome =
    attempt entirely — no storage traffic, no randomness — so an
    unannounced revocation is bitwise a plain processor death. *)
 let execute_until_revocation ?(start = 0.) segs ~write ~rescue trace_of_processor
-    ~warn ~kill ~storage =
+    ~warn ~kill ~store =
   Array.iter
     (fun seg ->
       if warn seg.processor <= start then
@@ -302,7 +305,7 @@ let execute_until_revocation ?(start = 0.) segs ~write ~rescue trace_of_processo
   if Array.length rescue <> Array.length segs then
     invalid_arg "Engine.execute_until_revocation: rescue array size mismatch";
   let srecords, completion, sfinish, ckpts, rollback_log =
-    execute_storage_core ~start segs ~write trace_of_processor ~storage
+    execute_storage_core ~start segs ~write trace_of_processor ~store
   in
   let warn_of = Hashtbl.create 16 in
   Array.iter
@@ -375,7 +378,9 @@ let execute_until_revocation ?(start = 0.) segs ~write ~rescue trace_of_processo
                 let pw = info.partial_writes.(k - 1) in
                 if at +. pw > kdl then None
                 else
-                  match Storage.commit storage ~seg:i ~write:pw ~at:(at +. pw) with
+                  (* an [~interrupt] commit: the on-interrupt policy's
+                     durable case *)
+                  match Store.commit ~interrupt:true store ~seg:i ~write:pw ~at:(at +. pw) with
                   | Ok (commit_at, ck) when commit_at <= kdl -> Some (i, k, ck)
                   | Ok _ | Error _ -> None
               end

@@ -83,29 +83,34 @@ val execute_until_death :
     @raise Invalid_argument if a segment is mapped to a processor whose
     death instant is [<= start], or on a non-topological order. *)
 
-(** {1 Execution over unreliable stable storage}
+(** {1 Execution over the checkpoint store}
 
-    The same semantics with {!Ckpt_storage.Storage} faults layered on:
-    each committed segment leaves a checkpoint handle; starting a
-    segment first {e reads} every predecessor checkpoint, and a read
-    that finds all replicas corrupt cascades rollback — the producing
-    segment re-executes from {e its} last valid inputs, transitively
-    back to the workflow inputs if needed (the recovery line moves
-    back). Detected commit failures retry under the storage backoff
-    policy (each retried write re-pays the write span); an exhausted
-    policy re-executes the whole segment. Reads and writes wait out
-    storage outages. With a [Storage.reliable] configuration the
-    results are bitwise identical to {!execute}. *)
+    The same semantics with the {!Ckpt_storage.Store} layered on: each
+    committed segment leaves a checkpoint handle; starting a segment
+    first {e reads} every predecessor checkpoint, and a read that
+    fails — all replicas corrupt, or the handle invalidated by the
+    store — cascades rollback: the producing segment re-executes from
+    {e its} last valid inputs, transitively back to the workflow
+    inputs if needed (the recovery line moves back). Detected commit
+    failures retry under the storage backoff policy (each retried
+    write re-pays the write span); an exhausted policy re-executes the
+    whole segment. Reads and writes wait out storage outages; a remote
+    store adds its commit/read latency to the clock. Checkpoint
+    policies only decide handle {e durability} (what survives a
+    recovery line) — policy-skipped commits are volatile but free, so
+    simulated timing is policy-independent. With a
+    [Store.passthrough] configuration the results are bitwise
+    identical to {!execute}. *)
 
 type storage_run = {
   srecords : record array;  (** attempt histories, rollback attempts appended *)
   sfinish : float;  (** makespan: the last commit instant *)
-  ckpts : Ckpt_storage.Storage.ckpt option array;
+  ckpts : Ckpt_storage.Store.handle option array;
       (** latest committed checkpoint per segment *)
   rollback_log : int list;
       (** segments re-executed by cascading rollback, in chronological
           order — exactly the producers whose recovery read failed
-          ({!Ckpt_storage.Storage.failed_reads}) *)
+          ({!Ckpt_storage.Store.failed_reads}) *)
 }
 
 val execute_storage :
@@ -113,7 +118,7 @@ val execute_storage :
   seg array ->
   write:float array ->
   (int -> Ckpt_platform.Failure.t) ->
-  storage:Ckpt_storage.Storage.t ->
+  store:Ckpt_storage.Store.t ->
   storage_run
 (** [write.(i)] is segment [i]'s (replica-scaled) checkpoint write span
     in seconds — what a retried commit re-pays. Preconditions as
@@ -126,10 +131,11 @@ type storage_outcome =
       dead : int;
       at : float;
       completed : bool array;
-      ckpts : Ckpt_storage.Storage.ckpt option array;
+      ckpts : Ckpt_storage.Store.handle option array;
           (** checkpoint handles of the completed segments (the others
               may hold stale pre-rollback commits — callers must only
-              trust [ckpts.(i)] where [completed.(i)]) *)
+              trust [ckpts.(i)] where [completed.(i)], and only across
+              a recovery line where the handle is durable) *)
     }
 
 val execute_until_death_storage :
@@ -138,7 +144,7 @@ val execute_until_death_storage :
   write:float array ->
   (int -> Ckpt_platform.Failure.t) ->
   death:(int -> float) ->
-  storage:Ckpt_storage.Storage.t ->
+  store:Ckpt_storage.Store.t ->
   storage_outcome
 (** {!execute_until_death} over unreliable storage: the death-free
     storage-aware execution cut at the first disruptive death. A
@@ -175,10 +181,12 @@ type revocation_outcome =
       at : float;  (** the warning instant — the cut *)
       kill : float;  (** its kill instant, [at + grace] *)
       completed : bool array;
-      ckpts : Ckpt_storage.Storage.ckpt option array;
-      rescue : (int * int * Ckpt_storage.Storage.ckpt) option;
-          (** [(segment, k, ckpt)]: the first [k] tasks of the in-flight
-              segment were committed during the grace window *)
+      ckpts : Ckpt_storage.Store.handle option array;
+      rescue : (int * int * Ckpt_storage.Store.handle) option;
+          (** [(segment, k, handle)]: the first [k] tasks of the
+              in-flight segment were committed during the grace window
+              (an [~interrupt] commit — durable even under the
+              on-interrupt policy) *)
       lost : float;
           (** gross execution time sunk into never-committed segments
               before the cut; a successful rescue buys back its prefix
@@ -193,7 +201,7 @@ val execute_until_revocation :
   (int -> Ckpt_platform.Failure.t) ->
   warn:(int -> float) ->
   kill:(int -> float) ->
-  storage:Ckpt_storage.Storage.t ->
+  store:Ckpt_storage.Store.t ->
   revocation_outcome
 (** The revocation-free storage-aware execution cut at the first
     disruptive {e warning} (earliest warning of a processor with

@@ -12,6 +12,7 @@ module Retry = Ckpt_resilience.Retry
 module Error = Ckpt_resilience.Error
 module Pool = Ckpt_parallel.Pool
 module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 
 let segs_of_plan (plan : Strategy.plan) =
   match plan.Strategy.prob_dag with
@@ -138,7 +139,26 @@ type storage_trial = {
   commit_exhausted : int;
   corrupt_reads : int;
   rollbacks : int;
+  store : Store.stats;
 }
+
+(* A stable rendering of everything that determines a plan's
+   checkpoint semantics — the segment DAG (processor, duration,
+   dependencies) and the per-segment write spans — fed to
+   {!Store.fingerprint} as the disk store's DAG structural hash. *)
+let plan_signature (plan : Strategy.plan) =
+  let segs = segs_of_plan plan in
+  let writes = writes_of_plan plan in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i (s : Engine.seg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d:%Lx:%Lx[%s];" i s.Engine.processor
+           (Int64.bits_of_float s.Engine.duration)
+           (Int64.bits_of_float writes.(i))
+           (String.concat "," (List.map string_of_int s.Engine.preds))))
+    segs;
+  Buffer.contents buf
 
 (* The storage substream's trial seed: decorrelated from the
    failure-trace streams (which derive from [seed] itself) by a fixed
@@ -147,11 +167,15 @@ type storage_trial = {
    fault-free ones. *)
 let storage_seed seed = seed + 0x53544f52 (* "STOR" *)
 
-let sample_storage ?(trials = 1000) ?(seed = 7) ?(jobs = 1) ~storage
-    (plan : Strategy.plan) =
-  Storage.validate storage;
+let sample_storage ?(trials = 1000) ?(seed = 7) ?(jobs = 1) ?inject ?persist ?scope
+    ~store (plan : Strategy.plan) =
+  Store.validate store;
   if trials < 1 then invalid_arg "Runner.sample_storage: trials < 1";
   if jobs < 1 then invalid_arg "Runner.sample_storage: jobs < 1";
+  (match persist with
+  | Some _ when jobs > 1 ->
+      invalid_arg "Runner.sample_storage: a persistent store needs jobs = 1"
+  | _ -> ());
   let platform = plan.Strategy.platform in
   let segs = segs_of_plan plan in
   let writes = writes_of_plan plan in
@@ -172,15 +196,19 @@ let sample_storage ?(trials = 1000) ?(seed = 7) ?(jobs = 1) ~storage
               traces.(p) <- Some t;
               t
         in
-        let st = Storage.create storage (Rng.for_trial ~seed:(storage_seed seed) k) in
-        let run = Engine.execute_storage segs ~write:writes trace_of ~storage:st in
-        let stats = Storage.stats st in
+        let st =
+          Store.create ?inject ?persist ?scope ~trial:k store
+            (Rng.for_trial ~seed:(storage_seed seed) k)
+        in
+        let run = Engine.execute_storage segs ~write:writes trace_of ~store:st in
+        let stats = Store.stats st in
         {
           makespan = run.Engine.sfinish;
-          commit_retries = stats.Storage.commit_retries;
-          commit_exhausted = stats.Storage.commit_exhausted;
-          corrupt_reads = stats.Storage.corrupt_reads;
+          commit_retries = stats.Store.commit_retries;
+          commit_exhausted = stats.Store.commit_exhausted;
+          corrupt_reads = stats.Store.corrupt_reads;
           rollbacks = List.length run.Engine.rollback_log;
+          store = stats;
         }
       in
       let rec loop () =

@@ -33,26 +33,42 @@ type storage_trial = {
   commit_exhausted : int;  (** commit cycles that exhausted the backoff *)
   corrupt_reads : int;  (** recovery reads that found no valid replica *)
   rollbacks : int;  (** cascading segment re-executions those triggered *)
+  store : Ckpt_storage.Store.stats;  (** full store counters of the trial *)
 }
+
+val plan_signature : Ckpt_core.Strategy.plan -> string
+(** A stable rendering of the plan's segment DAG and write spans —
+    feed it (with whatever else determines semantics) to
+    {!Ckpt_storage.Store.fingerprint} to derive a disk store's DAG
+    structural hash.
+
+    @raise Invalid_argument on a CKPTNONE plan. *)
 
 val sample_storage :
   ?trials:int ->
   ?seed:int ->
   ?jobs:int ->
-  storage:Ckpt_storage.Storage.config ->
+  ?inject:(string -> unit) ->
+  ?persist:Ckpt_storage.Store.persist ->
+  ?scope:string ->
+  store:Ckpt_storage.Store.config ->
   Ckpt_core.Strategy.plan ->
   storage_trial array
-(** Monte-Carlo over unreliable stable storage
+(** Monte-Carlo over the checkpoint store
     ({!Engine.execute_storage}): each trial draws the same
     [(seed, trial)] failure traces as {!sample_makespans} plus an
     independent storage substream (derived from a tagged seed, so
     storage faults never perturb the traces). With a
-    {!Ckpt_storage.Storage.reliable} config the per-trial makespans are
-    bitwise those of {!sample_makespans} at the same [(trials, seed)].
-    Deterministic and bitwise identical for any [jobs] value.
+    {!Ckpt_storage.Store.passthrough} config the per-trial makespans
+    are bitwise those of {!sample_makespans} at the same
+    [(trials, seed)]. Deterministic and bitwise identical for any
+    [jobs] value. [inject] / [persist] / [scope] are passed to each
+    trial's {!Ckpt_storage.Store.create} ([trial] is the trial
+    index).
 
-    @raise Invalid_argument on a CKPTNONE plan or an invalid [storage]
-    config ({!Ckpt_storage.Storage.validate}). *)
+    @raise Invalid_argument on a CKPTNONE plan, an invalid [store]
+    config ({!Ckpt_storage.Store.validate}), or [persist] with
+    [jobs > 1] (the store file is single-domain). *)
 
 val simulate :
   ?trials:int ->

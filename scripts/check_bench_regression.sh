@@ -64,6 +64,11 @@ else
     echo "  skip  parallel legs (effective jobs: baseline ${base_jobs:-?}, fresh ${new_jobs:-?})"
 fi
 
+# disk-store commit rate is fsync-bound and swings with the backing
+# filesystem's load, so it gets double tolerance like the other
+# machine-noise-dominated legs
+check store_commits_per_sec $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
+
 check random_plans_per_sec_batch $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
 check random_plans_per_sec_concurrent $(awk -v t="$tolerance" 'BEGIN { printf "%g", 2 * t }')
 

@@ -217,6 +217,56 @@ EOF
     stop_daemon
     echo "scenario 7 ok"
 
+    echo "== scenario 8: store counters survive concurrent handler domains =="
+    # three clients run the same store-carrying degrade request at
+    # once; each must see the identical (deterministic) per-request
+    # store counters, and the daemon's aggregate must be exactly the
+    # sum — a torn read-modify-write under domain concurrency would
+    # break either assertion
+    start_daemon --request-timeout 30 --max-clients 8
+    cat > "$TMP/store_req.ndjson" <<'EOF'
+{"id": 1, "op": "degrade", "workflow": "genome", "tasks": 40, "seed": 7, "processors": 5, "strategy": "some", "pdeath": 0.2, "trials": 40, "corrupt_prob": 0.25, "store_policy": "every-2"}
+EOF
+    "$PROBE" --unix "$SOCK" --send "$TMP/store_req.ndjson" > "$TMP/store1.ndjson" &
+    S1=$!
+    "$PROBE" --unix "$SOCK" --send "$TMP/store_req.ndjson" > "$TMP/store2.ndjson" &
+    S2=$!
+    "$PROBE" --unix "$SOCK" --send "$TMP/store_req.ndjson" > "$TMP/store3.ndjson" &
+    S3=$!
+    wait "$S1" || fail "store client 1 failed"
+    wait "$S2" || fail "store client 2 failed"
+    wait "$S3" || fail "store client 3 failed"
+    commits=$(sed -n 's/.*"store_commits":\([0-9][0-9]*\).*/\1/p' "$TMP/store1.ndjson")
+    corrupt=$(sed -n 's/.*"store_corrupt_reads":\([0-9][0-9]*\).*/\1/p' "$TMP/store1.ndjson")
+    [ -n "$commits" ] && [ "$commits" -gt 0 ] \
+        || fail "store request answer carries no store_commits: $(cat "$TMP/store1.ndjson")"
+    [ -n "$corrupt" ] && [ "$corrupt" -gt 0 ] \
+        || fail "corrupt_prob 0.25 produced no corrupt reads: $(cat "$TMP/store1.ndjson")"
+    # the replan-cache hit/miss split depends on how the three racing
+    # handlers interleave; the store counters must not
+    store_fields() {
+        sed -n 's/.*\("store_commits":.*"store_evictions":[0-9][0-9]*\).*/\1/p' "$1"
+    }
+    store_fields "$TMP/store1.ndjson" > "$TMP/store1.fields"
+    for f in store2 store3; do
+        store_fields "$TMP/$f.ndjson" | diff -u "$TMP/store1.fields" - > /dev/null \
+            || fail "concurrent store answers differ ($f vs store1)"
+    done
+    printf '{"op": "stats"}\n' > "$TMP/stats_req.ndjson"
+    "$PROBE" --unix "$SOCK" --send "$TMP/stats_req.ndjson" > "$TMP/store_stats.ndjson"
+    stats_line=$(cat "$TMP/store_stats.ndjson")
+    echo "$stats_line"
+    echo "$stats_line" | grep -q '"store_ops":3' \
+        || fail "want store_ops 3 in stats: $stats_line"
+    total=$(echo "$stats_line" | sed -n 's/.*"store_commits":\([0-9][0-9]*\).*/\1/p')
+    [ "$total" = "$((3 * commits))" ] \
+        || fail "aggregate store_commits $total != 3 x $commits (lost update under concurrency)"
+    total_corrupt=$(echo "$stats_line" | sed -n 's/.*"store_corrupt_reads":\([0-9][0-9]*\).*/\1/p')
+    [ "$total_corrupt" = "$((3 * corrupt))" ] \
+        || fail "aggregate store_corrupt_reads $total_corrupt != 3 x $corrupt"
+    stop_daemon
+    echo "scenario 8 ok"
+
     echo "# all serve fault scenarios passed"
 }
 

@@ -17,7 +17,7 @@ module Strategy = Ckpt_core.Strategy
 module Schedule = Ckpt_core.Schedule
 module Superchain = Ckpt_core.Superchain
 module Placement = Ckpt_core.Placement
-module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 module Pipeline = Ckpt_core.Pipeline
 module Spec = Ckpt_workflows.Spec
 
@@ -131,7 +131,7 @@ let test_eviction_survivors_strict () =
 (* --- Engine.execute_until_revocation --- *)
 
 let no_failures _ = Failure.create (Rng.create 1) ~lambda:0.
-let reliable_storage () = Storage.create Storage.default (Rng.create 0)
+let reliable_store () = Store.create Store.default (Rng.create 0)
 
 let no_rescue segs =
   Array.map
@@ -152,11 +152,11 @@ let test_zero_grace_matches_plain_death () =
   let kill p = if p = 0 then 6. else infinity in
   let death =
     Engine.execute_until_death_storage segs ~write no_failures ~death:kill
-      ~storage:(reliable_storage ())
+      ~store:(reliable_store ())
   in
   let rev =
     Engine.execute_until_revocation segs ~write ~rescue:(no_rescue segs) no_failures
-      ~warn:kill ~kill ~storage:(reliable_storage ())
+      ~warn:kill ~kill ~store:(reliable_store ())
   in
   match (death, rev) with
   | ( Engine.SInterrupted { dead; at; completed; _ },
@@ -178,7 +178,7 @@ let test_earliest_warning_wins_in_shared_grace () =
   let kill p = if p = 0 then 8. else 7. in
   match
     Engine.execute_until_revocation segs ~write:[| 1.; 1. |] ~rescue:(no_rescue segs)
-      no_failures ~warn ~kill ~storage:(reliable_storage ())
+      no_failures ~warn ~kill ~store:(reliable_store ())
   with
   | Engine.RFinished _ -> Alcotest.fail "both warned mid-segment"
   | Engine.RInterrupted { revoked; at; kill = k; completed; _ } ->
@@ -208,7 +208,7 @@ let test_rescue_commits_prefix_in_grace () =
     Engine.execute_until_revocation segs ~write:[| 0.5 |] ~rescue no_failures
       ~warn:(fun _ -> 5.)
       ~kill:(fun _ -> 7.)
-      ~storage:(reliable_storage ())
+      ~store:(reliable_store ())
   with
   | Engine.RFinished _ -> Alcotest.fail "must be cut at 5"
   | Engine.RInterrupted { rescue = saved; lost; _ } -> (
@@ -228,7 +228,7 @@ let test_rescue_loses_race_to_kill () =
     Engine.execute_until_revocation segs ~write:[| 0.5 |] ~rescue no_failures
       ~warn:(fun _ -> 5.)
       ~kill:(fun _ -> 5.2)
-      ~storage:(reliable_storage ())
+      ~store:(reliable_store ())
   with
   | Engine.RFinished _ -> Alcotest.fail "must be cut at 5"
   | Engine.RInterrupted { rescue = saved; _ } ->
@@ -242,7 +242,7 @@ let test_revocation_before_start_rejected () =
          ~rescue:(no_rescue segs) no_failures
          ~warn:(fun _ -> 4.)
          ~kill:(fun _ -> 9.)
-         ~storage:(reliable_storage ())
+         ~store:(reliable_store ())
      with
     | exception Invalid_argument _ -> true
     | _ -> false)
@@ -260,7 +260,7 @@ let cloud_config ?(grace = 0.) ?(lambda_scale = 0.) plan =
     grace;
     max_revocations = 1;
     kind = Strategy.Ckpt_some;
-    storage = Storage.default;
+    store = Store.default;
   }
 
 let test_cloud_degenerates_to_degrade () =
@@ -273,7 +273,7 @@ let test_cloud_degenerates_to_degrade () =
       Degrade.lambda_death = lambda;
       max_losses = 1;
       kind = Strategy.Ckpt_some;
-      storage = Storage.default;
+      store = Store.default;
     }
   in
   let cconfig = { (cloud_config plan) with Cloud.lambda_revoke = lambda } in
@@ -433,7 +433,7 @@ let rescued_tasks_never_replanned case_seed =
     let rescue = rescue_of_plan plan in
     match
       Engine.execute_until_revocation segs ~write:(Runner.writes_of_plan plan) ~rescue
-        trace_of ~warn ~kill ~storage:(reliable_storage ())
+        trace_of ~warn ~kill ~store:(reliable_store ())
     with
     | Engine.RFinished _ -> true
     | Engine.RInterrupted { at; completed; rescue = saved; _ } ->

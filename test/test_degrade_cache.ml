@@ -18,7 +18,7 @@ let deadly_config plan =
     Degrade.lambda_death = 2. /. plan.Strategy.wpar;
     max_losses = 1;
     kind = Strategy.Ckpt_some;
-    storage = Ckpt_storage.Storage.default;
+    store = Ckpt_storage.Store.default;
   }
 
 let test_counters_accumulate () =

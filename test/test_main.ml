@@ -32,6 +32,7 @@ let () =
       ("service", Test_service.suite);
       ("degrade-cache", Test_degrade_cache.suite);
       ("storage", Test_storage.suite);
+      ("store", Test_store.suite);
       ("cloud", Test_cloud.suite);
       ("analytic", Test_analytic.suite);
     ]

@@ -303,7 +303,7 @@ let degrade_config ?(max_losses = 1) plan lambda_scale =
     Degrade.lambda_death = lambda_scale /. plan.Strategy.wpar;
     max_losses;
     kind = Strategy.Ckpt_some;
-    storage = Storage.default;
+    store = Ckpt_storage.Store.default;
   }
 
 let test_degrade_no_deaths_matches_runner () =
@@ -311,7 +311,7 @@ let test_degrade_no_deaths_matches_runner () =
   let plan = genome_plan () in
   let config =
     { Degrade.lambda_death = 0.; max_losses = 1; kind = Strategy.Ckpt_some;
-      storage = Storage.default }
+      store = Ckpt_storage.Store.default }
   in
   let trials = Degrade.sample ~trials:20 ~seed:5 ~mode:Degrade.Repair config plan in
   Array.iter
@@ -348,7 +348,7 @@ let test_degrade_stranded_when_all_die () =
   let plan = genome_plan ~processors:1 () in
   let config =
     { Degrade.lambda_death = 50. /. plan.Strategy.wpar; max_losses = 1;
-      kind = Strategy.Ckpt_some; storage = Storage.default }
+      kind = Strategy.Ckpt_some; store = Ckpt_storage.Store.default }
   in
   let trials = Degrade.sample ~trials:20 ~seed:2 ~mode:Degrade.Repair config plan in
   let s = Degrade.summarize trials in

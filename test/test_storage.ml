@@ -5,6 +5,7 @@
    invalidated), and the k-replication crossover. *)
 
 module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
 module Engine = Ckpt_sim.Engine
 module Runner = Ckpt_sim.Runner
 module Contention = Ckpt_sim.Contention
@@ -46,6 +47,10 @@ let test_reliable () =
       ("outages", { Storage.default with Storage.outage_rate = 0.1; outage_mean = 1. });
     ]
 
+(* a memory-backed store carrying a given fault config — the Store
+   wrapper around what used to be passed as ~storage *)
+let store_of faults = { Store.default with Store.faults }
+
 let plan_of ?(tasks = 40) ?replicas kind =
   let dag = Spec.generate Spec.Genome ~seed:1 ~tasks () in
   let setup = Pipeline.prepare ~dag ~processors:4 ~pfail:0.002 ~ccr:0.2 () in
@@ -59,7 +64,7 @@ let test_reliable_bitwise () =
       let plan = plan_of kind in
       let plain = Runner.sample_makespans ~trials:200 ~seed:11 plan in
       let stored =
-        Runner.sample_storage ~trials:200 ~seed:11 ~storage:Storage.default plan
+        Runner.sample_storage ~trials:200 ~seed:11 ~store:Store.default plan
       in
       Alcotest.(check int) "same trial count" (Array.length plain) (Array.length stored);
       Array.iteri
@@ -85,7 +90,7 @@ let faulty_config =
 
 let test_jobs_invariant () =
   let plan = plan_of Strategy.Ckpt_some in
-  let sample jobs = Runner.sample_storage ~trials:96 ~seed:3 ~jobs ~storage:faulty_config plan in
+  let sample jobs = Runner.sample_storage ~trials:96 ~seed:3 ~jobs ~store:(store_of faulty_config) plan in
   let s1 = sample 1 and s4 = sample 4 in
   Array.iteri
     (fun i t ->
@@ -103,7 +108,7 @@ let test_jobs_invariant () =
    tests vacuous) *)
 let test_faults_fire () =
   let plan = plan_of Strategy.Ckpt_all in
-  let sample = Runner.sample_storage ~trials:200 ~seed:3 ~storage:faulty_config plan in
+  let sample = Runner.sample_storage ~trials:200 ~seed:3 ~store:(store_of faulty_config) plan in
   let total f = Array.fold_left (fun acc t -> acc + f t) 0 sample in
   Alcotest.(check bool) "commit retries happened" true (total (fun t -> t.Runner.commit_retries) > 0);
   Alcotest.(check bool) "corrupt reads happened" true (total (fun t -> t.Runner.corrupt_reads) > 0);
@@ -136,8 +141,8 @@ let test_engine_reliable_identity () =
   in
   for seed = 1 to 5 do
     let _, plain = Engine.execute segs ((trace_of seed) ()) in
-    let st = Storage.create Storage.default (Rng.create 999) in
-    let run = Engine.execute_storage segs ~write:writes ((trace_of seed) ()) ~storage:st in
+    let st = Store.create Store.default (Rng.create 999) in
+    let run = Engine.execute_storage segs ~write:writes ((trace_of seed) ()) ~store:st in
     if run.Engine.sfinish <> plain then
       Alcotest.failf "seed %d: storage %.17g <> plain %.17g" seed run.Engine.sfinish plain;
     Alcotest.(check (list int)) "no rollbacks" [] run.Engine.rollback_log
@@ -174,7 +179,7 @@ let qcheck_rollback_matches_failed_reads =
           replicas = 1 + Rng.int rng 3;
         }
       in
-      let st = Storage.create config (Rng.split rng) in
+      let st = Store.create (store_of config) (Rng.split rng) in
       let traces = Hashtbl.create 8 in
       let trace p =
         match Hashtbl.find_opt traces p with
@@ -184,8 +189,8 @@ let qcheck_rollback_matches_failed_reads =
             Hashtbl.add traces p t;
             t
       in
-      let run = Engine.execute_storage segs ~write:writes trace ~storage:st in
-      run.Engine.rollback_log = Storage.failed_reads st
+      let run = Engine.execute_storage segs ~write:writes trace ~store:st in
+      run.Engine.rollback_log = Store.failed_reads st
       && List.for_all (fun s -> s >= 0 && s < n) run.Engine.rollback_log)
 
 (* replication helps where it should: at high corruption, k=3 sees far
@@ -197,7 +202,7 @@ let test_replication_crossover () =
     let plan = plan_of ~replicas:k Strategy.Ckpt_all in
     let sample =
       Runner.sample_storage ~trials:200 ~seed:5
-        ~storage:{ corrupt with Storage.replicas = k }
+        ~store:(store_of { corrupt with Storage.replicas = k })
         plan
     in
     let n = float_of_int (Array.length sample) in
@@ -234,7 +239,7 @@ let test_replicas_pricing () =
 let test_contention_reliable_bitwise () =
   let plan = plan_of Strategy.Ckpt_all in
   let plain = Contention.simulate ~trials:60 ~seed:5 plan in
-  let stored = Contention.simulate ~trials:60 ~seed:5 ~storage:Storage.default plan in
+  let stored = Contention.simulate ~trials:60 ~seed:5 ~store:Store.default plan in
   Alcotest.(check (float 0.)) "mean" (Stats.mean plain) (Stats.mean stored);
   Alcotest.(check (float 0.)) "stddev" (Stats.stddev plain) (Stats.stddev stored)
 
@@ -244,7 +249,9 @@ let test_contention_faults_cost () =
   let plain = Contention.simulate ~trials:60 ~seed:5 plan in
   let stored =
     Contention.simulate ~trials:60 ~seed:5
-      ~storage:{ Storage.default with Storage.corrupt_prob = 0.15; commit_fail_prob = 0.1 }
+      ~store:
+        (store_of
+           { Storage.default with Storage.corrupt_prob = 0.15; commit_fail_prob = 0.1 })
       plan
   in
   Alcotest.(check bool) "faults cost time under contention" true
@@ -260,7 +267,7 @@ let test_degrade_storage () =
   in
   let config =
     { Degrade.lambda_death; max_losses = 1; kind = Strategy.Ckpt_some;
-      storage = Storage.default }
+      store = Store.default }
   in
   let base = Degrade.sample ~trials:40 ~seed:9 ~mode:Degrade.Repair config plan in
   let again = Degrade.sample ~trials:40 ~seed:9 ~mode:Degrade.Repair config plan in
@@ -272,7 +279,7 @@ let test_degrade_storage () =
       Alcotest.(check int) "no invalidations when reliable" 0 t.Degrade.invalidated)
     base;
   let faulty =
-    { config with Degrade.storage = { Storage.default with Storage.corrupt_prob = 0.25 } }
+    { config with Degrade.store = store_of { Storage.default with Storage.corrupt_prob = 0.25 } }
   in
   let stormy = Degrade.sample ~trials:40 ~seed:9 ~mode:Degrade.Repair faulty plan in
   let total f = Array.fold_left (fun acc t -> acc + f t) 0 stormy in

@@ -1,0 +1,422 @@
+(* The store-contract suite: every backend of Ckpt_storage.Store must
+   honour the same commit/read/invalidate/stats contract —
+   commit-then-read round-trips, invalidation is monotone, stats
+   account every operation (QCheck) — plus the disk backend's own
+   obligations: fingerprint-validated resume, rejection of stale
+   records, torn-tail recovery, and crash-consistency under injected
+   fail-stop errors mid-commit. *)
+
+module Storage = Ckpt_storage.Storage
+module Store = Ckpt_storage.Store
+module Error = Ckpt_resilience.Error
+module Faulty = Ckpt_resilience.Faulty
+module Rng = Ckpt_prob.Rng
+
+let fp = Store.fingerprint [ "test_store"; "contract" ]
+
+type kind = Kmemory | Kdisk | Kreplicated | Kremote
+
+let all_backends =
+  [ ("memory", Kmemory); ("disk", Kdisk); ("replicated", Kreplicated); ("remote", Kremote) ]
+
+let remote_commit_latency = 0.5
+let remote_read_latency = 0.25
+
+(* builds a fresh store of the given backend kind (a temp journal for
+   disk), runs [f], and removes any file it created *)
+let with_store ?(policy = Store.Every_segment) ?(faults = Storage.default) ?(seed = 7) kind f
+    =
+  let backend, persist, path =
+    match kind with
+    | Kmemory -> (Store.Memory, None, None)
+    | Kdisk -> (
+        let path = Filename.temp_file "test_store" ".journal" in
+        match Store.open_persist ~path ~fingerprint:fp () with
+        | Ok p -> (Store.Disk { path }, Some p, Some path)
+        | Error _ -> Alcotest.fail "open_persist on a fresh temp file failed")
+    | Kreplicated -> (Store.Replicated { k = 2 }, None, None)
+    | Kremote ->
+        ( Store.Remote
+            { commit_latency = remote_commit_latency; read_latency = remote_read_latency },
+          None,
+          None )
+  in
+  let st = Store.create ?persist { Store.backend; policy; faults } (Rng.create seed) in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) path)
+    (fun () -> f st)
+
+let commit_ok ?interrupt name st ~seg ~at =
+  match Store.commit ?interrupt st ~seg ~write:1. ~at with
+  | Ok (done_at, h) -> (done_at, h)
+  | Error _ -> Alcotest.failf "%s: reliable commit of seg %d failed" name seg
+
+(* contract: a committed checkpoint reads back valid, at the backend's
+   advertised latencies, and the counters see it *)
+let test_roundtrip () =
+  List.iter
+    (fun (name, kind) ->
+      with_store kind (fun st ->
+          let clat = Store.commit_latency st in
+          let rlat = match kind with Kremote -> remote_read_latency | _ -> 0. in
+          (match kind with
+          | Kremote ->
+              Alcotest.(check (float 0.)) (name ^ ": remote commit latency")
+                remote_commit_latency clat
+          | _ -> Alcotest.(check (float 0.)) (name ^ ": free commit") 0. clat);
+          for seg = 0 to 4 do
+            let at = 10. *. float_of_int seg in
+            let done_at, h = commit_ok name st ~seg ~at in
+            Alcotest.(check (float 0.)) (name ^ ": commit instant") (at +. clat) done_at;
+            Alcotest.(check int) (name ^ ": seg recorded") seg (Store.seg_of h);
+            Alcotest.(check bool) (name ^ ": every-segment is durable") true
+              (Store.durable h);
+            match Store.read st h ~at:100. with
+            | Ok ready ->
+                Alcotest.(check (float 0.)) (name ^ ": read instant") (100. +. rlat) ready
+            | Error _ -> Alcotest.failf "%s: round-trip read of seg %d failed" name seg
+          done;
+          let s = Store.stats st in
+          Alcotest.(check int) (name ^ ": commits") 5 s.Store.commits;
+          Alcotest.(check int) (name ^ ": reads") 5 s.Store.reads;
+          Alcotest.(check int) (name ^ ": no retries") 0 s.Store.commit_retries;
+          Alcotest.(check int) (name ^ ": no corrupt reads") 0 s.Store.corrupt_reads;
+          Alcotest.(check int) (name ^ ": no rejected reads") 0 s.Store.rejected_reads;
+          Alcotest.(check (list int)) (name ^ ": clean failed-read log") []
+            (Store.failed_reads st)))
+    all_backends
+
+(* contract: invalidation evicts every handle committed so far and
+   never un-happens — a later re-commit revives the segment through a
+   fresh handle only *)
+let test_invalidate_monotone () =
+  List.iter
+    (fun (name, kind) ->
+      with_store kind (fun st ->
+          let _, h1 = commit_ok name st ~seg:3 ~at:1. in
+          (match Store.read st h1 ~at:2. with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.failf "%s: fresh handle must read" name);
+          Store.invalidate st ~seg:3;
+          (match Store.read st h1 ~at:3. with
+          | Error Store.Rejected -> ()
+          | Ok _ | Error Store.Corrupt ->
+              Alcotest.failf "%s: invalidated handle must read Rejected" name);
+          let _, h2 = commit_ok name st ~seg:3 ~at:4. in
+          (match Store.read st h2 ~at:5. with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.failf "%s: re-committed handle must read" name);
+          (match Store.read st h1 ~at:6. with
+          | Error Store.Rejected -> ()
+          | Ok _ | Error Store.Corrupt ->
+              Alcotest.failf "%s: invalidation must be monotone for old handles" name);
+          Alcotest.(check (list int))
+            (name ^ ": failed-read log is chronological")
+            [ 3; 3 ] (Store.failed_reads st);
+          let s = Store.stats st in
+          Alcotest.(check int) (name ^ ": evictions counted") 1 s.Store.evictions;
+          Alcotest.(check int) (name ^ ": rejections counted") 2 s.Store.rejected_reads))
+    all_backends
+
+(* contract: the policy decides durability, never timing — every-k
+   keeps exactly each k-th commit, on-interrupt keeps only rescue
+   commits, and volatile handles still read within the run *)
+let test_policy_durability () =
+  List.iter
+    (fun (name, kind) ->
+      with_store ~policy:(Store.Every_k 3) kind (fun st ->
+          let durables = ref 0 in
+          for seg = 0 to 8 do
+            let done_at, h = commit_ok name st ~seg ~at:(float_of_int seg) in
+            if Store.durable h then incr durables
+            else begin
+              (* a policy-skipped commit is instant even on a priced
+                 backend, and readable in-run *)
+              Alcotest.(check (float 0.)) (name ^ ": volatile commit is instant")
+                (float_of_int seg) done_at;
+              match Store.read st h ~at:50. with
+              | Ok ready ->
+                  Alcotest.(check (float 0.)) (name ^ ": volatile read is free") 50. ready
+              | Error _ -> Alcotest.failf "%s: volatile handle must read in-run" name
+            end
+          done;
+          Alcotest.(check int) (name ^ ": every-3 keeps each 3rd") 3 !durables;
+          let s = Store.stats st in
+          Alcotest.(check int) (name ^ ": volatile commits still counted") 9
+            s.Store.commits;
+          Alcotest.(check int) (name ^ ": skips counted") 6 s.Store.skipped);
+      with_store ~policy:Store.On_interrupt kind (fun st ->
+          let _, regular = commit_ok name st ~seg:0 ~at:0. in
+          let _, rescue = commit_ok ~interrupt:true name st ~seg:1 ~at:1. in
+          Alcotest.(check bool) (name ^ ": regular commit is volatile") false
+            (Store.durable regular);
+          Alcotest.(check bool) (name ^ ": rescue commit is durable") true
+            (Store.durable rescue)))
+    all_backends
+
+(* contract (QCheck): over a random interleaving of commits, reads and
+   invalidations on any backend, the stats report exactly the model
+   counts and reads fail exactly on evicted handles *)
+let qcheck_stats_accounting =
+  QCheck.Test.make ~count:40 ~name:"store contract: stats account every operation"
+    QCheck.(pair (int_range 0 100_000) (int_bound 3))
+    (fun (seed, which) ->
+      let _, kind = List.nth all_backends which in
+      with_store ~seed kind (fun st ->
+          let rng = Rng.create (seed + 1) in
+          let handles = ref [] (* (handle, evicted) newest first *) in
+          let commits = ref 0 and reads = ref 0 in
+          let evictions = ref 0 and rejected = ref 0 in
+          let expected_log = ref [] in
+          let ok = ref true in
+          for step = 0 to 39 do
+            match Rng.int rng 3 with
+            | 0 ->
+                let seg = Rng.int rng 5 in
+                (match Store.commit st ~seg ~write:1. ~at:(float_of_int step) with
+                | Ok (_, h) ->
+                    incr commits;
+                    handles := (h, ref false) :: !handles
+                | Error _ -> ok := false)
+            | 1 -> (
+                match !handles with
+                | [] -> ()
+                | hs -> (
+                    let h, evicted = List.nth hs (Rng.int rng (List.length hs)) in
+                    incr reads;
+                    match Store.read st h ~at:(float_of_int step) with
+                    | Ok _ -> if !evicted then ok := false
+                    | Error Store.Rejected ->
+                        if not !evicted then ok := false;
+                        incr rejected;
+                        expected_log := Store.seg_of h :: !expected_log
+                    | Error Store.Corrupt -> ok := false))
+            | _ ->
+                let seg = Rng.int rng 5 in
+                Store.invalidate st ~seg;
+                incr evictions;
+                List.iter
+                  (fun (h, evicted) -> if Store.seg_of h = seg then evicted := true)
+                  !handles
+          done;
+          let s = Store.stats st in
+          !ok
+          && s.Store.commits = !commits
+          && s.Store.reads = !reads
+          && s.Store.evictions = !evictions
+          && s.Store.rejected_reads = !rejected
+          && s.Store.corrupt_reads = 0
+          && s.Store.commit_retries = 0
+          && Store.failed_reads st = List.rev !expected_log))
+
+(* disk: commits persist, an identical re-run resumes every record
+   without rewriting, and a drifted payload is fingerprint-stale —
+   superseded by a fresh append, never silently resumed *)
+let test_disk_resume () =
+  let path = Filename.temp_file "test_store" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let open_p () =
+        match Store.open_persist ~path ~fingerprint:fp () with
+        | Ok p -> p
+        | Error _ -> Alcotest.fail "open_persist failed"
+      in
+      let cfg = { Store.default with Store.backend = Store.Disk { path } } in
+      let commit_all st =
+        List.iter
+          (fun seg -> ignore (commit_ok "disk" st ~seg ~at:(3. *. float_of_int seg)))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let p1 = open_p () in
+      commit_all (Store.create ~persist:p1 ~scope:"ckptsome" cfg (Rng.create 7));
+      Alcotest.(check int) "first run appends everything" 5 (Store.persist_appended p1);
+      let p2 = open_p () in
+      Alcotest.(check bool) "clean file is not torn" false (Store.persist_torn p2);
+      Alcotest.(check int) "all records load" 5 (Store.persist_loaded p2);
+      Alcotest.(check int) "none rejected" 0 (Store.persist_rejected p2);
+      let st2 = Store.create ~persist:p2 ~scope:"ckptsome" cfg (Rng.create 7) in
+      commit_all st2;
+      Alcotest.(check int) "identical re-run resumes all" 5 (Store.persist_resumed p2);
+      Alcotest.(check int) "and rewrites nothing" 0 (Store.persist_appended p2);
+      Alcotest.(check int) "store counts the resumes" 5 (Store.stats st2).Store.resumed;
+      (* same key, different commit instant: stale payload *)
+      let p3 = open_p () in
+      let st3 = Store.create ~persist:p3 ~scope:"ckptsome" cfg (Rng.create 7) in
+      ignore (commit_ok "disk" st3 ~seg:0 ~at:99.);
+      Alcotest.(check int) "stale record counted rejected" 1 (Store.persist_rejected p3);
+      Alcotest.(check int) "and superseded by a fresh append" 1 (Store.persist_appended p3);
+      (* a different trial keys its own records: no collision *)
+      let p4 = open_p () in
+      let st4 = Store.create ~persist:p4 ~scope:"ckptsome" ~trial:1 cfg (Rng.create 7) in
+      ignore (commit_ok "disk" st4 ~seg:0 ~at:123.);
+      Alcotest.(check int) "other trial appends fresh" 1 (Store.persist_appended p4);
+      Alcotest.(check int) "without rejecting trial 0's record" 0
+        (Store.persist_rejected p4))
+
+(* disk: a header from another workflow (or schema) refuses to open
+   with the typed Store_fingerprint error — never a silent resume *)
+let test_disk_fingerprint_refusal () =
+  let path = Filename.temp_file "test_store" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Store.open_persist ~path ~fingerprint:fp () with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "first open failed");
+      match
+        Store.open_persist ~path ~fingerprint:(Store.fingerprint [ "another"; "dag" ]) ()
+      with
+      | Error (Error.Store_fingerprint { field = "dag"; found; expected; _ }) ->
+          Alcotest.(check string) "found the on-disk hash" fp found;
+          Alcotest.(check bool) "expected differs" true (expected <> found)
+      | Ok _ -> Alcotest.fail "mismatched fingerprint must refuse to open"
+      | Error _ -> Alcotest.fail "mismatch must be the typed Store_fingerprint error")
+
+(* disk: a crash window between write and rename leaves a torn trailing
+   record; the next open drops exactly that record and keeps the rest *)
+let test_disk_torn_tail () =
+  let path = Filename.temp_file "test_store" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cfg = { Store.default with Store.backend = Store.Disk { path } } in
+      (match Store.open_persist ~path ~fingerprint:fp () with
+      | Ok p ->
+          let st = Store.create ~persist:p cfg (Rng.create 7) in
+          List.iter
+            (fun seg -> ignore (commit_ok "disk" st ~seg ~at:(float_of_int seg)))
+            [ 0; 1; 2 ]
+      | Error _ -> Alcotest.fail "open failed");
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (len - 4);
+      Unix.close fd;
+      match Store.open_persist ~path ~fingerprint:fp () with
+      | Ok p ->
+          Alcotest.(check bool) "torn tail detected" true (Store.persist_torn p);
+          Alcotest.(check int) "intact records survive" 2 (Store.persist_loaded p);
+          (* the re-run re-commits the lost segment and resumes the rest *)
+          let st = Store.create ~persist:p cfg (Rng.create 7) in
+          List.iter
+            (fun seg -> ignore (commit_ok "disk" st ~seg ~at:(float_of_int seg)))
+            [ 0; 1; 2 ];
+          Alcotest.(check int) "survivors resumed" 2 (Store.persist_resumed p);
+          Alcotest.(check int) "lost segment re-appended" 1 (Store.persist_appended p);
+          (* the re-append must have repaired the file: the torn bytes
+             were truncated away, not appended after — a third open
+             loads every record cleanly *)
+          (match Store.open_persist ~path ~fingerprint:fp () with
+          | Ok p3 ->
+              Alcotest.(check bool) "file repaired" false (Store.persist_torn p3);
+              Alcotest.(check int) "all records clean" 3 (Store.persist_loaded p3)
+          | Error _ -> Alcotest.fail "repaired file must open cleanly")
+      | Error _ -> Alcotest.fail "torn tail must recover, not refuse")
+
+(* disk: an injected fail-stop error mid-commit (the --store-fail-after
+   hook) kills the run between records; the resumed run finds only
+   fully-committed records and re-executes the rest *)
+let test_disk_injected_crash () =
+  let path = Filename.temp_file "test_store" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cfg = { Store.default with Store.backend = Store.Disk { path } } in
+      let faulty = Faulty.after 3 in
+      let inject () = Faulty.inject faulty "store persist write" in
+      (* write 1 is the header, writes 2-3 are segs 0-1; seg 2 crashes *)
+      (match Store.open_persist ~inject ~path ~fingerprint:fp () with
+      | Error _ -> Alcotest.fail "open failed"
+      | Ok p -> (
+          let st = Store.create ~persist:p cfg (Rng.create 7) in
+          match
+            List.iter
+              (fun seg -> ignore (commit_ok "disk" st ~seg ~at:(float_of_int seg)))
+              [ 0; 1; 2; 3 ]
+          with
+          | () -> Alcotest.fail "injected crash did not fire"
+          | exception Faulty.Injected _ -> ()));
+      match Store.open_persist ~path ~fingerprint:fp () with
+      | Error _ -> Alcotest.fail "crashed file must reopen"
+      | Ok p ->
+          Alcotest.(check bool) "no torn record: the append was atomic" false
+            (Store.persist_torn p);
+          Alcotest.(check int) "exactly the pre-crash commits survive" 2
+            (Store.persist_loaded p);
+          let st = Store.create ~persist:p cfg (Rng.create 7) in
+          List.iter
+            (fun seg -> ignore (commit_ok "disk" st ~seg ~at:(float_of_int seg)))
+            [ 0; 1; 2; 3 ];
+          Alcotest.(check int) "survivors resumed" 2 (Store.persist_resumed p);
+          Alcotest.(check int) "the rest re-committed" 2 (Store.persist_appended p))
+
+(* config surface: passthrough gating, policy parsing, validation and
+   the planner's replica pricing *)
+let test_config_surface () =
+  Alcotest.(check bool) "default is passthrough" true (Store.passthrough Store.default);
+  List.iter
+    (fun (msg, c) -> Alcotest.(check bool) msg false (Store.passthrough c))
+    [
+      ("every-k", { Store.default with Store.policy = Store.Every_k 2 });
+      ("on-interrupt", { Store.default with Store.policy = Store.On_interrupt });
+      ("replicated", { Store.default with Store.backend = Store.Replicated { k = 2 } });
+      ( "remote",
+        { Store.default with
+          Store.backend = Store.Remote { commit_latency = 0.; read_latency = 0. } } );
+      ( "disk",
+        { Store.default with Store.backend = Store.Disk { path = "x.journal" } } );
+      ( "faulty",
+        { Store.default with
+          Store.faults = { Storage.default with Storage.corrupt_prob = 0.1 } } );
+    ];
+  (match Store.parse_policy "every-segment" with
+  | Ok Store.Every_segment -> ()
+  | _ -> Alcotest.fail "every-segment must parse");
+  (match Store.parse_policy "every-3" with
+  | Ok (Store.Every_k 3) -> ()
+  | _ -> Alcotest.fail "every-3 must parse");
+  (match Store.parse_policy "on-interrupt" with
+  | Ok Store.On_interrupt -> ()
+  | _ -> Alcotest.fail "on-interrupt must parse");
+  List.iter
+    (fun s ->
+      match Store.parse_policy s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must not parse" s)
+    [ "every-0"; "every-"; "sometimes"; "" ];
+  let rejects msg c =
+    Alcotest.(check bool) msg true
+      (match Store.validate c with exception Invalid_argument _ -> true | () -> false)
+  in
+  rejects "every-k < 1" { Store.default with Store.policy = Store.Every_k 0 };
+  rejects "replicated k < 1" { Store.default with Store.backend = Store.Replicated { k = 0 } };
+  rejects "empty disk path" { Store.default with Store.backend = Store.Disk { path = "" } };
+  rejects "negative remote latency"
+    { Store.default with
+      Store.backend = Store.Remote { commit_latency = -1.; read_latency = 0. } };
+  Alcotest.(check int) "replicated prices k·C" 3
+    (Store.plan_replicas { Store.default with Store.backend = Store.Replicated { k = 3 } });
+  Alcotest.(check int) "otherwise the fault config's replicas" 2
+    (Store.plan_replicas
+       { Store.default with Store.faults = { Storage.default with Storage.replicas = 2 } });
+  Alcotest.(check string) "fingerprint is deterministic"
+    (Store.fingerprint [ "a"; "b" ])
+    (Store.fingerprint [ "a"; "b" ]);
+  Alcotest.(check bool) "fingerprint separates its parts" true
+    (Store.fingerprint [ "ab" ] <> Store.fingerprint [ "a"; "b" ])
+
+let suite =
+  [
+    Alcotest.test_case "config surface" `Quick test_config_surface;
+    Alcotest.test_case "contract: commit-then-read round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "contract: invalidate is monotone" `Quick test_invalidate_monotone;
+    Alcotest.test_case "contract: policy durability" `Quick test_policy_durability;
+    QCheck_alcotest.to_alcotest qcheck_stats_accounting;
+    Alcotest.test_case "disk: fingerprint-validated resume" `Quick test_disk_resume;
+    Alcotest.test_case "disk: foreign fingerprint refused" `Quick
+      test_disk_fingerprint_refusal;
+    Alcotest.test_case "disk: torn tail recovered" `Quick test_disk_torn_tail;
+    Alcotest.test_case "disk: crash-consistent under injection" `Quick
+      test_disk_injected_crash;
+  ]
